@@ -1,0 +1,77 @@
+// Cross-hardware study (Figure 1a's two parts): the same kernels on A100 vs
+// H800.  Two paper points made quantitative:
+//   1. W4A4 is only realizable on A100 (Hopper dropped INT4 tensor cores) —
+//      and even there, accuracy concerns aside, its kernel ceiling is just
+//      2x W4A8's compute bound while sharing the same memory bound.
+//   2. Hopper's tensor cores grew 3.2x over A100 but bandwidth only 1.65x,
+//      so the dequantization budget alpha (Section 3.3) barely moves: the
+//      hardware keeps getting less forgiving of slow dequantization.
+
+#include <cstdio>
+
+#include "core/dequant/dequant.hpp"
+#include "model/cost_model.hpp"
+#include "simgpu/gemm_sim.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::model;
+
+int main() {
+  const HardwareSpec a100 = simgpu::HardwareSpec::A100();
+  const HardwareSpec h800 = simgpu::HardwareSpec::H800();
+
+  {
+    Table t("Dequantization budget across generations (alpha, instr/element)");
+    t.SetHeader({"hardware", "alpha budget (mem-bound)", "LQQ alpha",
+                 "headroom"});
+    for (const auto* hw : {&a100, &h800}) {
+      const double budget =
+          AlphaBudgetMemoryBound(*hw, PrecisionConfig::W4A8(*hw, 0));
+      t.AddRow({hw->name, Format("%.2f", budget),
+                Format("%.3f", MeasureAlphaLqq()),
+                Format("%.1fx", budget / MeasureAlphaLqq())});
+    }
+    t.Print();
+  }
+
+  {
+    // Simulated LiquidGEMM and QServe-style kernels on both parts.
+    Table t("LLaMA2-7B FFN GEMM latency (us), N=11008 K=4096");
+    t.SetHeader({"batch", "A100 LiquidGEMM", "A100 QServe", "H800 LiquidGEMM",
+                 "H800 QServe", "H800/A100 (Liquid)"});
+    const auto liquid_cfg =
+        simgpu::KernelConfig::For(simgpu::KernelKind::kLiquidW4A8);
+    const auto qserve_cfg =
+        simgpu::KernelConfig::For(simgpu::KernelKind::kQServeW4A8);
+    for (const std::size_t m : {8u, 64u, 256u}) {
+      const GemmShape shape{m, 11008, 4096};
+      const double al = simgpu::SimulateGemm(a100, liquid_cfg, shape).seconds;
+      const double aq = simgpu::SimulateGemm(a100, qserve_cfg, shape).seconds;
+      const double hl = simgpu::SimulateGemm(h800, liquid_cfg, shape).seconds;
+      const double hq = simgpu::SimulateGemm(h800, qserve_cfg, shape).seconds;
+      t.AddRow({std::to_string(m), Format("%.1f", al * 1e6),
+                Format("%.1f", aq * 1e6), Format("%.1f", hl * 1e6),
+                Format("%.1f", hq * 1e6), Format("%.2fx", al / hl)});
+    }
+    t.Print();
+  }
+
+  {
+    Table t("W4A4 vs W4A8 ceilings (cost model)");
+    t.SetHeader({"hardware", "W4A8 transition batch", "W4A4 transition batch",
+                 "W4A4 feasible"});
+    for (const auto* hw : {&a100, &h800}) {
+      const auto w4a8 = PrecisionConfig::W4A8(*hw, 0);
+      const auto w4a4 = PrecisionConfig::W4A4(*hw);
+      t.AddRow({hw->name, Format("%.0f", TransitionBatchSize(*hw, w4a8)),
+                w4a4.mma_ops > 0
+                    ? Format("%.0f", TransitionBatchSize(*hw, w4a4))
+                    : std::string("-"),
+                w4a4.mma_ops > 0 ? "yes" : "no (no INT4 tensor cores)"});
+    }
+    t.Print();
+  }
+  return 0;
+}

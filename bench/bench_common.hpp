@@ -1,0 +1,44 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serving/engine.hpp"
+#include "simgpu/gemm_sim.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace liquid::bench {
+
+inline const simgpu::HardwareSpec& H800() {
+  static const simgpu::HardwareSpec hw = simgpu::HardwareSpec::H800();
+  return hw;
+}
+
+/// The paper's batch sweep: 2^2 .. 2^8.
+inline std::vector<std::size_t> BatchSweep() {
+  return {4, 8, 16, 32, 64, 128, 256};
+}
+
+/// Kernel list of Figures 5/12 (TRT precisions + QServe + LiquidGEMM).
+inline std::vector<simgpu::KernelKind> Figure12Kernels() {
+  return {simgpu::KernelKind::kTrtFp16,  simgpu::KernelKind::kTrtW8A8,
+          simgpu::KernelKind::kTrtFp8,   simgpu::KernelKind::kTrtW4A16,
+          simgpu::KernelKind::kQServeW4A8, simgpu::KernelKind::kLiquidW4A8};
+}
+
+/// Latency of one transformer layer's GEMM chain (fused QKV + O + FFN) for a
+/// model at a batch size, under a given kernel.
+inline double LayerGemmSeconds(const serving::LlmConfig& model,
+                               simgpu::KernelKind kind, std::size_t batch) {
+  const auto cfg = simgpu::KernelConfig::For(kind);
+  return simgpu::SimulateGemmSequence(H800(), cfg, model.LayerGemms(batch));
+}
+
+inline std::string Us(double seconds) {
+  return Format("%.1f", seconds * 1e6);
+}
+
+}  // namespace liquid::bench

@@ -1,0 +1,121 @@
+// Dequantization micro-benchmark (paper Sections 3.2, 5.3).
+//
+// Measures, on the actual SWAR implementations:
+//   * the instruction count per dequantized element (alpha) of LiquidQuant
+//     vs the QServe-style baseline — the machine-checked version of the
+//     paper's "two instructions per four elements" claim; and
+//   * real CPU ns/element of each path, a second, hardware-independent
+//     witness that the LQQ sequence is fundamentally cheaper.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dequant/dequant.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace liquid;
+
+LqqWeights MakeLqq(std::size_t n, std::size_t k) {
+  Rng rng(1);
+  MatrixF w(n, k);
+  for (auto& v : w.Flat()) v = static_cast<float>(rng.Normal(0, 0.05));
+  return QuantizeWeightsLqq(w);
+}
+
+QserveWeights MakeQserve(std::size_t n, std::size_t k) {
+  Rng rng(1);
+  MatrixF w(n, k);
+  for (auto& v : w.Flat()) v = static_cast<float>(rng.Normal(0, 0.05));
+  return QuantizeWeightsQserve(w);
+}
+
+void BM_LqqDequantRow(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const LqqWeights w = MakeLqq(8, k);
+  std::vector<std::int8_t> out(k);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    LqqDequantRow(w, row, out);
+    benchmark::DoNotOptimize(out.data());
+    row = (row + 1) % 8;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_LqqDequantRow)->Arg(4096)->Arg(11008);
+
+void BM_QserveDequantRow(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const QserveWeights w = MakeQserve(8, k);
+  std::vector<std::int8_t> out(k);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    QserveDequantRow(w, row, out);
+    benchmark::DoNotOptimize(out.data());
+    row = (row + 1) % 8;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_QserveDequantRow)->Arg(4096)->Arg(11008);
+
+void BM_LqqDequantRegister(benchmark::State& state) {
+  // The kernel-inner-loop unit: one packed register (8 elements).
+  std::uint32_t reg = 0x12345678u;
+  for (auto _ : state) {
+    const Dequanted8 d = LqqDequant8(reg, 16, 100);
+    benchmark::DoNotOptimize(d);
+    reg += 0x01010101u;
+  }
+}
+BENCHMARK(BM_LqqDequantRegister);
+
+void BM_QserveDequantRegister(benchmark::State& state) {
+  std::uint32_t reg = 0x12345678u;
+  for (auto _ : state) {
+    const Dequanted8 d = QserveDequant8(reg, 16, 100);
+    benchmark::DoNotOptimize(d);
+    reg += 0x01010101u;
+  }
+}
+BENCHMARK(BM_QserveDequantRegister);
+
+void PrintInstructionMix() {
+  IsaCounter lqq;
+  (void)LqqDequant8(0x12345678u, 16, 100, &lqq);
+  IsaCounter qserve;
+  (void)QserveDequant8(0x12345678u, 16, 100, &qserve);
+
+  Table t("Dequantization instruction cost per packed register (8 elements)");
+  t.SetHeader({"scheme", "logic", "shift", "imad", "total",
+               "alpha (instr/elem)", "alpha budget (H100)"});
+  t.AddRow({"LiquidQuant", std::to_string(lqq.logic),
+            std::to_string(lqq.shift), std::to_string(lqq.imad),
+            std::to_string(lqq.Total()), Format("%.3f", MeasureAlphaLqq()),
+            "5.07"});
+  t.AddRow({"QServe", std::to_string(qserve.logic),
+            std::to_string(qserve.shift), std::to_string(qserve.imad),
+            std::to_string(qserve.Total()),
+            Format("%.3f", MeasureAlphaQserve()), "5.07"});
+  t.Print();
+  std::printf(
+      "LiquidQuant: 3 unpack + 2x(IMAD+XOR) = 7 instructions / 8 elements\n"
+      "(paper Section 5.3: \"eight elements are dequantized with only seven\n"
+      "instructions\"); QServe pays the vsub4 lowering on every register.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintInstructionMix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

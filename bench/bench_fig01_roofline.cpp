@@ -1,0 +1,78 @@
+// Figure 1c reproduction: roofline analysis of GEMM layers in LLM serving
+// for FP16 / W8A8 / FP8 / W4A16 / W4A8 / W4A4 on A100 and H100.
+//
+// Prints, per precision: the peak tensor-core throughput, the roofline knee
+// (in ops per weight element, the paper's intensity axis), the batch size at
+// which GEMM crosses from memory- to compute-bound, and sampled points of
+// the attainable-performance curve.
+
+#include <cstdio>
+
+#include "core/dequant/dequant.hpp"
+#include "model/cost_model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::model;
+
+namespace {
+
+void PrintFor(const HardwareSpec& hw) {
+  std::vector<PrecisionConfig> configs = {
+      PrecisionConfig::Fp16(hw),
+      PrecisionConfig::W8A8(hw),
+      PrecisionConfig::Fp8(hw),
+      PrecisionConfig::W4A16(hw),
+      PrecisionConfig::W4A8(hw, MeasureAlphaLqq()),
+      PrecisionConfig::W4A4(hw),
+  };
+
+  Table t(Format("Figure 1c roofline — %s (BW %.1f TB/s, CUDA INT32 %.1f TOPS)",
+                 hw.name.c_str(), hw.mem_bw_bytes / 1e12,
+                 hw.cuda_int32_ops / 1e12));
+  t.SetHeader({"precision", "peak TOPS", "knee (ops/elem)",
+               "transition batch", "supported"});
+  for (const auto& cfg : configs) {
+    if (cfg.mma_ops == 0) {
+      t.AddRow({cfg.name, "-", "-", "-", "no (no tensor-core dtype)"});
+      continue;
+    }
+    t.AddRow({cfg.name, Format("%.1f", cfg.mma_ops / 1e12),
+              Format("%.1f", RooflineKneeIntensity(hw, cfg)),
+              Format("%.0f", TransitionBatchSize(hw, cfg)), "yes"});
+  }
+  t.Print();
+
+  // Sampled attainable-performance series (the curves of Figure 1c).
+  Table s(Format("Attainable TOPS vs arithmetic intensity — %s",
+                 hw.name.c_str()));
+  std::vector<std::string> header{"ops/elem"};
+  for (const auto& cfg : configs) {
+    if (cfg.mma_ops > 0) header.push_back(cfg.name);
+  }
+  s.SetHeader(header);
+  for (const double ai : {32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    std::vector<std::string> row{Format("%.0f", ai)};
+    for (const auto& cfg : configs) {
+      if (cfg.mma_ops == 0) continue;
+      const auto curve = RooflineCurve(hw, cfg, ai, 1);
+      row.push_back(Format("%.0f", curve.back().attainable_ops / 1e12));
+    }
+    s.AddRow(row);
+  }
+  s.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Reproduction of Figure 1c: W4A8's knee sits at half of W8A8's\n"
+      "element intensity, so it reaches compute-bound at half the batch\n"
+      "size; W4A4 is only attainable on A100 (Hopper dropped INT4 TCs).\n\n");
+  PrintFor(simgpu::HardwareSpec::A100());
+  PrintFor(simgpu::HardwareSpec::H100());
+  return 0;
+}

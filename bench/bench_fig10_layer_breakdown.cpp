@@ -1,0 +1,57 @@
+// Figure 10 reproduction: GEMM / Attention / Others time for one decoding
+// layer of LLaMA2-7B, LLaMA2-70B, LLaMA3-8B and Mistral-7B, with each system
+// evaluated at its own Table-1 peak batch size.
+//
+// Shapes to verify: LiquidServe's GEMM latency is on par with or better than
+// every baseline (paper: 1.90x faster than QServe on LLaMA2-7B, slightly
+// behind TRT-W8A8 on 70B only because it runs a much larger batch).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "serving/system_preset.hpp"
+
+using namespace liquid;
+using namespace liquid::bench;
+using serving::LlmConfig;
+using serving::ServingEngine;
+using serving::SystemPreset;
+
+namespace {
+
+void PrintModel(const LlmConfig& model) {
+  Table t(Format("Figure 10 — one decoding layer breakdown (us), %s",
+                 model.name.c_str()));
+  t.SetHeader({"system", "batch", "GEMM", "Attention", "Others", "total"});
+  for (const auto& preset : SystemPreset::PaperSystems()) {
+    const ServingEngine engine(H800(), preset, model);
+    const auto peak = engine.PeakThroughput(1024, 512);
+    if (!peak.supported) {
+      t.AddRow({preset.name, "NA", "-", "-", "-", "-"});
+      continue;
+    }
+    if (peak.oom) {
+      t.AddRow({preset.name, "OOM", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto layer = engine.DecodeLayerBreakdown(peak.batch, 1024 + 256);
+    t.AddRow({preset.name, std::to_string(peak.batch), Us(layer.gemm),
+              Us(layer.attention), Us(layer.others), Us(layer.total())});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Reproduction of Figure 10: per-layer decode breakdown at each\n"
+      "system's peak batch size (larger batches do more work per step, so\n"
+      "compare GEMM latency in the context of the batch column).\n\n");
+  PrintModel(LlmConfig::Llama2_7B());
+  PrintModel(LlmConfig::Llama2_70B());
+  PrintModel(LlmConfig::Llama3_8B());
+  PrintModel(LlmConfig::Mistral_7B());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 12 reproduction: isolated GEMM-kernel latency on the FFN + projection
+// GEMMs of a single transformer layer — LLaMA2-7B/13B/70B and Mixtral-8x7B,
+// batch 4..256, all six kernels under the unified framework.
+//
+// Shapes to verify (paper Section 7.3): at batch 256 LiquidGEMM is
+// 2.75x/2.87x/2.90x faster than QServe on LLaMA2-7B/13B/70B; on Mixtral it
+// trails the GEMV-specialized TRT kernels below batch 32 and wins 1.41-1.84x
+// over TRT-FP8 / 1.12-2.53x over TRT-W4A16 beyond it.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "serving/model_config.hpp"
+
+using namespace liquid;
+using namespace liquid::bench;
+
+namespace {
+
+void PrintModel(const serving::LlmConfig& model) {
+  Table t(Format("Figure 12 — single-layer GEMM latency (us), %s",
+                 model.name.c_str()));
+  std::vector<std::string> header{"batch"};
+  for (const auto k : Figure12Kernels()) header.push_back(simgpu::ToString(k));
+  header.push_back("QServe/Liquid");
+  t.SetHeader(header);
+  for (const std::size_t m : BatchSweep()) {
+    std::vector<std::string> row{std::to_string(m)};
+    double qserve = 0;
+    double liquid = 0;
+    for (const auto k : Figure12Kernels()) {
+      const double s = LayerGemmSeconds(model, k, m);
+      if (k == simgpu::KernelKind::kQServeW4A8) qserve = s;
+      if (k == simgpu::KernelKind::kLiquidW4A8) liquid = s;
+      row.push_back(Us(s));
+    }
+    row.push_back(Format("%.2fx", qserve / liquid));
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Reproduction of Figure 12: GEMM kernels isolated from the serving\n"
+      "stack.  LiquidGEMM keeps the 4-bit memory-bound advantage at small\n"
+      "batch AND sustains W8A8-class throughput at large batch, where\n"
+      "QServe degrades to ~2-3x slower.\n\n");
+  PrintModel(serving::LlmConfig::Llama2_7B());
+  PrintModel(serving::LlmConfig::Llama2_13B());
+  PrintModel(serving::LlmConfig::Llama2_70B());
+  PrintModel(serving::LlmConfig::Mixtral_8x7B());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Section 3.3 "Implication on LLM Serving": tensor-core throughput grows
+// faster than memory bandwidth, so the batch size needed to saturate the GPU
+// keeps climbing — W8A8 moved from 156 (A100) to 300 (H100) — while W4A8
+// halves the threshold on every part.  This bench prints the published
+// trajectory plus projected future generations, and the KV-cache memory an
+// operator must pin just to reach the compute-bound regime.
+
+#include <cstdio>
+
+#include "model/projection.hpp"
+#include "serving/model_config.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::model;
+
+int main() {
+  // Compute historically ~2x/generation, bandwidth ~1.3x.
+  const auto generations = ProjectGenerations(3, 2.0, 1.3);
+  const auto trend = TransitionTrend(generations);
+
+  Table t("Section 3.3 — memory-to-compute transition batch size by GPU generation");
+  t.SetHeader({"generation", "INT8 TOPS", "BW (TB/s)", "W8A8 batch*",
+               "W4A8 batch*", "growth vs A100"});
+  for (std::size_t i = 0; i < trend.size(); ++i) {
+    t.AddRow({trend[i].generation,
+              Format("%.0f", generations[i].int8_ops / 1e12),
+              Format("%.1f", generations[i].mem_bw / 1e12),
+              Format("%.0f", trend[i].w8a8_batch),
+              Format("%.0f", trend[i].w4a8_batch),
+              trend[i].ratio_vs_a100 > 0
+                  ? Format("%.2fx", trend[i].ratio_vs_a100)
+                  : "-"});
+  }
+  t.Print();
+
+  // Operational consequence: KV bytes pinned to saturate the GPU.
+  const auto model = serving::LlmConfig::Llama2_7B();
+  Table k("KV cache pinned to reach compute-bound (LLaMA2-7B, 1536-token context)");
+  k.SetHeader({"generation", "W8A8 (INT8 KV)", "W4A8 (INT8 KV)"});
+  for (std::size_t i = 0; i < trend.size(); ++i) {
+    const double per_token = model.KvBytesPerToken(8);
+    k.AddRow({trend[i].generation,
+              HumanBytes(KvBytesToSaturate(trend[i].w8a8_batch, 1536, per_token)),
+              HumanBytes(KvBytesToSaturate(trend[i].w4a8_batch, 1536, per_token))});
+  }
+  k.Print();
+  std::printf(
+      "\nEvery projected generation pushes the W8A8 saturation batch ~1.5x\n"
+      "higher; W4A8 permanently halves it — smaller batches mean lower\n"
+      "request latency, less KV memory pinned, longer feasible sequences,\n"
+      "and smaller blast radius per GPU fault (the paper's four operational\n"
+      "arguments for high-performance W4A8 kernels).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Section 5.2 ablation: the dual-MMA packed layout against the conventional
+// 2D UINT4 layout and ldmatrix, through the shared-memory transaction model.
+// Quantifies the three claims: fewer load instructions, no wasted bandwidth,
+// no bank conflicts — and shows ldmatrix is functionally unusable on UINT4.
+
+#include <cstdio>
+
+#include "core/layout/smem_model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+
+int main() {
+  const SmemAccessReport dual = DualMmaTileLoadCost();
+  const SmemAccessReport conv = ConventionalTileLoadCost();
+
+  Table t("Section 5.2 — loading one 64x64 UINT4 supertile from SMEM (per warp group)");
+  t.SetHeader({"layout", "load instr", "SMEM cycles", "conflict factor",
+               "bytes loaded", "bytes used", "BW efficiency"});
+  t.AddRow({"dual-MMA packed (LDS.128)", std::to_string(dual.instructions),
+            std::to_string(dual.memory_cycles),
+            Format("%.2fx", dual.ConflictFactor()),
+            std::to_string(dual.bytes_loaded),
+            std::to_string(dual.bytes_used),
+            Format("%.0f%%", 100 * dual.BandwidthEfficiency())});
+  t.AddRow({"conventional 2D (LDS.32)", std::to_string(conv.instructions),
+            std::to_string(conv.memory_cycles),
+            Format("%.2fx", conv.ConflictFactor()),
+            std::to_string(conv.bytes_loaded),
+            std::to_string(conv.bytes_used),
+            Format("%.0f%%", 100 * conv.BandwidthEfficiency())});
+  t.Print();
+
+  std::printf(
+      "\nldmatrix on packed UINT4 delivers %.0f%% of elements to the wrong\n"
+      "thread (Figure 7a) — it is not merely slower, it is incorrect.\n\n"
+      "Net effect: %.1fx fewer SMEM cycles and %dx fewer load instructions\n"
+      "for the dual-MMA packed layout, plus zero per-load address\n"
+      "arithmetic (thread address = base + tid*16).\n",
+      100.0 * LdmatrixMisdeliveryFraction(),
+      static_cast<double>(conv.memory_cycles) / dual.memory_cycles,
+      conv.instructions / dual.instructions);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table 1 reproduction: peak token-generation throughput (tokens/s) of every
+// system on every model, H800 with an 80 GB memory constraint, input/output
+// lengths 1024/512, batch swept 1..256.  Cells print "tput (batch)" like the
+// paper; OOM and NA entries reproduce the paper's feasibility pattern.
+//
+// Shape checks printed at the end: LiquidServe vs best baseline per model
+// (paper: 0.98x-1.63x) and LiquidServe vs LiquidServe/wo (paper: 1.13x-1.98x).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "serving/system_preset.hpp"
+
+using namespace liquid;
+using namespace liquid::bench;
+using serving::LlmConfig;
+using serving::ServingEngine;
+using serving::SystemPreset;
+
+int main() {
+  const auto models = LlmConfig::PaperModels();
+  const auto systems = SystemPreset::PaperSystems();
+  constexpr std::size_t kIn = 1024;
+  constexpr std::size_t kOut = 512;
+
+  // peak[system][model]
+  std::vector<std::vector<ServingEngine::PeakResult>> peak(
+      systems.size(), std::vector<ServingEngine::PeakResult>(models.size()));
+
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const ServingEngine engine(H800(), systems[s], models[m]);
+      peak[s][m] = engine.PeakThroughput(kIn, kOut);
+    }
+  }
+
+  Table t("Table 1 — peak generation throughput (tokens/s), H800 80 GB, in/out 1024/512");
+  std::vector<std::string> header{"System"};
+  for (const auto& m : models) header.push_back(m.name);
+  t.SetHeader(header);
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    std::vector<std::string> row{systems[s].name};
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto& p = peak[s][m];
+      if (!p.supported) {
+        row.push_back("NA");
+      } else if (p.oom) {
+        row.push_back("OOM");
+      } else {
+        row.push_back(Format("%s (%zu)",
+                             WithCommas(static_cast<long long>(
+                                 p.tokens_per_second)).c_str(),
+                             p.batch));
+      }
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+
+  // Speedup rows (paper's bottom row + the /wo ablation).
+  const std::size_t liquid_idx = systems.size() - 1;   // LiquidServe
+  const std::size_t wo_idx = systems.size() - 2;       // LiquidServe/wo
+  Table sp("Speedups");
+  std::vector<std::string> h2{"metric"};
+  for (const auto& m : models) h2.push_back(m.name);
+  sp.SetHeader(h2);
+  std::vector<std::string> vs_best{"vs best baseline"};
+  std::vector<std::string> vs_wo{"vs LiquidServe/wo"};
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    double best = 0;
+    for (std::size_t s = 0; s + 2 < systems.size(); ++s) {  // exclude ours
+      best = std::max(best, peak[s][m].tokens_per_second);
+    }
+    const double ours = peak[liquid_idx][m].tokens_per_second;
+    vs_best.push_back(best > 0 ? Format("%.2fx", ours / best) : "-");
+    const double wo = peak[wo_idx][m].tokens_per_second;
+    vs_wo.push_back(wo > 0 ? Format("%.2fx", ours / wo) : "-");
+  }
+  sp.AddRow(vs_best);
+  sp.AddRow(vs_wo);
+  sp.Print();
+  std::printf(
+      "Paper reference: speedup vs best baseline 0.98x-1.63x (ours loses\n"
+      "only to TRT-FP8's Hopper FP8 attention on LLaMA3-8B/Mistral-7B);\n"
+      "LiquidServe vs LiquidServe/wo 1.13x-1.98x; TRT-FP16 OOMs on\n"
+      "LLaMA2-70B and Mixtral; TRT-W8A8 and QServe lack Mixtral support.\n");
+  return 0;
+}

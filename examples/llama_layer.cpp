@@ -1,0 +1,162 @@
+// One LLaMA decoder layer, end to end, through the W4A8 pipeline — the
+// dataflow of Figure 9: RMSNorm -> (QKV GEMM) -> attention -> (O GEMM) ->
+// residual -> RMSNorm -> (gate/up GEMM) -> SwiGLU -> (down GEMM) -> residual,
+// with every projection served by LiquidGEMM and compared against an FP32
+// run of the same layer.
+//
+// The model is a scaled-down LLaMA (hidden 256, 4 heads, FFN 512) so the
+// example runs in milliseconds while exercising every numerical path.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace liquid;
+
+namespace {
+
+constexpr std::size_t kHidden = 256;
+constexpr std::size_t kHeads = 4;
+constexpr std::size_t kHeadDim = kHidden / kHeads;
+constexpr std::size_t kFfn = 512;
+constexpr std::size_t kSeq = 24;  // tokens (prefill-style, causal)
+
+MatrixF RandomMatrix(std::size_t r, std::size_t c, Rng& rng, double sd) {
+  MatrixF m(r, c);
+  for (auto& v : m.Flat()) v = static_cast<float>(rng.Normal(0, sd));
+  return m;
+}
+
+void RmsNorm(MatrixF& x) {
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double sq = 0;
+    for (const float v : x.Row(i)) sq += static_cast<double>(v) * v;
+    const float inv =
+        static_cast<float>(1.0 / std::sqrt(sq / static_cast<double>(x.cols()) + 1e-6));
+    for (float& v : x.Row(i)) v *= inv;
+  }
+}
+
+/// Causal softmax attention over all heads (FP32; the paper keeps attention
+/// in its own kernels — FlashAttention-2 — outside the W4A8 GEMM path).
+MatrixF Attention(const MatrixF& q, const MatrixF& k, const MatrixF& v) {
+  MatrixF out(kSeq, kHidden);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(kHeadDim));
+  for (std::size_t h = 0; h < kHeads; ++h) {
+    const std::size_t off = h * kHeadDim;
+    for (std::size_t i = 0; i < kSeq; ++i) {
+      // scores over j <= i
+      std::vector<float> score(i + 1);
+      float maxs = -1e30f;
+      for (std::size_t j = 0; j <= i; ++j) {
+        float dot = 0;
+        for (std::size_t d = 0; d < kHeadDim; ++d) {
+          dot += q.At(i, off + d) * k.At(j, off + d);
+        }
+        score[j] = dot * scale;
+        maxs = std::max(maxs, score[j]);
+      }
+      float denom = 0;
+      for (std::size_t j = 0; j <= i; ++j) {
+        score[j] = std::exp(score[j] - maxs);
+        denom += score[j];
+      }
+      for (std::size_t d = 0; d < kHeadDim; ++d) {
+        float acc = 0;
+        for (std::size_t j = 0; j <= i; ++j) {
+          acc += score[j] / denom * v.At(j, off + d);
+        }
+        out.At(i, off + d) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF Silu(const MatrixF& gate, const MatrixF& up) {
+  MatrixF out(gate.rows(), gate.cols());
+  for (std::size_t i = 0; i < gate.size(); ++i) {
+    const float g = gate.Flat()[i];
+    out.Flat()[i] = g / (1.0f + std::exp(-g)) * up.Flat()[i];
+  }
+  return out;
+}
+
+struct LayerWeights {
+  MatrixF wq, wk, wv, wo, w_gate, w_up, w_down;
+};
+
+/// Runs the layer with a pluggable GEMM. `gemm(x, w)` computes x * w^T.
+template <typename Gemm>
+MatrixF RunLayer(const MatrixF& input, const LayerWeights& w, Gemm&& gemm) {
+  MatrixF x = input;
+  RmsNorm(x);
+  const MatrixF q = gemm(x, w.wq);
+  const MatrixF k = gemm(x, w.wk);
+  const MatrixF v = gemm(x, w.wv);
+  const MatrixF attn = Attention(q, k, v);
+  const MatrixF o = gemm(attn, w.wo);
+  MatrixF resid = input;
+  for (std::size_t i = 0; i < resid.size(); ++i) resid.Flat()[i] += o.Flat()[i];
+
+  MatrixF ffn_in = resid;
+  RmsNorm(ffn_in);
+  const MatrixF gate = gemm(ffn_in, w.w_gate);
+  const MatrixF up = gemm(ffn_in, w.w_up);
+  const MatrixF act = Silu(gate, up);
+  const MatrixF down = gemm(act, w.w_down);
+  for (std::size_t i = 0; i < resid.size(); ++i) {
+    resid.Flat()[i] += down.Flat()[i];
+  }
+  return resid;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  LayerWeights w{
+      RandomMatrix(kHidden, kHidden, rng, 0.06),
+      RandomMatrix(kHidden, kHidden, rng, 0.06),
+      RandomMatrix(kHidden, kHidden, rng, 0.06),
+      RandomMatrix(kHidden, kHidden, rng, 0.06),
+      RandomMatrix(kFfn, kHidden, rng, 0.06),
+      RandomMatrix(kFfn, kHidden, rng, 0.06),
+      RandomMatrix(kHidden, kFfn, rng, 0.06),
+  };
+  const MatrixF input = RandomMatrix(kSeq, kHidden, rng, 1.0);
+
+  std::printf("== LLaMA decoder layer through LiquidGEMM (Figure 9 dataflow) ==\n");
+  std::printf("hidden %zu, heads %zu, ffn %zu, seq %zu\n\n", kHidden, kHeads,
+              kFfn, kSeq);
+
+  // FP32 reference layer.
+  const MatrixF y_ref = RunLayer(input, w, [](const MatrixF& x, const MatrixF& ww) {
+    return GemmReference(x, ww);
+  });
+
+  // W4A8 layer: every projection quantized offline, activations per token.
+  const MatrixF y_w4a8 = RunLayer(input, w, [](const MatrixF& x, const MatrixF& ww) {
+    return LiquidGemm(x, QuantizeWeightsLqq(ww));
+  });
+
+  // W8A8 baseline layer.
+  const MatrixF y_w8a8 = RunLayer(input, w, [](const MatrixF& x, const MatrixF& ww) {
+    return GemmW8A8(QuantizeActivationsPerToken(x), QuantizeWeightsW8A8(ww));
+  });
+
+  std::printf("layer output error vs FP32 (relative Frobenius):\n");
+  std::printf("  W8A8 (TRT-style)      : %.4f\n",
+              RelativeFrobeniusError(y_ref.Flat(), y_w8a8.Flat()));
+  std::printf("  W4A8 (LiquidGEMM/LQQ) : %.4f\n",
+              RelativeFrobeniusError(y_ref.Flat(), y_w4a8.Flat()));
+  std::printf(
+      "\nBoth residual streams stay close to FP32 through norms, attention,\n"
+      "SwiGLU and two quantized GEMM stages — the W4A8 path loses ~one\n"
+      "extra bit of precision in exchange for 4x smaller weights.\n");
+  return 0;
+}

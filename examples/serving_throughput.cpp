@@ -1,0 +1,76 @@
+// Serving-throughput explorer: sweeps batch size for a chosen model under
+// every system preset and prints throughput, latency, and memory — the tool
+// you would use to pick a deployment configuration (paper Section 7.2).
+//
+// Usage: serving_throughput [model]
+//   model in {llama2-7b, llama2-13b, llama2-70b, llama3-8b, mistral-7b,
+//             yi-34b, llama1-30b, mixtral-8x7b}; default llama2-7b.
+
+#include <cstdio>
+#include <cstring>
+
+#include "serving/engine.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::serving;
+
+namespace {
+
+LlmConfig PickModel(const char* name) {
+  for (const auto& m : LlmConfig::PaperModels()) {
+    std::string key = m.name;
+    for (auto& c : key) c = c == ' ' ? '-' : static_cast<char>(std::tolower(c));
+    if (key == name) return m;
+  }
+  std::fprintf(stderr, "unknown model '%s', using LLaMA2-7B\n", name);
+  return LlmConfig::Llama2_7B();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LlmConfig model =
+      argc > 1 ? PickModel(argv[1]) : LlmConfig::Llama2_7B();
+  const auto hw = simgpu::HardwareSpec::H800();
+  constexpr std::size_t kIn = 1024, kOut = 512;
+
+  std::printf("== Serving sweep: %s on %s (80 GB), in/out %zu/%zu ==\n\n",
+              model.name.c_str(), hw.name.c_str(), kIn, kOut);
+
+  for (const auto& preset : SystemPreset::PaperSystems()) {
+    const ServingEngine engine(hw, preset, model);
+    if (!preset.Supports(model)) {
+      std::printf("-- %s: model not supported --\n\n", preset.name.c_str());
+      continue;
+    }
+    Table t(Format("%s (weights %s)", preset.name.c_str(),
+                   HumanBytes(engine.WeightMemoryBytes()).c_str()));
+    t.SetHeader({"batch", "tokens/s", "decode step", "prefill", "memory"});
+    bool any = false;
+    for (std::size_t b = 1; b <= 256; b *= 2) {
+      const ServingResult r = engine.Run({kIn, kOut, b});
+      if (r.oom) {
+        t.AddRow({std::to_string(b), "OOM", "-", "-",
+                  HumanBytes(r.memory_bytes)});
+        break;
+      }
+      any = true;
+      t.AddRow({std::to_string(b),
+                WithCommas(static_cast<long long>(r.tokens_per_second)),
+                HumanTime(r.decode_step_seconds),
+                HumanTime(r.prefill_seconds), HumanBytes(r.memory_bytes)});
+    }
+    const auto peak = engine.PeakThroughput(kIn, kOut);
+    if (any && !peak.oom) {
+      t.AddRule();
+      t.AddRow({Format("peak @%zu", peak.batch),
+                WithCommas(static_cast<long long>(peak.tokens_per_second)),
+                "-", "-", "-"});
+    }
+    t.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Tensor-parallel deployment study: LLaMA2-70B on 1-8 H800s.
+//
+// The paper's single-GPU pitch in one table: on the H800 (NVLink cut to
+// 400 GB/s), TP scaling pays a steep all-reduce tax, while W4A8 fits the
+// whole 70B model in 80 GB — so one GPU per replica beats sharded FP16 on
+// cost-per-token.  This example quantifies both sides with the TP engine.
+
+#include <cstdio>
+
+#include "serving/tensor_parallel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::serving;
+
+int main() {
+  const auto model = LlmConfig::Llama2_70B();
+  const ServingWorkload workload{1024, 512, 32};
+
+  for (const auto& hw :
+       {simgpu::HardwareSpec::H800(), simgpu::HardwareSpec::H100()}) {
+    std::printf("== %s (NVLink %.0f GB/s) — LLaMA2-70B, batch %zu ==\n",
+                hw.name.c_str(), hw.nvlink_bw_bytes / 1e9, workload.batch);
+    Table t;
+    t.SetHeader({"system", "TP", "tokens/s", "tokens/s per GPU",
+                 "allreduce/layer", "mem/GPU", "scaling eff"});
+    for (const auto& preset :
+         {SystemPreset::TrtFp16(), SystemPreset::LiquidServe()}) {
+      for (const int tp : {1, 2, 4, 8}) {
+        if (!CanShard(model, tp)) continue;
+        TensorParallelEngine engine(hw, preset, model, tp);
+        const TpResult r = engine.Run(workload);
+        if (!r.feasible) {
+          t.AddRow({preset.name, std::to_string(tp), "OOM",
+                    "-", "-", HumanBytes(r.memory_per_gpu), "-"});
+          continue;
+        }
+        t.AddRow({preset.name, std::to_string(tp),
+                  WithCommas(static_cast<long long>(r.tokens_per_second)),
+                  WithCommas(static_cast<long long>(r.tokens_per_second / tp)),
+                  HumanTime(r.allreduce_seconds_per_layer),
+                  HumanBytes(r.memory_per_gpu),
+                  r.scaling_efficiency > 0
+                      ? Format("%.0f%%", 100 * r.scaling_efficiency)
+                      : "-"});
+      }
+    }
+    t.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: FP16 needs TP>=2 just to fit; W4A8 serves 70B on ONE GPU,\n"
+      "and its single-GPU tokens/s-per-GPU beats every sharded FP16 point —\n"
+      "especially on the H800, whose cut NVLink taxes each all-reduce.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "core/api.hpp"
+
+namespace liquid {
+
+PreparedWeights PrepareWeights(const MatrixF& weights,
+                               const MatrixF& act_sample,
+                               const PrepareOptions& options) {
+  PreparedWeights out;
+  MatrixF smoothed = weights;
+  out.smooth_scale.assign(weights.cols(), 1.0f);
+  if (options.smooth && act_sample.rows() > 0) {
+    out.smooth_alpha =
+        SearchSmoothAlpha(act_sample, weights,
+                          static_cast<int>(options.lqq.group_size),
+                          options.alpha_grid);
+    out.smooth_scale = ComputeSmoothScale(act_sample, weights, out.smooth_alpha);
+    SmoothWeights(smoothed, out.smooth_scale);
+  }
+  out.weights = QuantizeWeightsLqq(smoothed, options.lqq);
+  if (options.build_dual_mma && weights.rows() % kSupertileRows == 0 &&
+      weights.cols() % kSupertileCols == 0) {
+    out.packed = PackDualMma(out.weights);
+  }
+  return out;
+}
+
+}  // namespace liquid

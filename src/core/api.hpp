@@ -1,0 +1,52 @@
+#pragma once
+// LiquidGEMM public API — the single header downstream users include.
+//
+// Typical offline flow (Section 6, "Offline Quantization"):
+//
+//   liquid::MatrixF w = LoadWeights();                    // [N x K] fp32
+//   liquid::MatrixF calib = SampleActivations();          // [S x K]
+//   auto packed = liquid::PrepareWeights(w, calib, {});   // smooth + 2-level
+//
+// and online per GEMM call:
+//
+//   liquid::MatrixF y = liquid::LiquidGemm(x, packed.weights);
+//
+// For the performance model / simulator entry points see model/cost_model.hpp
+// and simgpu/gemm_sim.hpp; for end-to-end serving see serving/engine.hpp.
+
+#include "core/dequant/dequant.hpp"
+#include "core/gemm/gemm.hpp"
+#include "core/layout/dual_mma_layout.hpp"
+#include "core/layout/smem_model.hpp"
+#include "core/quant/first_level.hpp"
+#include "core/quant/liquid_quant.hpp"
+#include "core/quant/qserve_quant.hpp"
+#include "core/types.hpp"
+
+namespace liquid {
+
+/// Everything the serving engine needs for one weight matrix.
+struct PreparedWeights {
+  LqqWeights weights;                ///< linear register order (RF view)
+  DualMmaPackedWeights packed;       ///< dual-MMA supertile order (SMEM/GMEM)
+  std::vector<float> smooth_scale;   ///< divide activations by this per-column
+  double smooth_alpha = 0.0;
+};
+
+struct PrepareOptions {
+  LqqOptions lqq;
+  bool smooth = true;
+  /// Candidate smoothing exponents for the OutlierSuppression+-style grid
+  /// search; ignored when smooth == false.
+  std::vector<double> alpha_grid = {0.3, 0.4, 0.5, 0.6, 0.7};
+  /// Build the dual-MMA packed copy (requires N, K multiples of 64).
+  bool build_dual_mma = true;
+};
+
+/// Full offline pipeline: smoothing (with grid-searched alpha), two-level
+/// LiquidQuant, and the dual-MMA supertile reorder.
+PreparedWeights PrepareWeights(const MatrixF& weights,
+                               const MatrixF& act_sample,
+                               const PrepareOptions& options);
+
+}  // namespace liquid

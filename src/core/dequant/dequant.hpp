@@ -1,0 +1,114 @@
+#pragma once
+// Register-level W4->W8 dequantization kernels (paper Sections 3.2, 4, 5.3).
+//
+// Both kernels consume one 32-bit register holding eight UINT4 weights in the
+// interleaved nibble order of Figure 8 and produce two registers of four INT8
+// bit patterns each, ready for INT8 MMA.  Both are written against the
+// emulated GPU ISA in util/swar.hpp so their instruction mix — the paper's
+// per-element dequantization cost alpha — is measured, not estimated.
+//
+// Measured costs (see bench_dequant_micro and the unit tests):
+//   unpack (shared):              3 instructions / 8 elements
+//   LiquidQuant dequant:          2 instructions / 4 elements (IMAD + XOR)
+//     => alpha_LQQ = 7/8 = 0.875 instructions per element   (paper: "seven
+//        instructions per eight elements", Section 5.3)
+//   QServe dequant:               1 IMAD + vsub4 lowering / 4 elements
+//     => alpha_QServe ~= 3.9 instructions per element, plus the extra
+//        load/address instructions its 2D layout needs (modelled in
+//        core/layout and simgpu), which pushes its effective alpha past the
+//        ~5.07 overlap threshold of Section 3.3.
+
+#include <cstdint>
+#include <span>
+
+#include "core/quant/liquid_quant.hpp"
+#include "core/quant/qserve_quant.hpp"
+#include "util/swar.hpp"
+
+namespace liquid {
+
+/// Two registers of four INT8 bit patterns: lo = lanes w0..w3, hi = w4..w7.
+struct Dequanted8 {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// Shared 3-instruction unpack (Figure 8, left column): splits eight
+/// interleaved UINT4 lanes into two registers of zero-extended bytes.
+inline Dequanted8 UnpackU4x8(std::uint32_t reg, IsaCounter* c = nullptr) {
+  Dequanted8 out;
+  out.lo = isa::And(reg, 0x0F0F0F0Fu, c);
+  const std::uint32_t shifted = isa::Shr(reg, 4, c);
+  out.hi = isa::And(shifted, 0x0F0F0F0Fu, c);
+  return out;
+}
+
+/// LiquidQuant dequantization of four unpacked UINT4 lanes (Eq. 12):
+/// one IMAD (packed multiply by s_u8, add broadcast offset) + one XOR.
+/// No cross-lane carries can occur: each lane's product is <= 240 and each
+/// lane's sum is <= 255 (Section 4 proof).
+inline std::uint32_t LqqDequant4(std::uint32_t unpacked, std::uint8_t s_u8,
+                                 std::uint32_t offset_packed,
+                                 IsaCounter* c = nullptr) {
+  const std::uint32_t scaled =
+      isa::Imad(unpacked, s_u8, offset_packed, c);
+  return isa::Xor(scaled, 0x80808080u, c);
+}
+
+/// Full LQQ path for one packed register (7 instructions / 8 elements).
+inline Dequanted8 LqqDequant8(std::uint32_t reg, std::uint8_t s_u8,
+                              std::uint8_t offset, IsaCounter* c = nullptr) {
+  // The broadcast of the offset byte is free: it is a kernel-constant
+  // prepared once per group, outside the per-register loop.
+  const std::uint32_t offset_packed = BroadcastByte(offset);
+  Dequanted8 u = UnpackU4x8(reg, c);
+  u.lo = LqqDequant4(u.lo, s_u8, offset_packed, c);
+  u.hi = LqqDequant4(u.hi, s_u8, offset_packed, c);
+  return u;
+}
+
+/// QServe dequantization of four unpacked UINT4 lanes: multiply by s_i8
+/// (safe, stays unsigned), then *packed byte subtraction* of s*z.  The
+/// subtraction can borrow across lanes, so it needs the vsub4 lowering.
+inline std::uint32_t QserveDequant4(std::uint32_t unpacked, std::uint8_t s_i8,
+                                    std::uint32_t zero_scaled_packed,
+                                    IsaCounter* c = nullptr) {
+  const std::uint32_t scaled = isa::Imad(unpacked, s_i8, 0, c);
+  return isa::Vsub4(scaled, zero_scaled_packed, c);
+}
+
+/// Full QServe path for one packed register.
+inline Dequanted8 QserveDequant8(std::uint32_t reg, std::uint8_t s_i8,
+                                 std::uint8_t zero_scaled,
+                                 IsaCounter* c = nullptr) {
+  const std::uint32_t zpacked = BroadcastByte(zero_scaled);
+  Dequanted8 u = UnpackU4x8(reg, c);
+  u.lo = QserveDequant4(u.lo, s_i8, zpacked, c);
+  u.hi = QserveDequant4(u.hi, s_i8, zpacked, c);
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk row dequantization: used by the functional CPU GEMM kernels and the
+// dequantization micro-benchmarks.  Output is one INT8 per element in natural
+// k-order.
+// ---------------------------------------------------------------------------
+
+/// Dequantizes one full row of an LQQ tensor into `out` (size k).
+void LqqDequantRow(const LqqWeights& w, std::size_t row,
+                   std::span<std::int8_t> out, IsaCounter* c = nullptr);
+
+/// Dequantizes one full row of a QServe tensor into `out` (size k).
+void QserveDequantRow(const QserveWeights& w, std::size_t row,
+                      std::span<std::int8_t> out, IsaCounter* c = nullptr);
+
+/// Instruction cost per dequantized element (alpha) measured by running one
+/// register through the kernel with a fresh counter.
+double MeasureAlphaLqq();
+double MeasureAlphaQserve();
+
+/// Scatters the two dequantized registers into 8 consecutive INT8 values in
+/// natural order (w0..w7) — host-side helper, not part of the kernel cost.
+void StoreDequanted8(const Dequanted8& d, std::int8_t* out);
+
+}  // namespace liquid

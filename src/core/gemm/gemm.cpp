@@ -1,0 +1,249 @@
+#include "core/gemm/gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/dequant/dequant.hpp"
+
+namespace liquid {
+namespace {
+
+/// INT8 dot product with INT32 accumulation (tensor-core IMMA semantics).
+std::int32_t DotI8(const std::int8_t* a, const std::int8_t* b, std::size_t k) {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+MatrixF GemmReference(const MatrixF& x, const MatrixF& w) {
+  assert(x.cols() == w.cols());
+  MatrixF y(x.rows(), w.rows());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.rows()); ++m) {
+    const auto xr = x.Row(static_cast<std::size_t>(m));
+    for (std::size_t n = 0; n < w.rows(); ++n) {
+      const auto wr = w.Row(n);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < xr.size(); ++k) acc += xr[k] * wr[k];
+      y.At(static_cast<std::size_t>(m), n) = acc;
+    }
+  }
+  return y;
+}
+
+MatrixF GemmFp16(const MatrixF& x, const MatrixF& w) {
+  assert(x.cols() == w.cols());
+  MatrixF y(x.rows(), w.rows());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.rows()); ++m) {
+    const auto xr = x.Row(static_cast<std::size_t>(m));
+    for (std::size_t n = 0; n < w.rows(); ++n) {
+      const auto wr = w.Row(n);
+      float acc = 0.0f;  // tensor cores accumulate FP16 products in FP32
+      for (std::size_t k = 0; k < xr.size(); ++k) {
+        acc += QuantizeToHalf(xr[k]) * QuantizeToHalf(wr[k]);
+      }
+      y.At(static_cast<std::size_t>(m), n) = acc;
+    }
+  }
+  return y;
+}
+
+W8A8Weights QuantizeWeightsW8A8(const MatrixF& weights) {
+  FirstLevelOptions options;
+  options.protective_range = false;  // plain symmetric INT8
+  FirstLevelResult first = QuantizeFirstLevel(weights, options);
+  W8A8Weights out;
+  out.q = std::move(first.q);
+  out.channel_scale = std::move(first.channel_scale);
+  return out;
+}
+
+MatrixF GemmW8A8(const QuantizedActivations& x, const W8A8Weights& w) {
+  assert(x.q.cols() == w.q.cols());
+  MatrixF y(x.q.rows(), w.q.rows());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.q.rows()); ++m) {
+    const std::size_t mu = static_cast<std::size_t>(m);
+    for (std::size_t n = 0; n < w.q.rows(); ++n) {
+      const std::int32_t acc =
+          DotI8(x.q.Row(mu).data(), w.q.Row(n).data(), x.q.cols());
+      y.At(mu, n) = static_cast<float>(acc) * x.token_scale[mu] *
+                    w.channel_scale[n];
+    }
+  }
+  return y;
+}
+
+float W4A16Weights::Dequant(std::size_t row, std::size_t col) const {
+  const std::uint8_t byte = packed[row * (k / 2) + col / 2];
+  const std::uint8_t q =
+      (col % 2 == 0) ? (byte & 0x0Fu) : static_cast<std::uint8_t>(byte >> 4);
+  const std::size_t g = row * (k / group_size) + col / group_size;
+  return static_cast<float>(q) * group_scale[g].ToFloat() -
+         group_zero[g].ToFloat();
+}
+
+W4A16Weights QuantizeWeightsW4A16(const MatrixF& weights,
+                                  std::size_t group_size) {
+  const std::size_t n = weights.rows();
+  const std::size_t k = weights.cols();
+  assert(k % group_size == 0 && k % 2 == 0);
+  W4A16Weights out;
+  out.n = n;
+  out.k = k;
+  out.group_size = group_size;
+  out.packed.assign(n * k / 2, 0);
+  out.group_scale.resize(n * (k / group_size));
+  out.group_zero.resize(n * (k / group_size));
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t gi = 0; gi < k / group_size; ++gi) {
+      float lo = weights.At(row, gi * group_size);
+      float hi = lo;
+      for (std::size_t j = 1; j < group_size; ++j) {
+        const float v = weights.At(row, gi * group_size + j);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      float scale = (hi - lo) / 15.0f;
+      if (scale <= 0.0f) scale = 1.0f;
+      // AWQ-style: w ≈ q*s - z where z = -lo rounded into the grid.
+      const float zero = -lo;
+      out.group_scale[row * (k / group_size) + gi] = Half(scale);
+      out.group_zero[row * (k / group_size) + gi] = Half(zero);
+      const float s_eff =
+          out.group_scale[row * (k / group_size) + gi].ToFloat();
+      const float z_eff = out.group_zero[row * (k / group_size) + gi].ToFloat();
+      for (std::size_t j = 0; j < group_size; ++j) {
+        const std::size_t col = gi * group_size + j;
+        const float v = weights.At(row, col);
+        const int q = static_cast<int>(
+            std::clamp(std::nearbyint((v + z_eff) / s_eff), 0.0f, 15.0f));
+        std::uint8_t& byte = out.packed[row * (k / 2) + col / 2];
+        if (col % 2 == 0) {
+          byte = static_cast<std::uint8_t>((byte & 0xF0u) | q);
+        } else {
+          byte = static_cast<std::uint8_t>((byte & 0x0Fu) | (q << 4));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF GemmW4A16(const MatrixF& x, const W4A16Weights& w) {
+  assert(x.cols() == w.k);
+  MatrixF y(x.rows(), w.n);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.rows()); ++m) {
+    const std::size_t mu = static_cast<std::size_t>(m);
+    const auto xr = x.Row(mu);
+    for (std::size_t n = 0; n < w.n; ++n) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < w.k; ++k) {
+        acc += QuantizeToHalf(xr[k]) * QuantizeToHalf(w.Dequant(n, k));
+      }
+      y.At(mu, n) = acc;
+    }
+  }
+  return y;
+}
+
+MatrixF GemmW4A8Liquid(const QuantizedActivations& x, const LqqWeights& w) {
+  assert(x.q.cols() == w.k);
+  MatrixF y(x.q.rows(), w.n);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(w.n); ++n) {
+    const std::size_t nu = static_cast<std::size_t>(n);
+    // Main loop, weight-stationary per output channel: SWAR dequant of the
+    // packed row, then INT8 MMA against every token.
+    std::vector<std::int8_t> wrow(w.k);
+    LqqDequantRow(w, nu, wrow);
+    for (std::size_t m = 0; m < x.q.rows(); ++m) {
+      const std::int32_t acc = DotI8(x.q.Row(m).data(), wrow.data(), w.k);
+      // Epilogue: first-level dequantization (token scale x channel scale).
+      y.At(m, nu) = static_cast<float>(acc) * x.token_scale[m] *
+                    w.channel_scale[nu];
+    }
+  }
+  return y;
+}
+
+MatrixF GemmW4A8LiquidDualMma(const QuantizedActivations& x,
+                              const DualMmaPackedWeights& w) {
+  assert(x.q.cols() == w.k);
+  const std::size_t m_dim = x.q.rows();
+  MatrixF y(m_dim, w.n);
+  const auto provenance = BuildDualMmaProvenance();
+
+  // Per-tile INT32 accumulators, exactly like a thread block's RF fragment.
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t tn = 0; tn < static_cast<std::ptrdiff_t>(w.TilesN());
+       ++tn) {
+    const std::size_t tnu = static_cast<std::size_t>(tn);
+    std::vector<std::int32_t> acc(m_dim * kSupertileRows, 0);
+    for (std::size_t tk = 0; tk < w.TilesK(); ++tk) {
+      const auto tile = w.Tile(tnu, tk);
+      const std::size_t col0 = tk * kSupertileCols;
+      for (std::size_t r = 0; r < tile.size(); ++r) {
+        // Dequantize this register with its group's parameters.  All 8 lanes
+        // of a register share one row and sit inside one K-group because the
+        // group size (64) covers the whole supertile width.
+        const FragCoord& first = provenance[r].lane[0];
+        const std::size_t row =
+            tnu * kSupertileRows + static_cast<std::size_t>(first.row);
+        const std::size_t group =
+            (col0 + static_cast<std::size_t>(first.col)) / w.group_size;
+        const LqqGroupParams& p = w.Params(row, group);
+        const Dequanted8 d = LqqDequant8(tile[r], p.scale, p.offset);
+        std::int8_t vals[8];
+        StoreDequanted8(d, vals);
+        for (int lane = 0; lane < 8; ++lane) {
+          const FragCoord& c = provenance[r].lane[static_cast<std::size_t>(lane)];
+          const std::size_t col = col0 + static_cast<std::size_t>(c.col);
+          for (std::size_t m = 0; m < m_dim; ++m) {
+            acc[m * kSupertileRows + static_cast<std::size_t>(c.row)] +=
+                static_cast<std::int32_t>(x.q.At(m, col)) *
+                static_cast<std::int32_t>(vals[lane]);
+          }
+        }
+      }
+    }
+    for (std::size_t m = 0; m < m_dim; ++m) {
+      for (std::size_t rr = 0; rr < kSupertileRows; ++rr) {
+        const std::size_t nu = tnu * kSupertileRows + rr;
+        y.At(m, nu) = static_cast<float>(acc[m * kSupertileRows + rr]) *
+                      x.token_scale[m] * w.channel_scale[nu];
+      }
+    }
+  }
+  return y;
+}
+
+MatrixF GemmW4A8Qserve(const QuantizedActivations& x, const QserveWeights& w) {
+  assert(x.q.cols() == w.k);
+  MatrixF y(x.q.rows(), w.n);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(w.n); ++n) {
+    const std::size_t nu = static_cast<std::size_t>(n);
+    std::vector<std::int8_t> wrow(w.k);
+    QserveDequantRow(w, nu, wrow);
+    for (std::size_t m = 0; m < x.q.rows(); ++m) {
+      const std::int32_t acc = DotI8(x.q.Row(m).data(), wrow.data(), w.k);
+      y.At(m, nu) = static_cast<float>(acc) * x.token_scale[m] *
+                    w.channel_scale[nu];
+    }
+  }
+  return y;
+}
+
+MatrixF LiquidGemm(const MatrixF& x, const LqqWeights& w) {
+  return GemmW4A8Liquid(QuantizeActivationsPerToken(x), w);
+}
+
+}  // namespace liquid

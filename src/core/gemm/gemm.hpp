@@ -1,0 +1,88 @@
+#pragma once
+// Functional CPU GEMM kernels for every precision configuration the paper
+// evaluates (Sections 2, 3, 7.3): FP16, W8A8, W4A16, W4A8-QServe and
+// W4A8-LiquidGEMM.  These verify the *numerics* of the full dataflow —
+// quantize → pack → (layout) → dequantize-in-main-loop → INT8 MMA → epilogue —
+// end to end; the *performance* of the same dataflow on Hopper is modelled in
+// src/simgpu.
+//
+// All kernels compute Y = X·Wᵀ (X: [M x K], W: [N x K], Y: [M x N]) and
+// accumulate in INT32 (integer paths) or FP32 (floating paths), matching
+// tensor-core semantics.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout/dual_mma_layout.hpp"
+#include "core/quant/first_level.hpp"
+#include "core/quant/liquid_quant.hpp"
+#include "core/quant/qserve_quant.hpp"
+#include "core/types.hpp"
+#include "util/half.hpp"
+
+namespace liquid {
+
+/// FP32 reference: exact (up to FP32 rounding) Y = X·Wᵀ.
+MatrixF GemmReference(const MatrixF& x, const MatrixF& w);
+
+/// FP16 baseline: inputs rounded through binary16, FP32 accumulation —
+/// TRT-FP16 tensor-core semantics.
+MatrixF GemmFp16(const MatrixF& x, const MatrixF& w);
+
+// --- W8A8 (symmetric GEMM, Figure 3a) --------------------------------------
+
+struct W8A8Weights {
+  MatrixI8 q;                        ///< [N x K], full [-127,127] range
+  std::vector<float> channel_scale;  ///< [N]
+  [[nodiscard]] std::size_t StorageBytes() const {
+    return q.size() + channel_scale.size() * 4;
+  }
+};
+
+W8A8Weights QuantizeWeightsW8A8(const MatrixF& weights);
+
+/// INT8 x INT8 -> INT32 main loop; dequantization deferred to the epilogue.
+MatrixF GemmW8A8(const QuantizedActivations& x, const W8A8Weights& w);
+
+// --- W4A16 (TRT-style AWQ weight-only quantization) ------------------------
+
+struct W4A16Weights {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t group_size = 128;
+  std::vector<std::uint8_t> packed;  ///< [n * k/2], two UINT4 per byte
+  std::vector<Half> group_scale;     ///< [n * k/group_size]
+  std::vector<Half> group_zero;      ///< [n * k/group_size], zero * scale
+  [[nodiscard]] std::size_t StorageBytes() const {
+    return packed.size() + group_scale.size() * 2 + group_zero.size() * 2;
+  }
+  [[nodiscard]] float Dequant(std::size_t row, std::size_t col) const;
+};
+
+W4A16Weights QuantizeWeightsW4A16(const MatrixF& weights,
+                                  std::size_t group_size = 128);
+
+/// FP16 activations x dequantized-FP16 weights, FP32 accumulation: the
+/// asymmetric GEMM whose dequant runs on CUDA cores before every MMA.
+MatrixF GemmW4A16(const MatrixF& x, const W4A16Weights& w);
+
+// --- W4A8 -------------------------------------------------------------------
+
+/// LiquidGEMM main loop over linearly packed registers: SWAR dequant (Eq. 12)
+/// then INT8 MMA, channel/token scales in the epilogue.
+MatrixF GemmW4A8Liquid(const QuantizedActivations& x, const LqqWeights& w);
+
+/// Same numerics through the dual-MMA packed supertile layout (Section 5.2):
+/// consumes registers in SMEM order and routes each dequantized lane through
+/// the provenance map, proving the reordered layout computes the same GEMM.
+MatrixF GemmW4A8LiquidDualMma(const QuantizedActivations& x,
+                              const DualMmaPackedWeights& w);
+
+/// QServe baseline main loop: vsub4-lowered dequant then INT8 MMA.
+MatrixF GemmW4A8Qserve(const QuantizedActivations& x, const QserveWeights& w);
+
+/// Convenience: full float-in/float-out W4A8 pipeline (activation quant +
+/// LiquidGEMM).  This is the call sites' one-line entry point.
+MatrixF LiquidGemm(const MatrixF& x, const LqqWeights& w);
+
+}  // namespace liquid

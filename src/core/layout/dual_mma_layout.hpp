@@ -1,0 +1,90 @@
+#pragma once
+// Dual-MMA packed layout (paper Section 5.2, Figure 7b).
+//
+// Problem: with UINT4 elements, `ldmatrix` scatters bytes to the wrong
+// threads, and per-thread `LDS.32` loads waste half their bandwidth (each
+// thread only needs 16 bits per transaction).  LiquidGEMM instead packs, for
+// every warp-group thread, the 32 UINT4 elements that thread needs for TWO
+// consecutive k32 MMAs into one contiguous 16-byte chunk, so a single
+// `LDS.128` per thread loads everything, conflict-free, with zero address
+// arithmetic beyond `base + tid*16`.
+//
+// A layout "supertile" therefore covers 64 rows x 64 k-columns
+// (two WGMMA.m64nNk32 fragments) = 128 threads x 16 bytes = 2 KiB of SMEM.
+// Within a thread's chunk, registers are:
+//   R0 = MMA1 elements e0..e7,  R1 = MMA1 elements e8..e15,
+//   R2 = MMA2 elements e0..e7,  R3 = MMA2 elements e8..e15,
+// each in the interleaved nibble order the 3-instruction unpack expects.
+// GMEM uses the identical layout (Section 5.2: "the weight matrix in GMEM
+// follows the same layout as in SMEM"), so TMA/LDG.128 transfers are plain
+// contiguous copies — the reordering is entirely offline.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/layout/wgmma_fragment.hpp"
+#include "core/quant/liquid_quant.hpp"
+#include "util/buffer.hpp"
+
+namespace liquid {
+
+constexpr int kSupertileRows = 64;
+constexpr int kSupertileCols = 64;  ///< two k32 MMA fragments
+constexpr int kRegsPerThread = 4;   ///< 4 x 8 UINT4 = 32 elements = 16 bytes
+constexpr int kSupertileRegs = kWgThreads * kRegsPerThread;  // 512 regs = 2 KiB
+
+/// Provenance of a packed register: which (row, col) within the supertile each
+/// of its 8 nibble lanes came from (lane order = unpack order w0..w7).
+struct RegisterProvenance {
+  std::array<FragCoord, 8> lane;
+};
+
+/// Coordinates of lane `lane_idx` (0..7) of register `reg` (0..3) of thread
+/// `t` (0..127) within the 64x64 supertile.
+FragCoord DualMmaLaneCoord(int t, int reg, int lane_idx);
+
+/// Full provenance table for one supertile, indexed by flat register index
+/// (t * kRegsPerThread + reg).  Deterministic; computed once and cached by
+/// callers that stream many tiles.
+std::vector<RegisterProvenance> BuildDualMmaProvenance();
+
+/// Weights reordered into dual-MMA supertile order.
+///
+/// Supertiles are laid out row-major over the (N/64, K/64) grid; within a
+/// supertile, registers are in flat thread order.  Group parameters are
+/// untouched (they are indexed by (row, col/group) which the provenance map
+/// recovers).
+struct DualMmaPackedWeights {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t group_size = 64;
+  AlignedBuffer<std::uint32_t> regs;  ///< [ (n/64)*(k/64)*kSupertileRegs ]
+  std::vector<LqqGroupParams> group_params;  ///< same as source LqqWeights
+  std::vector<float> channel_scale;
+
+  [[nodiscard]] std::size_t TilesN() const { return n / kSupertileRows; }
+  [[nodiscard]] std::size_t TilesK() const { return k / kSupertileCols; }
+  [[nodiscard]] std::size_t GroupsPerRow() const { return k / group_size; }
+  [[nodiscard]] const LqqGroupParams& Params(std::size_t row,
+                                             std::size_t group) const {
+    return group_params[row * GroupsPerRow() + group];
+  }
+  /// Registers of one supertile, in flat thread order.
+  [[nodiscard]] std::span<const std::uint32_t> Tile(std::size_t tile_n,
+                                                    std::size_t tile_k) const {
+    const std::size_t idx = (tile_n * TilesK() + tile_k) * kSupertileRegs;
+    return {regs.data() + idx, kSupertileRegs};
+  }
+};
+
+/// Offline reorder: LqqWeights (linear register order) -> dual-MMA supertile
+/// order.  Requires n % 64 == 0 and k % 64 == 0 (padding is the caller's
+/// responsibility, matching the paper's tile-aligned weight shapes).
+DualMmaPackedWeights PackDualMma(const LqqWeights& w);
+
+/// Inverse transform, for round-trip verification: recovers the raw UINT4
+/// matrix [n x k] from the packed supertiles.
+std::vector<std::uint8_t> UnpackDualMmaToU4(const DualMmaPackedWeights& w);
+
+}  // namespace liquid

@@ -1,0 +1,116 @@
+#include "core/layout/smem_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <set>
+
+#include "core/layout/wgmma_fragment.hpp"
+
+namespace liquid {
+namespace {
+
+int PhasesFor(LdsWidth width) {
+  switch (width) {
+    case LdsWidth::kLds32: return 1;
+    case LdsWidth::kLds64: return 2;
+    case LdsWidth::kLds128: return 4;
+  }
+  return 1;
+}
+
+}  // namespace
+
+SmemAccessReport AnalyzeWarpLoad(std::span<const std::uint64_t> addrs,
+                                 LdsWidth width, int bytes_used_per_thread) {
+  assert(addrs.size() == 32);
+  const int bytes = static_cast<int>(width);
+  const int phases = PhasesFor(width);
+  const int threads_per_phase = 32 / phases;
+
+  SmemAccessReport report;
+  report.instructions = 1;
+  report.min_cycles = phases;
+  report.bytes_loaded = static_cast<std::uint64_t>(32 * bytes);
+  report.bytes_used = static_cast<std::uint64_t>(32 * bytes_used_per_thread);
+
+  for (int phase = 0; phase < phases; ++phase) {
+    // Distinct words requested per bank; same-word requests broadcast free.
+    std::array<std::set<std::uint64_t>, kSmemBanks> bank_words;
+    for (int i = 0; i < threads_per_phase; ++i) {
+      const std::uint64_t base = addrs[static_cast<std::size_t>(
+          phase * threads_per_phase + i)];
+      for (int b = 0; b < bytes; b += kSmemWordBytes) {
+        const std::uint64_t word = (base + static_cast<std::uint64_t>(b)) /
+                                   kSmemWordBytes;
+        bank_words[word % kSmemBanks].insert(word);
+      }
+    }
+    std::size_t worst = 1;
+    for (const auto& words : bank_words) {
+      worst = std::max(worst, words.size());
+    }
+    report.memory_cycles += static_cast<int>(worst);
+  }
+  return report;
+}
+
+SmemAccessReport DualMmaTileLoadCost() {
+  // One LDS.128 per thread; thread t's 16-byte chunk sits at byte t*16
+  // (Section 5.2's 1D layout: no swizzle, no address arithmetic).
+  SmemAccessReport total;
+  for (int warp = 0; warp < 4; ++warp) {
+    std::array<std::uint64_t, 32> addrs{};
+    for (int lane = 0; lane < 32; ++lane) {
+      addrs[static_cast<std::size_t>(lane)] =
+          static_cast<std::uint64_t>((warp * 32 + lane) * 16);
+    }
+    total += AnalyzeWarpLoad(addrs, LdsWidth::kLds128,
+                             /*bytes_used_per_thread=*/16);
+  }
+  return total;
+}
+
+SmemAccessReport ConventionalTileLoadCost() {
+  // Row-major 2D UINT4 supertile: 64 rows x 64 cols, row stride 32 bytes.
+  // Per MMA fragment, each thread needs 4 vectors of 4 UINT4 (2 bytes each);
+  // the narrowest usable load is LDS.32, wasting half of every transaction.
+  constexpr std::uint64_t kRowStrideBytes = 64 / 2;
+  SmemAccessReport total;
+  for (int warp = 0; warp < 4; ++warp) {
+    for (int mma = 0; mma < 2; ++mma) {
+      for (int vec = 0; vec < kVectorsPerThread; ++vec) {
+        std::array<std::uint64_t, 32> addrs{};
+        for (int lane = 0; lane < 32; ++lane) {
+          const FragCoord c = WgmmaFragmentCoord(warp * 32 + lane, vec * 4);
+          const std::uint64_t byte =
+              static_cast<std::uint64_t>(c.row) * kRowStrideBytes +
+              static_cast<std::uint64_t>(c.col + mma * kFragCols) / 2;
+          addrs[static_cast<std::size_t>(lane)] = byte & ~std::uint64_t{3};
+        }
+        total += AnalyzeWarpLoad(addrs, LdsWidth::kLds32,
+                                 /*bytes_used_per_thread=*/2);
+      }
+    }
+  }
+  return total;
+}
+
+double LdmatrixMisdeliveryFraction() {
+  // ldmatrix distributes each 16-byte row so that thread group p = lane%4
+  // receives bytes [4p, 4p+4).  With 1-byte elements that is exactly the
+  // thread's 4-element vector; with packed UINT4, those 4 bytes hold elements
+  // [8p, 8p+8) while the thread needs elements [4p, 4p+4).
+  int needed = 0;
+  int delivered_correctly = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int e = 4 * p; e < 4 * p + 4; ++e) {
+      ++needed;
+      if (e >= 8 * p && e < 8 * p + 8) ++delivered_correctly;
+    }
+  }
+  return 1.0 - static_cast<double>(delivered_correctly) /
+                   static_cast<double>(needed);
+}
+
+}  // namespace liquid

@@ -1,0 +1,78 @@
+#pragma once
+// Shared-memory transaction model (paper Section 5.2).
+//
+// Hopper SMEM has 32 banks of 4-byte words.  A warp-wide load is split into
+// phases; within a phase, requests to different words in the same bank
+// serialize (bank conflict), while requests to the same word broadcast.
+//   LDS.32  : 1 phase of 32 threads, 4 bytes each.
+//   LDS.64  : 2 phases of 16 threads.
+//   LDS.128 : 4 phases of 8 threads (each phase moves 128 B = all 32 banks).
+//
+// The model takes per-thread byte addresses, computes the number of serialized
+// memory cycles, and reports wasted bandwidth — quantifying why the dual-MMA
+// packed layout (1 conflict-free LDS.128 per thread) beats the conventional 2D
+// layout (more instructions, half the loaded bytes unused, 2-way conflicts).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace liquid {
+
+constexpr int kSmemBanks = 32;
+constexpr int kSmemWordBytes = 4;
+
+enum class LdsWidth : int {
+  kLds32 = 4,
+  kLds64 = 8,
+  kLds128 = 16,
+};
+
+struct SmemAccessReport {
+  int instructions = 0;      ///< warp-wide load instructions issued
+  int memory_cycles = 0;     ///< serialized SMEM cycles (>= phases if conflicts)
+  int min_cycles = 0;        ///< conflict-free lower bound for the same loads
+  std::uint64_t bytes_loaded = 0;  ///< bytes moved from SMEM
+  std::uint64_t bytes_used = 0;    ///< bytes the kernel actually consumes
+
+  [[nodiscard]] double ConflictFactor() const {
+    return min_cycles == 0 ? 1.0
+                           : static_cast<double>(memory_cycles) / min_cycles;
+  }
+  [[nodiscard]] double BandwidthEfficiency() const {
+    return bytes_loaded == 0 ? 1.0
+                             : static_cast<double>(bytes_used) /
+                                   static_cast<double>(bytes_loaded);
+  }
+  SmemAccessReport& operator+=(const SmemAccessReport& o) {
+    instructions += o.instructions;
+    memory_cycles += o.memory_cycles;
+    min_cycles += o.min_cycles;
+    bytes_loaded += o.bytes_loaded;
+    bytes_used += o.bytes_used;
+    return *this;
+  }
+};
+
+/// Analyzes one warp-wide load: 32 per-thread byte addresses (thread i ->
+/// addrs[i]) of `width` bytes each.  `bytes_used_per_thread` is how many of
+/// those bytes the kernel consumes (e.g. 2 of 4 for UINT4 under LDS.32).
+SmemAccessReport AnalyzeWarpLoad(std::span<const std::uint64_t> addrs,
+                                 LdsWidth width, int bytes_used_per_thread);
+
+/// Total SMEM cost for one warp group (4 warps) to load one 64x64 UINT4
+/// supertile in the dual-MMA packed layout: one LDS.128 per thread.
+SmemAccessReport DualMmaTileLoadCost();
+
+/// Same supertile through the conventional row-major 2D UINT4 layout:
+/// per MMA fragment each thread issues LDS.32 loads for its four 4-element
+/// vectors, half of every transaction wasted (Section 5.2's "one alternative").
+SmemAccessReport ConventionalTileLoadCost();
+
+/// ldmatrix on a UINT4 tile assumes 1-byte elements and scatters nibbles to
+/// the wrong threads (Figure 7a).  Returns the fraction of elements delivered
+/// to the wrong owner — demonstrating why the instruction is unusable here,
+/// not just slow.
+double LdmatrixMisdeliveryFraction();
+
+}  // namespace liquid

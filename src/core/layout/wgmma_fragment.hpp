@@ -1,0 +1,51 @@
+#pragma once
+// WGMMA fragment geometry (paper Section 5.2, Figure 7).
+//
+// Hopper's WGMMA.m64nNk32 INT8 instruction consumes a 64x32 fragment of the
+// weight matrix W distributed across the 128 threads of a warp group:
+//   * warp w (0..3) covers rows 16w .. 16w+15;
+//   * within a warp, lane l covers rows {l/4, l/4 + 8} (relative to the warp's
+//     slab) and k-columns {4*(l%4) .. +3} and {4*(l%4)+16 .. +3};
+//   * each thread therefore holds 16 elements = 4 vectors of 4 contiguous
+//     k-elements.
+// This is the standard mma.m16n8k32 A-operand layout replicated over the four
+// warps, which is how ldmatrix/WGMMA tile INT8 operands.
+
+#include <array>
+#include <cstdint>
+
+namespace liquid {
+
+struct FragCoord {
+  int row = 0;  ///< 0..63 within the 64-row fragment
+  int col = 0;  ///< 0..31 within the k32 fragment
+};
+
+constexpr int kWgThreads = 128;
+constexpr int kFragRows = 64;
+constexpr int kFragCols = 32;           ///< k extent of one INT8 WGMMA
+constexpr int kElemsPerThread = 16;     ///< per MMA operand
+constexpr int kVectorsPerThread = 4;    ///< 4 vectors of 4 contiguous elements
+
+/// Coordinates of element `e` (0..15) owned by warp-group thread `t` (0..127).
+constexpr FragCoord WgmmaFragmentCoord(int t, int e) {
+  const int warp = t / 32;
+  const int lane = t % 32;
+  const int vec = e / 4;   // 0..3
+  const int j = e % 4;     // position within the contiguous 4-vector
+  FragCoord c;
+  c.row = 16 * warp + lane / 4 + (vec >= 2 ? 8 : 0);
+  c.col = 4 * (lane % 4) + (vec % 2 == 1 ? 16 : 0) + j;
+  return c;
+}
+
+/// The 16 coordinates owned by thread `t`, in register order: the first 8
+/// elements land in one packed UINT4 register (low nibbles = vector 0, high
+/// nibbles = vector 1 after the interleaved pack), the second 8 in the next.
+constexpr std::array<FragCoord, kElemsPerThread> WgmmaThreadFragment(int t) {
+  std::array<FragCoord, kElemsPerThread> out{};
+  for (int e = 0; e < kElemsPerThread; ++e) out[static_cast<std::size_t>(e)] = WgmmaFragmentCoord(t, e);
+  return out;
+}
+
+}  // namespace liquid

@@ -1,0 +1,149 @@
+#include "core/quant/first_level.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace liquid {
+namespace {
+
+float MaxAbs(std::span<const float> values) {
+  float m = 0.0f;
+  for (const float v : values) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::int8_t ClampRound(float value, int bound) {
+  const float r = std::nearbyint(value);
+  const float clamped =
+      std::clamp(r, static_cast<float>(-bound), static_cast<float>(bound));
+  return static_cast<std::int8_t>(clamped);
+}
+
+}  // namespace
+
+FirstLevelResult QuantizeFirstLevel(const MatrixF& weights,
+                                    FirstLevelOptions options) {
+  const int bound = options.protective_range ? kProtectiveMax : 127;
+  FirstLevelResult out;
+  out.q = MatrixI8(weights.rows(), weights.cols());
+  out.channel_scale.resize(weights.rows());
+  for (std::size_t n = 0; n < weights.rows(); ++n) {
+    const float absmax = MaxAbs(weights.Row(n));
+    // A zero row quantizes to zeros with unit scale (avoids 0/0).
+    const float scale =
+        absmax > 0.0f ? absmax / static_cast<float>(bound) : 1.0f;
+    out.channel_scale[n] = scale;
+    const auto src = weights.Row(n);
+    const auto dst = out.q.Row(n);
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      dst[k] = ClampRound(src[k] / scale, bound);
+    }
+  }
+  return out;
+}
+
+MatrixF DequantizeFirstLevel(const FirstLevelResult& q) {
+  MatrixF out(q.q.rows(), q.q.cols());
+  for (std::size_t n = 0; n < q.q.rows(); ++n) {
+    const auto src = q.q.Row(n);
+    const auto dst = out.Row(n);
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      dst[k] = static_cast<float>(src[k]) * q.channel_scale[n];
+    }
+  }
+  return out;
+}
+
+std::vector<float> ComputeSmoothScale(const MatrixF& act_sample,
+                                      const MatrixF& weights, double alpha) {
+  const std::size_t k_dim = weights.cols();
+  std::vector<float> smooth(k_dim, 1.0f);
+  for (std::size_t k = 0; k < k_dim; ++k) {
+    float act_max = 0.0f;
+    for (std::size_t m = 0; m < act_sample.rows(); ++m) {
+      act_max = std::max(act_max, std::fabs(act_sample.At(m, k)));
+    }
+    float w_max = 0.0f;
+    for (std::size_t n = 0; n < weights.rows(); ++n) {
+      w_max = std::max(w_max, std::fabs(weights.At(n, k)));
+    }
+    if (act_max <= 0.0f || w_max <= 0.0f) continue;
+    const double s = std::pow(act_max, alpha) / std::pow(w_max, 1.0 - alpha);
+    if (s > 0.0 && std::isfinite(s)) smooth[k] = static_cast<float>(s);
+  }
+  return smooth;
+}
+
+void SmoothWeights(MatrixF& weights, std::span<const float> smooth) {
+  for (std::size_t n = 0; n < weights.rows(); ++n) {
+    const auto row = weights.Row(n);
+    for (std::size_t k = 0; k < row.size(); ++k) row[k] *= smooth[k];
+  }
+}
+
+void SmoothActivations(MatrixF& activations, std::span<const float> smooth) {
+  for (std::size_t m = 0; m < activations.rows(); ++m) {
+    const auto row = activations.Row(m);
+    for (std::size_t k = 0; k < row.size(); ++k) row[k] /= smooth[k];
+  }
+}
+
+double SearchSmoothAlpha(const MatrixF& act_sample, const MatrixF& weights,
+                         int group_size, std::span<const double> candidates) {
+  // Score each alpha by the INT8 reconstruction error of the smoothed
+  // weights; group_size is accepted for interface symmetry with the
+  // second-level quantizers but the first level is per-channel.
+  (void)group_size;
+  double best_alpha = 0.5;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (const double alpha : candidates) {
+    const auto smooth = ComputeSmoothScale(act_sample, weights, alpha);
+    MatrixF smoothed = weights;
+    SmoothWeights(smoothed, smooth);
+    const FirstLevelResult q = QuantizeFirstLevel(smoothed);
+    const MatrixF rec = DequantizeFirstLevel(q);
+    double err = 0.0;
+    for (std::size_t i = 0; i < rec.size(); ++i) {
+      const double d = static_cast<double>(rec.Flat()[i]) -
+                       static_cast<double>(smoothed.Flat()[i]);
+      err += d * d;
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_alpha = alpha;
+    }
+  }
+  return best_alpha;
+}
+
+QuantizedActivations QuantizeActivationsPerToken(const MatrixF& activations) {
+  QuantizedActivations out;
+  out.q = MatrixI8(activations.rows(), activations.cols());
+  out.token_scale.resize(activations.rows());
+  for (std::size_t m = 0; m < activations.rows(); ++m) {
+    const float absmax = MaxAbs(activations.Row(m));
+    const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    out.token_scale[m] = scale;
+    const auto src = activations.Row(m);
+    const auto dst = out.q.Row(m);
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      dst[k] = ClampRound(src[k] / scale, 127);
+    }
+  }
+  return out;
+}
+
+MatrixF DequantizeActivations(const QuantizedActivations& acts) {
+  MatrixF out(acts.q.rows(), acts.q.cols());
+  for (std::size_t m = 0; m < acts.q.rows(); ++m) {
+    const auto src = acts.q.Row(m);
+    const auto dst = out.Row(m);
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      dst[k] = static_cast<float>(src[k]) * acts.token_scale[m];
+    }
+  }
+  return out;
+}
+
+}  // namespace liquid

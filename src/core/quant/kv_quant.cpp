@@ -1,0 +1,105 @@
+#include "core/quant/kv_quant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liquid {
+namespace {
+
+std::int8_t ClampRoundI8(float v) {
+  return static_cast<std::int8_t>(
+      std::clamp(std::nearbyint(v), -127.0f, 127.0f));
+}
+
+}  // namespace
+
+KvInt8Params CalibrateKvInt8(std::span<const float> sample_tokens,
+                             std::size_t channels, float margin) {
+  assert(channels > 0 && sample_tokens.size() % channels == 0);
+  KvInt8Params params;
+  params.channel_scale.assign(channels, 0.0f);
+  const std::size_t tokens = sample_tokens.size() / channels;
+  for (std::size_t t = 0; t < tokens; ++t) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      params.channel_scale[c] = std::max(
+          params.channel_scale[c], std::fabs(sample_tokens[t * channels + c]));
+    }
+  }
+  for (float& s : params.channel_scale) {
+    s = s > 0.0f ? s * margin / 127.0f : 1.0f;
+  }
+  return params;
+}
+
+void QuantizeKvInt8(std::span<const float> token, const KvInt8Params& params,
+                    std::span<std::int8_t> out) {
+  assert(token.size() == params.Channels() && out.size() >= token.size());
+  for (std::size_t c = 0; c < token.size(); ++c) {
+    out[c] = ClampRoundI8(token[c] / params.channel_scale[c]);
+  }
+}
+
+void DequantizeKvInt8(std::span<const std::int8_t> token,
+                      const KvInt8Params& params, std::span<float> out) {
+  assert(token.size() == params.Channels() && out.size() >= token.size());
+  for (std::size_t c = 0; c < token.size(); ++c) {
+    out[c] = static_cast<float>(token[c]) * params.channel_scale[c];
+  }
+}
+
+KvInt4Token QuantizeKvInt4(std::span<const float> token, std::size_t heads,
+                           std::size_t head_dim) {
+  assert(token.size() == heads * head_dim && head_dim % 2 == 0);
+  KvInt4Token out;
+  out.packed.assign(heads * head_dim / 2, 0);
+  out.head_params.resize(heads);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const std::span<const float> head = token.subspan(h * head_dim, head_dim);
+    float lo = head[0];
+    float hi = head[0];
+    for (const float v : head) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    float scale = (hi - lo) / 15.0f;
+    if (scale <= 0.0f) scale = 1.0f;
+    out.head_params[h] = {scale, lo};
+    for (std::size_t d = 0; d < head_dim; ++d) {
+      const int q = static_cast<int>(
+          std::clamp(std::nearbyint((head[d] - lo) / scale), 0.0f, 15.0f));
+      std::uint8_t& byte = out.packed[(h * head_dim + d) / 2];
+      if (d % 2 == 0) {
+        byte = static_cast<std::uint8_t>((byte & 0xF0u) | q);
+      } else {
+        byte = static_cast<std::uint8_t>((byte & 0x0Fu) | (q << 4));
+      }
+    }
+  }
+  return out;
+}
+
+void DequantizeKvInt4(const KvInt4Token& token, std::size_t heads,
+                      std::size_t head_dim, std::span<float> out) {
+  assert(out.size() >= heads * head_dim);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const KvInt4HeadParams& p = token.head_params[h];
+    for (std::size_t d = 0; d < head_dim; ++d) {
+      const std::uint8_t byte = token.packed[(h * head_dim + d) / 2];
+      const std::uint8_t q = d % 2 == 0
+                                 ? static_cast<std::uint8_t>(byte & 0x0Fu)
+                                 : static_cast<std::uint8_t>(byte >> 4);
+      out[h * head_dim + d] = static_cast<float>(q) * p.scale + p.zero;
+    }
+  }
+}
+
+std::size_t KvInt8BytesPerToken(std::size_t heads, std::size_t head_dim) {
+  return heads * head_dim;  // channel scales amortize across all tokens
+}
+
+std::size_t KvInt4BytesPerToken(std::size_t heads, std::size_t head_dim) {
+  return heads * head_dim / 2 + heads * 4;  // packed nibbles + per-head s,z
+}
+
+}  // namespace liquid

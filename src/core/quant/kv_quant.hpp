@@ -1,0 +1,74 @@
+#pragma once
+// KV-cache quantization (paper Section 6).
+//
+// LiquidServe and TRT-W8A8 quantize the KV cache to INT8 with *per-channel
+// static* scales computed offline from calibration data; QServe uses 4-bit
+// KV with per-token asymmetric parameters (W4A8KV4).  Both are implemented
+// here as real kernels over [heads x head_dim] token vectors, so the paged
+// KV store (serving/paged_kv_store.hpp) holds genuinely quantized bytes and
+// attention-score error can be measured rather than assumed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace liquid {
+
+/// Offline per-channel scales for INT8 KV quantization.  A "channel" is one
+/// (head, dim) coordinate; scales are shared by every token and computed
+/// from the absmax of a calibration sample (static quantization — no
+/// runtime reduction needed, which is why serving systems prefer it).
+struct KvInt8Params {
+  std::vector<float> channel_scale;  ///< [heads * head_dim]
+
+  [[nodiscard]] std::size_t Channels() const { return channel_scale.size(); }
+};
+
+/// Calibrates channel scales from sample token vectors (concatenated rows of
+/// heads*head_dim floats).  `margin` (>= 1) widens the observed range to
+/// tolerate mild distribution shift at runtime.
+KvInt8Params CalibrateKvInt8(std::span<const float> sample_tokens,
+                             std::size_t channels, float margin = 1.05f);
+
+/// Quantizes one token vector (heads*head_dim floats) to INT8.
+void QuantizeKvInt8(std::span<const float> token, const KvInt8Params& params,
+                    std::span<std::int8_t> out);
+
+/// Dequantizes one token vector back to float.
+void DequantizeKvInt8(std::span<const std::int8_t> token,
+                      const KvInt8Params& params, std::span<float> out);
+
+// ---------------------------------------------------------------------------
+// 4-bit KV (QServe-style KV4): per-token, per-head asymmetric UINT4 with an
+// FP16-grade scale/zero pair stored next to the packed nibbles.
+// ---------------------------------------------------------------------------
+
+struct KvInt4HeadParams {
+  float scale = 1.0f;
+  float zero = 0.0f;  ///< dequant: q * scale + zero
+};
+
+struct KvInt4Token {
+  std::vector<std::uint8_t> packed;        ///< [heads * head_dim / 2]
+  std::vector<KvInt4HeadParams> head_params;  ///< [heads]
+
+  [[nodiscard]] std::size_t StorageBytes() const {
+    return packed.size() + head_params.size() * 4;  // fp16 scale+zero
+  }
+};
+
+/// Quantizes one token vector to per-head asymmetric UINT4.
+KvInt4Token QuantizeKvInt4(std::span<const float> token, std::size_t heads,
+                           std::size_t head_dim);
+
+/// Dequantizes a 4-bit token vector back to float.
+void DequantizeKvInt4(const KvInt4Token& token, std::size_t heads,
+                      std::size_t head_dim, std::span<float> out);
+
+/// Bytes per token for each scheme at given geometry (used by the memory
+/// model; matches LlmConfig::KvBytesPerTokenPerLayer up to the param
+/// sidecar).
+std::size_t KvInt8BytesPerToken(std::size_t heads, std::size_t head_dim);
+std::size_t KvInt4BytesPerToken(std::size_t heads, std::size_t head_dim);
+
+}  // namespace liquid

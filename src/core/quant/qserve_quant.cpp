@@ -1,0 +1,106 @@
+#include "core/quant/qserve_quant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/swar.hpp"
+
+namespace liquid {
+
+std::uint8_t QserveWeights::U4At(std::size_t row, std::size_t col) const {
+  const std::uint32_t reg = Register(row, col / 8);
+  const auto lanes = UnpackNibblesInterleaved(reg);
+  return lanes[col % 8];
+}
+
+QserveWeights QuantizeSecondLevelQserve(const FirstLevelResult& first,
+                                        QserveOptions options) {
+  const std::size_t n = first.q.rows();
+  const std::size_t k = first.q.cols();
+  const std::size_t g = options.group_size;
+  assert(g % 8 == 0 && k % g == 0);
+
+  QserveWeights out;
+  out.n = n;
+  out.k = k;
+  out.group_size = g;
+  out.packed.Resize(n * k / 8);
+  out.group_params.resize(n * (k / g));
+  out.channel_scale = first.channel_scale;
+
+  const std::size_t groups_per_row = k / g;
+  for (std::size_t row = 0; row < n; ++row) {
+    const auto src = first.q.Row(row);
+    for (std::size_t gi = 0; gi < groups_per_row; ++gi) {
+      int gmin = 127;
+      int gmax = -128;
+      for (std::size_t j = 0; j < g; ++j) {
+        const int v = src[gi * g + j];
+        gmin = std::min(gmin, v);
+        gmax = std::max(gmax, v);
+      }
+      const std::uint32_t range = static_cast<std::uint32_t>(gmax - gmin);
+      const std::uint8_t scale =
+          range == 0 ? std::uint8_t{1}
+                     : static_cast<std::uint8_t>((range + 14) / 15);
+      // Zero point: the UINT4 code that maps to INT8 value ~gmin.
+      // z = round(-gmin / s), clamped to [0, 15].
+      const int z_raw = static_cast<int>(
+          std::nearbyint(-static_cast<double>(gmin) / scale));
+      const std::uint8_t zero =
+          static_cast<std::uint8_t>(std::clamp(z_raw, 0, 15));
+
+      QserveGroupParams& params = out.group_params[row * groups_per_row + gi];
+      params.scale = scale;
+      params.zero = zero;
+      params.zero_scaled = static_cast<std::uint8_t>(zero * scale);
+
+      for (std::size_t r = 0; r < g / 8; ++r) {
+        std::array<std::uint8_t, 8> lanes{};
+        for (std::size_t j = 0; j < 8; ++j) {
+          const int q_i8 = src[gi * g + r * 8 + j];
+          // Asymmetric quantization: q_u4 = round(q / s) + z.
+          const int q = static_cast<int>(std::nearbyint(
+                            static_cast<double>(q_i8) / scale)) +
+                        zero;
+          lanes[j] = static_cast<std::uint8_t>(std::clamp(q, 0, 15));
+        }
+        const std::size_t reg_index = row * (k / 8) + (gi * g) / 8 + r;
+        out.packed[reg_index] = PackNibblesInterleaved(lanes);
+      }
+    }
+  }
+  return out;
+}
+
+QserveWeights QuantizeWeightsQserve(const MatrixF& weights,
+                                    QserveOptions options) {
+  return QuantizeSecondLevelQserve(QuantizeFirstLevel(weights), options);
+}
+
+MatrixI8 DequantizeSecondLevelReferenceQserve(const QserveWeights& w) {
+  MatrixI8 out(w.n, w.k);
+  for (std::size_t row = 0; row < w.n; ++row) {
+    for (std::size_t col = 0; col < w.k; ++col) {
+      const QserveGroupParams& p = w.Params(row, col / w.group_size);
+      out.At(row, col) =
+          QserveDequantElement(w.U4At(row, col), p.scale, p.zero_scaled);
+    }
+  }
+  return out;
+}
+
+MatrixF DequantizeWeightsQserve(const QserveWeights& w) {
+  const MatrixI8 i8 = DequantizeSecondLevelReferenceQserve(w);
+  MatrixF out(w.n, w.k);
+  for (std::size_t row = 0; row < w.n; ++row) {
+    for (std::size_t col = 0; col < w.k; ++col) {
+      out.At(row, col) =
+          static_cast<float>(i8.At(row, col)) * w.channel_scale[row];
+    }
+  }
+  return out;
+}
+
+}  // namespace liquid

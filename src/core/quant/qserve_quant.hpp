@@ -1,0 +1,87 @@
+#pragma once
+// QServe-style second-level quantization — the baseline LiquidQuant is
+// measured against (paper Sections 3.2 and 4).
+//
+// QServe [Lin et al. 2024] quantizes the first-level INT8 tensor directly to
+// UINT4 around a per-group zero point (standard asymmetric quantization,
+// Eq. 1), and dequantizes with "subtraction after multiplication":
+//
+//     Q^_i8 = Q_u4 * s_i8 - s_i8 * z_i8.
+//
+// The multiplication stays in UINT8 (progressive/protective range), but the
+// subtraction can cross zero, so it cannot be fused into a 32-bit packed
+// operation: the borrow of one byte lane would corrupt its neighbour.  QServe
+// therefore falls back to `vsub4`-style packed byte arithmetic, which is not a
+// native Hopper instruction and lowers to a dozen-odd logic/ALU ops — the
+// overhead LiquidQuant's XOR trick removes.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quant/first_level.hpp"
+#include "core/types.hpp"
+#include "util/buffer.hpp"
+
+namespace liquid {
+
+/// Per-group parameters for the QServe scheme.
+struct QserveGroupParams {
+  std::uint8_t scale = 1;       ///< s_i8, in [1, 16]
+  std::uint8_t zero = 0;        ///< z_i8, in [0, 15]
+  std::uint8_t zero_scaled = 0; ///< s_i8 * z_i8, precomputed (<= 240)
+};
+
+/// Packed QServe weight tensor; register layout identical to LqqWeights so the
+/// two schemes share the unpack path and the SMEM layout machinery.
+struct QserveWeights {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t group_size = 128;  ///< QServe's default group size
+  AlignedBuffer<std::uint32_t> packed;          ///< [n * k/8]
+  std::vector<QserveGroupParams> group_params;  ///< [n * k/group_size]
+  std::vector<float> channel_scale;             ///< [n]
+
+  [[nodiscard]] std::size_t RegistersPerRow() const { return k / 8; }
+  [[nodiscard]] std::size_t GroupsPerRow() const { return k / group_size; }
+  [[nodiscard]] const QserveGroupParams& Params(std::size_t row,
+                                                std::size_t group) const {
+    return group_params[row * GroupsPerRow() + group];
+  }
+  [[nodiscard]] std::uint32_t Register(std::size_t row, std::size_t reg) const {
+    return packed[row * RegistersPerRow() + reg];
+  }
+  [[nodiscard]] std::uint8_t U4At(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] std::size_t StorageBytes() const {
+    return packed.size() * 4 + group_params.size() * 2 +
+           channel_scale.size() * 4;
+  }
+};
+
+struct QserveOptions {
+  std::size_t group_size = 128;
+};
+
+/// Second level: INT8 (protective range) -> packed UINT4 with zero points.
+QserveWeights QuantizeSecondLevelQserve(const FirstLevelResult& first,
+                                        QserveOptions options = {});
+
+/// Full two-level pipeline: FP32 weights -> QserveWeights.
+QserveWeights QuantizeWeightsQserve(const MatrixF& weights,
+                                    QserveOptions options = {});
+
+/// Scalar reference dequantization: q_u4 * s - s*z, computed exactly.
+MatrixI8 DequantizeSecondLevelReferenceQserve(const QserveWeights& w);
+
+/// Full dequantization back to float.
+MatrixF DequantizeWeightsQserve(const QserveWeights& w);
+
+/// Scalar dequant of one element (subtraction after multiplication).
+inline std::int8_t QserveDequantElement(std::uint8_t q_u4, std::uint8_t s,
+                                        std::uint8_t zero_scaled) {
+  const int v = static_cast<int>(q_u4) * static_cast<int>(s) -
+                static_cast<int>(zero_scaled);
+  return static_cast<std::int8_t>(v);  // in [-240, 240] -> wraps like hardware
+}
+
+}  // namespace liquid

@@ -1,0 +1,91 @@
+#pragma once
+// Shared tensor types for the LiquidGEMM core library.
+//
+// Convention (matches the paper, Figure 2): the GEMM computes Y = X·Wᵀ with
+//   X: [M x K]  activations, row-major (one row per token),
+//   W: [N x K]  weights, row-major (one row per output channel),
+//   Y: [M x N]  output, row-major.
+// K is the reduction dimension; group-wise quantization groups run along K.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace liquid {
+
+/// Dense row-major matrix with owned storage.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  T& At(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& At(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  T& operator()(std::size_t r, std::size_t c) { return At(r, c); }
+  const T& operator()(std::size_t r, std::size_t c) const { return At(r, c); }
+
+  std::span<T> Row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> Row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> Flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> Flat() const { return {data_.data(), data_.size()}; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixI8 = Matrix<std::int8_t>;
+
+/// GEMM problem shape (paper notation).
+struct GemmShape {
+  std::size_t m = 0;  ///< batch/token dimension
+  std::size_t n = 0;  ///< output channels
+  std::size_t k = 0;  ///< reduction dimension
+
+  [[nodiscard]] double Macs() const {
+    return static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+  /// Two ops (mul + add) per MAC, the convention used in the paper's Eq. 4.
+  [[nodiscard]] double Ops() const { return 2.0 * Macs(); }
+};
+
+/// INT8 activations with per-token (per-row) symmetric scales, produced by
+/// the SmoothQuant-style on-the-fly activation quantization (Section 6).
+struct QuantizedActivations {
+  MatrixI8 q;                      ///< [M x K]
+  std::vector<float> token_scale;  ///< [M]; x ≈ q * token_scale[row]
+};
+
+constexpr int kProtectiveMax = 119;  ///< QServe/LQQ protective INT8 range bound.
+
+}  // namespace liquid

@@ -1,0 +1,88 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace liquid::model {
+
+PrecisionConfig PrecisionConfig::Fp16(const HardwareSpec& hw) {
+  return {"FP16", 16, 16, hw.tc_fp16_ops, 0};
+}
+PrecisionConfig PrecisionConfig::W8A8(const HardwareSpec& hw) {
+  return {"W8A8", 8, 8, hw.tc_int8_ops, 0};
+}
+PrecisionConfig PrecisionConfig::Fp8(const HardwareSpec& hw) {
+  return {"FP8", 8, 8, hw.tc_fp8_ops > 0 ? hw.tc_fp8_ops : hw.tc_int8_ops, 0};
+}
+PrecisionConfig PrecisionConfig::W4A16(const HardwareSpec& hw, double alpha) {
+  return {"W4A16", 4, 16, hw.tc_fp16_ops, alpha};
+}
+PrecisionConfig PrecisionConfig::W4A8(const HardwareSpec& hw, double alpha) {
+  return {"W4A8", 4, 8, hw.tc_int8_ops, alpha};
+}
+PrecisionConfig PrecisionConfig::W4A4(const HardwareSpec& hw) {
+  // INT4 tensor cores; unsupported on Hopper (mma_ops == 0 signals NA).
+  return {"W4A4", 4, 4, hw.tc_int4_ops, 0};
+}
+
+CostBreakdown PredictGemm(const HardwareSpec& hw, const PrecisionConfig& cfg,
+                          const GemmShape& shape, CostModelOptions opt) {
+  CostBreakdown out;
+  const double nk =
+      static_cast<double>(shape.n) * static_cast<double>(shape.k);
+  const double m = static_cast<double>(std::max<std::size_t>(1, shape.m));
+  const double mt = static_cast<double>(opt.tile_m);
+  const double m_tiles = std::ceil(m / mt);
+  const double eff_rows = std::min(mt, m);
+
+  out.t_load = nk * (cfg.weight_bits / 8.0) / hw.mem_bw_bytes;
+  out.t_dequant = cfg.alpha * nk / hw.cuda_int32_ops;
+  out.t_mma = eff_rows * 2.0 * nk / cfg.mma_ops;
+  const double compute = out.t_dequant + out.t_mma;
+  out.memory_bound = out.t_load >= compute;
+  out.total = m_tiles * std::max(out.t_load, compute);
+  return out;
+}
+
+double TransitionBatchSize(const HardwareSpec& hw,
+                           const PrecisionConfig& cfg) {
+  return cfg.mma_ops * (cfg.weight_bits / 8.0) / (2.0 * hw.mem_bw_bytes);
+}
+
+double AlphaBudgetMemoryBound(const HardwareSpec& hw,
+                              const PrecisionConfig& cfg) {
+  return hw.cuda_int32_ops * (cfg.weight_bits / 8.0) / hw.mem_bw_bytes;
+}
+
+double AlphaBudgetComputeBound(const HardwareSpec& hw,
+                               const PrecisionConfig& cfg, double batch,
+                               double tile_m) {
+  return 2.0 * std::min(tile_m, batch) * hw.cuda_int32_ops / cfg.mma_ops;
+}
+
+std::vector<RooflinePoint> RooflineCurve(const HardwareSpec& hw,
+                                         const PrecisionConfig& cfg,
+                                         double max_intensity, int samples) {
+  std::vector<RooflinePoint> curve;
+  curve.reserve(static_cast<std::size_t>(samples));
+  // Bandwidth expressed in weight *elements* per second, matching the
+  // paper's "OPs/Element" intensity axis.
+  const double elem_bw = hw.mem_bw_bytes / (cfg.weight_bits / 8.0);
+  for (int i = 0; i < samples; ++i) {
+    const double ai =
+        max_intensity * static_cast<double>(i + 1) / samples;
+    RooflinePoint p;
+    p.arithmetic_intensity = ai;
+    p.attainable_ops = std::min(cfg.mma_ops, ai * elem_bw);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double RooflineKneeIntensity(const HardwareSpec& hw,
+                             const PrecisionConfig& cfg) {
+  const double elem_bw = hw.mem_bw_bytes / (cfg.weight_bits / 8.0);
+  return cfg.mma_ops / elem_bw;
+}
+
+}  // namespace liquid::model

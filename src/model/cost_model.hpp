@@ -1,0 +1,94 @@
+#pragma once
+// Analytical cost model of pipelined W4A8 GEMM execution (paper Section 3.2,
+// Equations 3–6) and the design-space implications of Section 3.3.
+//
+// The model predicts GEMM time from five quantities: memory bandwidth,
+// CUDA-core throughput, tensor-core throughput for the MMA dtype, the weight
+// bit width, and the per-element dequantization instruction cost alpha:
+//
+//   T = ceil(M / Mt) * max( N*K / Phi_BD,
+//                           alpha*N*K / Phi_CUDA + min(Mt,M)*2*N*K / Phi_TC )
+//
+// It is deliberately simpler than the discrete-event simulator in simgpu —
+// it has no pipeline structure — and is used for the roofline analysis
+// (Figure 1c), the memory/compute transition thresholds (batch 150/300 on
+// H100), and the alpha budget (alpha <= ~5 for full overlap).
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "simgpu/hardware.hpp"
+
+namespace liquid::model {
+
+using simgpu::HardwareSpec;
+
+/// Precision configuration for the analytical model.
+struct PrecisionConfig {
+  std::string name;
+  double weight_bits = 4;
+  double act_bits = 8;
+  double mma_ops = 0;   ///< device tensor-core ops/s for the MMA dtype
+  double alpha = 0;     ///< dequant instructions per weight element
+
+  static PrecisionConfig Fp16(const HardwareSpec& hw);
+  static PrecisionConfig W8A8(const HardwareSpec& hw);
+  static PrecisionConfig Fp8(const HardwareSpec& hw);
+  static PrecisionConfig W4A16(const HardwareSpec& hw, double alpha = 1.5);
+  static PrecisionConfig W4A8(const HardwareSpec& hw, double alpha);
+  static PrecisionConfig W4A4(const HardwareSpec& hw);
+};
+
+/// Eq. 6 decomposition for one GEMM.
+struct CostBreakdown {
+  double t_load = 0;     ///< N*K*bytes / Phi_BD           (T_LD)
+  double t_dequant = 0;  ///< alpha*N*K / Phi_CUDA         (T_DQ)
+  double t_mma = 0;      ///< min(Mt,M)*2*N*K / Phi_TC     (T_MMA)
+  double total = 0;      ///< ceil(M/Mt) * max(T_LD, T_DQ + T_MMA)
+  bool memory_bound = false;
+};
+
+struct CostModelOptions {
+  std::size_t tile_m = 256;  ///< maximum batch-side tile
+};
+
+CostBreakdown PredictGemm(const HardwareSpec& hw, const PrecisionConfig& cfg,
+                          const GemmShape& shape, CostModelOptions opt = {});
+
+/// Batch size at which the kernel transitions from memory- to compute-bound
+/// (T_LD == T_MMA with dequant overlapped): M* = Phi_TC * bytes / (2*Phi_BD).
+/// Paper: 150 for W4A8 / 300 for W8A8 on H100; 156 for W8A8 on A100.
+double TransitionBatchSize(const HardwareSpec& hw, const PrecisionConfig& cfg);
+
+/// Maximum per-element dequant cost alpha that still hides behind loading in
+/// the memory-bound regime (T_DQ <= T_LD): Phi_CUDA * bytes / Phi_BD.
+/// Paper: alpha <= 5.07 on H100 for W4.
+double AlphaBudgetMemoryBound(const HardwareSpec& hw,
+                              const PrecisionConfig& cfg);
+
+/// Alpha budget in the compute-bound regime at batch M (T_DQ <= T_MMA):
+/// 2 * min(Mt, M) * Phi_CUDA / Phi_TC.  Paper: alpha <= 5.05 at M = 150.
+double AlphaBudgetComputeBound(const HardwareSpec& hw,
+                               const PrecisionConfig& cfg, double batch,
+                               double tile_m = 256);
+
+// --- Roofline (Figure 1c) ---------------------------------------------------
+
+struct RooflinePoint {
+  double arithmetic_intensity = 0;  ///< ops per weight element loaded
+  double attainable_ops = 0;        ///< min(peak, AI * BW_elements)
+};
+
+/// Attainable throughput curve for a precision config on given hardware.
+/// Arithmetic intensity for GEMM layers is 2*min(Mt,M) ops per weight element
+/// (Section 3.2), so each batch size maps to a point on this curve.
+std::vector<RooflinePoint> RooflineCurve(const HardwareSpec& hw,
+                                         const PrecisionConfig& cfg,
+                                         double max_intensity, int samples);
+
+/// The intensity at which the roofline bends (compute = bandwidth).
+double RooflineKneeIntensity(const HardwareSpec& hw,
+                             const PrecisionConfig& cfg);
+
+}  // namespace liquid::model

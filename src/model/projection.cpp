@@ -1,0 +1,48 @@
+#include "model/projection.hpp"
+
+#include "util/strings.hpp"
+
+namespace liquid::model {
+
+std::vector<GenerationSpec> ProjectGenerations(int future_parts,
+                                               double compute_growth,
+                                               double bw_growth) {
+  std::vector<GenerationSpec> out;
+  // Published datacenter parts (dense INT8 tensor ops, HBM bandwidth).
+  out.push_back({"V100", 125e12 /*no INT8 TC: FP16 rate*/, 0.9e12});
+  out.push_back({"A100", 624e12, 2.0e12});
+  out.push_back({"H100", 1978.9e12, 3.3e12});
+  GenerationSpec last = out.back();
+  for (int i = 1; i <= future_parts; ++i) {
+    GenerationSpec next;
+    next.name = Format("gen+%d", i);
+    next.int8_ops = last.int8_ops * compute_growth;
+    next.mem_bw = last.mem_bw * bw_growth;
+    out.push_back(next);
+    last = next;
+  }
+  return out;
+}
+
+std::vector<TransitionPoint> TransitionTrend(
+    const std::vector<GenerationSpec>& generations) {
+  std::vector<TransitionPoint> out;
+  double a100_w8 = 0;
+  for (const GenerationSpec& g : generations) {
+    TransitionPoint p;
+    p.generation = g.name;
+    p.w8a8_batch = g.int8_ops * 1.0 / (2.0 * g.mem_bw);
+    p.w4a8_batch = g.int8_ops * 0.5 / (2.0 * g.mem_bw);
+    if (g.name == "A100") a100_w8 = p.w8a8_batch;
+    p.ratio_vs_a100 = a100_w8 > 0 ? p.w8a8_batch / a100_w8 : 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double KvBytesToSaturate(double transition_batch, double seq_len,
+                         double kv_bytes_per_token) {
+  return transition_batch * seq_len * kv_bytes_per_token;
+}
+
+}  // namespace liquid::model

@@ -1,0 +1,47 @@
+#pragma once
+// Hardware-trend projection (paper Section 3.3, "Implication on LLM
+// Serving"): tensor-core throughput is improving faster than memory
+// bandwidth, pushing the memory-to-compute transition to ever larger batch
+// sizes — W8A8 moved from batch 156 (A100) to 300 (H100) — while W4A8 cuts
+// the threshold in half on every generation.  This module projects that
+// trend over synthetic future parts and quantifies the batch-size (and
+// therefore latency/KV-memory) relief that W4A8 buys.
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.hpp"
+
+namespace liquid::model {
+
+struct GenerationSpec {
+  std::string name;
+  double int8_ops = 0;   ///< tensor-core INT8 ops/s
+  double mem_bw = 0;     ///< bytes/s
+};
+
+/// The published trajectory plus extrapolated generations: each future part
+/// multiplies compute by `compute_growth` and bandwidth by `bw_growth`.
+std::vector<GenerationSpec> ProjectGenerations(int future_parts,
+                                               double compute_growth,
+                                               double bw_growth);
+
+struct TransitionPoint {
+  std::string generation;
+  double w8a8_batch = 0;   ///< memory->compute transition batch, W8A8
+  double w4a8_batch = 0;   ///< same, W4A8 (always half)
+  double ratio_vs_a100 = 0;  ///< growth of the W8A8 threshold vs A100
+};
+
+/// Transition batch size per generation: M* = ops * bytes_per_elem / (2*BW).
+std::vector<TransitionPoint> TransitionTrend(
+    const std::vector<GenerationSpec>& generations);
+
+/// KV-cache bytes needed to *reach* the compute-bound regime for a model at
+/// a given sequence length: transition_batch * seq_len * kv_bytes_per_token.
+/// The paper's operational point: smaller transition batches mean less KV
+/// memory pinned just to saturate the GPU.
+double KvBytesToSaturate(double transition_batch, double seq_len,
+                         double kv_bytes_per_token);
+
+}  // namespace liquid::model

@@ -1,0 +1,96 @@
+#include "serving/kv_cache.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace liquid::serving {
+
+KvBlockManager::KvBlockManager(std::size_t total_blocks,
+                               std::size_t block_tokens)
+    : block_tokens_(block_tokens), ref_counts_(total_blocks, 0) {
+  assert(block_tokens > 0);
+  free_list_.resize(total_blocks);
+  // LIFO free list: allocate low block ids first for determinism.
+  std::iota(free_list_.rbegin(), free_list_.rend(), std::size_t{0});
+}
+
+std::optional<std::size_t> KvBlockManager::AllocBlock() {
+  if (free_list_.empty()) return std::nullopt;
+  const std::size_t block = free_list_.back();
+  free_list_.pop_back();
+  ref_counts_[block] = 1;
+  return block;
+}
+
+void KvBlockManager::ReleaseBlock(std::size_t block) {
+  assert(ref_counts_[block] > 0);
+  if (--ref_counts_[block] == 0) free_list_.push_back(block);
+}
+
+bool KvBlockManager::AddSequence(SeqId id, std::size_t prompt_tokens) {
+  if (sequences_.contains(id)) return false;
+  const std::size_t need = BlocksNeeded(prompt_tokens);
+  if (!CanAllocate(need)) return false;
+  Sequence seq;
+  seq.tokens = prompt_tokens;
+  seq.blocks.reserve(need);
+  for (std::size_t i = 0; i < need; ++i) {
+    seq.blocks.push_back(*AllocBlock());  // guaranteed by CanAllocate
+  }
+  sequences_.emplace(id, std::move(seq));
+  return true;
+}
+
+bool KvBlockManager::AppendToken(SeqId id) {
+  auto it = sequences_.find(id);
+  if (it == sequences_.end()) return false;
+  Sequence& seq = it->second;
+
+  const bool needs_block = seq.tokens % block_tokens_ == 0 || seq.blocks.empty();
+  if (needs_block) {
+    const auto block = AllocBlock();
+    if (!block) return false;
+    seq.blocks.push_back(*block);
+  } else {
+    // Writing into the tail block: if it is shared (forked), copy-on-write.
+    const std::size_t tail = seq.blocks.back();
+    if (ref_counts_[tail] > 1) {
+      const auto copy = AllocBlock();
+      if (!copy) return false;
+      ReleaseBlock(tail);
+      seq.blocks.back() = *copy;
+      ++cow_count_;
+    }
+  }
+  ++seq.tokens;
+  return true;
+}
+
+bool KvBlockManager::Fork(SeqId parent, SeqId child) {
+  auto it = sequences_.find(parent);
+  if (it == sequences_.end() || sequences_.contains(child)) return false;
+  Sequence copy = it->second;
+  for (const std::size_t block : copy.blocks) ++ref_counts_[block];
+  sequences_.emplace(child, std::move(copy));
+  return true;
+}
+
+void KvBlockManager::Free(SeqId id) {
+  auto it = sequences_.find(id);
+  if (it == sequences_.end()) return;
+  for (const std::size_t block : it->second.blocks) ReleaseBlock(block);
+  sequences_.erase(it);
+}
+
+std::size_t KvBlockManager::SequenceTokens(SeqId id) const {
+  const auto it = sequences_.find(id);
+  return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+const std::vector<std::size_t>& KvBlockManager::BlockTable(SeqId id) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = sequences_.find(id);
+  return it == sequences_.end() ? kEmpty : it->second.blocks;
+}
+
+}  // namespace liquid::serving

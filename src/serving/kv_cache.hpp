@@ -1,0 +1,78 @@
+#pragma once
+// PagedAttention-style KV-cache block manager (paper Section 6; Kwon et al.,
+// SOSP'23).  A real allocator, not a byte counter: fixed-size token blocks,
+// per-sequence block tables, reference-counted sharing (prefix forking) with
+// copy-on-write on append, and exact accounting the serving engine uses to
+// decide the out-of-memory points of Table 1.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace liquid::serving {
+
+using SeqId = std::uint64_t;
+
+class KvBlockManager {
+ public:
+  /// `total_blocks` physical blocks, each holding `block_tokens` tokens.
+  KvBlockManager(std::size_t total_blocks, std::size_t block_tokens);
+
+  /// Registers a new sequence with `prompt_tokens` tokens; allocates
+  /// ceil(prompt/block) blocks.  Returns false (and allocates nothing) if the
+  /// pool cannot satisfy it.
+  bool AddSequence(SeqId id, std::size_t prompt_tokens);
+
+  /// Appends one generated token; allocates a fresh block on a block
+  /// boundary, or copy-on-writes a shared tail block.  Returns false on OOM
+  /// (sequence state is unchanged).
+  bool AppendToken(SeqId id);
+
+  /// Forks `child` from `parent` (beam search / prefix sharing): the child
+  /// shares all parent blocks, bumping reference counts.  O(blocks).
+  bool Fork(SeqId parent, SeqId child);
+
+  /// Releases a sequence; blocks with refcount hitting zero return to the
+  /// free list.
+  void Free(SeqId id);
+
+  [[nodiscard]] std::size_t total_blocks() const { return ref_counts_.size(); }
+  [[nodiscard]] std::size_t free_blocks() const { return free_list_.size(); }
+  [[nodiscard]] std::size_t used_blocks() const {
+    return total_blocks() - free_blocks();
+  }
+  [[nodiscard]] std::size_t block_tokens() const { return block_tokens_; }
+  [[nodiscard]] bool HasSequence(SeqId id) const {
+    return sequences_.contains(id);
+  }
+  [[nodiscard]] std::size_t SequenceTokens(SeqId id) const;
+  [[nodiscard]] const std::vector<std::size_t>& BlockTable(SeqId id) const;
+  /// Blocks a new sequence of `tokens` tokens would need.
+  [[nodiscard]] std::size_t BlocksNeeded(std::size_t tokens) const {
+    return (tokens + block_tokens_ - 1) / block_tokens_;
+  }
+  [[nodiscard]] bool CanAllocate(std::size_t blocks) const {
+    return free_blocks() >= blocks;
+  }
+  /// Copy-on-write events triggered so far (observability for tests).
+  [[nodiscard]] std::size_t cow_count() const { return cow_count_; }
+
+ private:
+  struct Sequence {
+    std::vector<std::size_t> blocks;
+    std::size_t tokens = 0;
+  };
+
+  std::optional<std::size_t> AllocBlock();
+  void ReleaseBlock(std::size_t block);
+
+  std::size_t block_tokens_;
+  std::vector<std::uint32_t> ref_counts_;
+  std::vector<std::size_t> free_list_;
+  std::unordered_map<SeqId, Sequence> sequences_;
+  std::size_t cow_count_ = 0;
+};
+
+}  // namespace liquid::serving

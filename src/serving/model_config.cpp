@@ -1,0 +1,79 @@
+#include "serving/model_config.hpp"
+
+#include <algorithm>
+
+namespace liquid::serving {
+
+std::vector<simgpu::GemmCall> LlmConfig::LayerGemms(std::size_t batch) const {
+  std::vector<simgpu::GemmCall> calls;
+  const std::size_t h = static_cast<std::size_t>(hidden);
+  // Attention projection width: heads * head_dim.  Equal to `hidden` for the
+  // full models, smaller for tensor-parallel shards.
+  const std::size_t q_dim =
+      static_cast<std::size_t>(heads) * static_cast<std::size_t>(head_dim);
+  const std::size_t kv_dim =
+      static_cast<std::size_t>(kv_heads) * static_cast<std::size_t>(head_dim);
+  const std::size_t ffn = static_cast<std::size_t>(ffn_intermediate);
+
+  // Fused QKV projection: [q_dim + 2*kv_dim] x h.
+  calls.push_back({GemmShape{batch, q_dim + 2 * kv_dim, h}, 1});
+  // Output projection: [h] x q_dim.
+  calls.push_back({GemmShape{batch, h, q_dim}, 1});
+
+  if (experts <= 1) {
+    // Dense gated FFN: fused gate+up, then down.
+    calls.push_back({GemmShape{batch, 2 * ffn, h}, 1});
+    calls.push_back({GemmShape{batch, h, ffn}, 1});
+  } else {
+    // MoE: each token visits experts_per_token experts; with balanced
+    // routing every expert sees batch * top_k / experts tokens.
+    const std::size_t tokens_per_expert = std::max<std::size_t>(
+        1, batch * static_cast<std::size_t>(experts_per_token) /
+               static_cast<std::size_t>(experts));
+    calls.push_back({GemmShape{tokens_per_expert, 2 * ffn, h}, experts});
+    calls.push_back({GemmShape{tokens_per_expert, h, ffn}, experts});
+  }
+  return calls;
+}
+
+double LlmConfig::GemmWeightsPerLayer() const {
+  const double h = hidden;
+  const double q_dim = static_cast<double>(heads) * head_dim;
+  const double kv_dim = static_cast<double>(kv_heads) * head_dim;
+  const double ffn = ffn_intermediate;
+  const double attn = (q_dim + 2.0 * kv_dim) * h + h * q_dim;
+  const double ffn_weights = 3.0 * ffn * h * std::max(1, experts);
+  return attn + ffn_weights;
+}
+
+LlmConfig LlmConfig::Llama1_30B() {
+  return {"LLaMA1-30B", 60, 6656, 52, 52, 128, 17920, 32000, 1, 1};
+}
+LlmConfig LlmConfig::Llama2_7B() {
+  return {"LLaMA2-7B", 32, 4096, 32, 32, 128, 11008, 32000, 1, 1};
+}
+LlmConfig LlmConfig::Llama2_13B() {
+  return {"LLaMA2-13B", 40, 5120, 40, 40, 128, 13824, 32000, 1, 1};
+}
+LlmConfig LlmConfig::Llama2_70B() {
+  return {"LLaMA2-70B", 80, 8192, 64, 8, 128, 28672, 32000, 1, 1};
+}
+LlmConfig LlmConfig::Llama3_8B() {
+  return {"LLaMA3-8B", 32, 4096, 32, 8, 128, 14336, 128256, 1, 1};
+}
+LlmConfig LlmConfig::Mistral_7B() {
+  return {"Mistral-7B", 32, 4096, 32, 8, 128, 14336, 32000, 1, 1};
+}
+LlmConfig LlmConfig::Yi_34B() {
+  return {"Yi-34B", 60, 7168, 56, 8, 128, 20480, 64000, 1, 1};
+}
+LlmConfig LlmConfig::Mixtral_8x7B() {
+  return {"Mixtral-8x7B", 32, 4096, 32, 8, 128, 14336, 32000, 8, 2};
+}
+
+std::vector<LlmConfig> LlmConfig::PaperModels() {
+  return {Llama1_30B(), Llama2_7B(),  Llama2_13B(), Llama2_70B(),
+          Llama3_8B(),  Mistral_7B(), Yi_34B(),     Mixtral_8x7B()};
+}
+
+}  // namespace liquid::serving

@@ -1,0 +1,74 @@
+#include "serving/paged_kv_store.hpp"
+
+#include <cassert>
+
+namespace liquid::serving {
+
+PagedKvStore::PagedKvStore(std::size_t total_blocks, std::size_t block_tokens,
+                           std::size_t heads, std::size_t head_dim,
+                           KvInt8Params k_params, KvInt8Params v_params)
+    : manager_(total_blocks, block_tokens),
+      block_tokens_(block_tokens),
+      channels_(heads * head_dim),
+      k_params_(std::move(k_params)),
+      v_params_(std::move(v_params)),
+      storage_(total_blocks * block_tokens * 2 * heads * head_dim, 0) {
+  assert(k_params_.Channels() == channels_);
+  assert(v_params_.Channels() == channels_);
+}
+
+bool PagedKvStore::AddSequence(SeqId id) {
+  return manager_.AddSequence(id, 0);
+}
+
+std::int8_t* PagedKvStore::TokenSlot(SeqId id, std::size_t token,
+                                     bool value_half) {
+  const auto& table = manager_.BlockTable(id);
+  const std::size_t block = table[token / block_tokens_];
+  const std::size_t slot = token % block_tokens_;
+  const std::size_t base =
+      (block * block_tokens_ + slot) * 2 * channels_ +
+      (value_half ? channels_ : 0);
+  return storage_.data() + base;
+}
+
+const std::int8_t* PagedKvStore::TokenSlot(SeqId id, std::size_t token,
+                                           bool value_half) const {
+  return const_cast<PagedKvStore*>(this)->TokenSlot(id, token, value_half);
+}
+
+bool PagedKvStore::AppendToken(SeqId id, std::span<const float> k,
+                               std::span<const float> v) {
+  assert(k.size() == channels_ && v.size() == channels_);
+  if (!manager_.HasSequence(id)) return false;
+  const std::size_t index = manager_.SequenceTokens(id);
+  if (!manager_.AppendToken(id)) return false;
+  QuantizeKvInt8(k, k_params_, {TokenSlot(id, index, false), channels_});
+  QuantizeKvInt8(v, v_params_, {TokenSlot(id, index, true), channels_});
+  return true;
+}
+
+void PagedKvStore::ReadToken(SeqId id, std::size_t token_index,
+                             std::span<float> out_k,
+                             std::span<float> out_v) const {
+  assert(token_index < manager_.SequenceTokens(id));
+  DequantizeKvInt8({TokenSlot(id, token_index, false), channels_}, k_params_,
+                   out_k);
+  DequantizeKvInt8({TokenSlot(id, token_index, true), channels_}, v_params_,
+                   out_v);
+}
+
+void PagedKvStore::GatherSequence(SeqId id, std::vector<float>& out_k,
+                                  std::vector<float>& out_v) const {
+  const std::size_t tokens = manager_.SequenceTokens(id);
+  out_k.resize(tokens * channels_);
+  out_v.resize(tokens * channels_);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    ReadToken(id, t, {out_k.data() + t * channels_, channels_},
+              {out_v.data() + t * channels_, channels_});
+  }
+}
+
+void PagedKvStore::Free(SeqId id) { manager_.Free(id); }
+
+}  // namespace liquid::serving

@@ -1,0 +1,133 @@
+#include "serving/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liquid::serving {
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(const ServingEngine& engine,
+                                                   std::size_t kv_pool_blocks,
+                                                   std::size_t block_tokens,
+                                                   std::size_t max_batch)
+    : engine_(engine), pool_(kv_pool_blocks, block_tokens),
+      max_batch_(max_batch) {}
+
+void ContinuousBatchScheduler::Submit(Request request) {
+  waiting_.push_back(request);
+}
+
+void ContinuousBatchScheduler::Admit() {
+  while (!waiting_.empty() && running_.size() < max_batch_) {
+    const Request& next = waiting_.front();
+    if (next.arrival > stats_.simulated_seconds) break;  // not arrived yet
+    // Conservative admission: require room for the prompt plus one block of
+    // generation headroom so a fresh sequence cannot immediately preempt.
+    const std::size_t need = pool_.BlocksNeeded(next.prompt_tokens) + 1;
+    if (!pool_.CanAllocate(need)) break;
+    const bool ok = pool_.AddSequence(next.id, next.prompt_tokens);
+    assert(ok);
+    (void)ok;
+    // Prefill for the admitted sequence happens in this iteration; charge it.
+    stats_.simulated_seconds += engine_.PrefillSeconds(1, next.prompt_tokens);
+    running_.push_back({next, 0});
+    waiting_.pop_front();
+  }
+  stats_.peak_running = std::max(stats_.peak_running, running_.size());
+}
+
+void ContinuousBatchScheduler::Preempt() {
+  // Recompute-style preemption: evict the most recently admitted sequence
+  // back to the waiting queue, releasing its blocks.
+  assert(!running_.empty());
+  Running victim = running_.back();
+  running_.pop_back();
+  pool_.Free(victim.request.id);
+  // It restarts with its tokens-so-far as the new prompt; timing state
+  // (first token, cumulative progress) carries over.
+  Request retry = victim.request;
+  retry.prompt_tokens += victim.generated;
+  retry.max_new_tokens -= victim.generated;
+  retry.progress += victim.generated;
+  waiting_.push_front(retry);
+  ++stats_.preemptions;
+}
+
+void ContinuousBatchScheduler::Retire(const Running& done) {
+  pool_.Free(done.request.id);
+  RequestTiming timing;
+  timing.id = done.request.id;
+  timing.arrival = done.request.arrival;
+  timing.first_token = done.request.first_token_time >= 0
+                           ? done.request.first_token_time
+                           : stats_.simulated_seconds;
+  timing.finish = stats_.simulated_seconds;
+  timing.generated = done.request.progress + done.generated;
+  completions_.push_back(timing);
+  ++stats_.completed;
+}
+
+bool ContinuousBatchScheduler::Step() {
+  // If idle and the head request is in the future, fast-forward the clock.
+  if (running_.empty() && !waiting_.empty() &&
+      waiting_.front().arrival > stats_.simulated_seconds) {
+    stats_.simulated_seconds = waiting_.front().arrival;
+  }
+  Admit();
+  if (running_.empty()) {
+    if (waiting_.empty()) return false;
+    // Nothing is running, so no blocks will ever be freed: the head request
+    // cannot fit even a drained pool.  Drop it rather than livelock.
+    waiting_.pop_front();
+    ++stats_.dropped;
+    return true;
+  }
+
+  // KV length for costing: mean sequence length across the running batch.
+  double mean_len = 0;
+  for (const Running& r : running_) {
+    mean_len += static_cast<double>(r.request.prompt_tokens + r.generated);
+  }
+  mean_len /= static_cast<double>(running_.size());
+
+  // Append one token to every running sequence, preempting on OOM.
+  for (std::size_t i = 0; i < running_.size();) {
+    if (pool_.AppendToken(running_[i].request.id)) {
+      ++running_[i].generated;
+      ++i;
+    } else {
+      Preempt();
+      if (running_.empty()) break;
+      i = std::min(i, running_.size());
+    }
+  }
+  if (running_.empty()) return !waiting_.empty();
+
+  stats_.simulated_seconds += engine_.DecodeStepSeconds(
+      running_.size(), static_cast<std::size_t>(mean_len));
+  stats_.generated_tokens += static_cast<double>(running_.size());
+  ++stats_.iterations;
+
+  // Record first-token times and retire finished sequences.
+  for (std::size_t i = 0; i < running_.size();) {
+    Running& r = running_[i];
+    if (r.request.first_token_time < 0 && r.generated + r.request.progress > 0) {
+      r.request.first_token_time = stats_.simulated_seconds;
+    }
+    if (r.generated >= r.request.max_new_tokens) {
+      Retire(r);
+      running_[i] = running_.back();
+      running_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+SchedulerStats ContinuousBatchScheduler::RunToCompletion() {
+  while (Step()) {
+  }
+  return stats_;
+}
+
+}  // namespace liquid::serving

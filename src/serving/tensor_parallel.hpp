@@ -1,0 +1,67 @@
+#pragma once
+// Megatron-style tensor parallelism over the serving engine.
+//
+// The paper serves every model on one H800; 70B-class models in production
+// shard across GPUs.  This module implements the standard decoder-layer TP
+// plan — QKV and FFN-up column-parallel, O and FFN-down row-parallel, one
+// all-reduce after each row-parallel GEMM (two per layer) — on top of the
+// same GEMM simulator and attention model, with a ring all-reduce costed on
+// the interconnect.  It demonstrates a point the H800 makes sharply: its
+// NVLink is cut to 400 GB/s, so TP efficiency degrades faster than on H100,
+// which is part of why single-GPU W4A8 serving (fitting 70B in 80 GB) is so
+// valuable on this part.
+
+#include <cstddef>
+
+#include "serving/engine.hpp"
+#include "serving/model_config.hpp"
+#include "serving/system_preset.hpp"
+#include "simgpu/hardware.hpp"
+
+namespace liquid::serving {
+
+struct TpResult {
+  bool feasible = true;       ///< heads divisible, memory fits
+  double tokens_per_second = 0;
+  double decode_step_seconds = 0;
+  double allreduce_seconds_per_layer = 0;  ///< per decode step
+  double memory_per_gpu = 0;
+  double scaling_efficiency = 0;  ///< speedup vs 1 GPU / tp_degree
+};
+
+class TensorParallelEngine {
+ public:
+  TensorParallelEngine(simgpu::HardwareSpec hw, SystemPreset preset,
+                       LlmConfig model, int tp_degree,
+                       EngineOptions options = {});
+
+  /// Per-GPU shard of the model (KV heads and FFN split tp ways).
+  [[nodiscard]] const LlmConfig& ShardedModel() const { return shard_; }
+  [[nodiscard]] int tp_degree() const { return tp_; }
+
+  /// Ring all-reduce time for `bytes` per GPU: 2*(tp-1)/tp * bytes / link.
+  [[nodiscard]] double AllReduceSeconds(double bytes) const;
+
+  /// Full run at a fixed batch (mirrors ServingEngine::Run).
+  [[nodiscard]] TpResult Run(const ServingWorkload& workload) const;
+
+ private:
+  simgpu::HardwareSpec hw_;
+  SystemPreset preset_;
+  LlmConfig full_model_;
+  LlmConfig shard_;
+  int tp_ = 1;
+  EngineOptions options_;
+  ServingEngine shard_engine_;
+};
+
+/// Builds the per-GPU shard config: attention heads, KV heads, and FFN
+/// intermediate divided by tp (vocab kept whole; LM head is column-parallel
+/// with a gather we fold into "others").  Returns nullopt-like feasible=false
+/// via TpResult when the division does not work out.
+LlmConfig ShardModel(const LlmConfig& model, int tp_degree);
+
+/// True when the model divides cleanly across tp GPUs.
+bool CanShard(const LlmConfig& model, int tp_degree);
+
+}  // namespace liquid::serving

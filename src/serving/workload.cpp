@@ -1,0 +1,65 @@
+#include "serving/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace liquid::serving {
+namespace {
+
+std::size_t LogUniform(Rng& rng, std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return lo;
+  const double x = rng.Uniform(std::log(static_cast<double>(lo)),
+                               std::log(static_cast<double>(hi)));
+  return std::clamp(static_cast<std::size_t>(std::exp(x)), lo, hi);
+}
+
+}  // namespace
+
+std::vector<TimedRequest> GenerateTrace(const TraceConfig& config,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimedRequest> trace;
+  trace.reserve(config.count);
+  double clock = 0;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    // Exponential inter-arrival gap.
+    double u = 0;
+    while (u == 0) u = rng.NextDouble();
+    clock += -std::log(u) / config.arrival_rate_per_s;
+    TimedRequest r;
+    r.id = i;
+    r.arrival_seconds = clock;
+    r.prompt_tokens = LogUniform(rng, config.prompt_min, config.prompt_max);
+    r.max_new_tokens = LogUniform(rng, config.output_min, config.output_max);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+LatencyReport SummarizeTimings(const std::vector<RequestTiming>& timings,
+                               double span_seconds) {
+  LatencyReport report;
+  report.count = timings.size();
+  if (timings.empty()) return report;
+  std::vector<double> ttft, tpot, e2e;
+  double tokens = 0;
+  for (const RequestTiming& t : timings) {
+    ttft.push_back(t.Ttft());
+    if (t.generated > 1) tpot.push_back(t.Tpot());
+    e2e.push_back(t.EndToEnd());
+    tokens += static_cast<double>(t.generated);
+  }
+  report.ttft_p50 = Percentile(ttft, 50);
+  report.ttft_p99 = Percentile(ttft, 99);
+  report.tpot_p50 = Percentile(tpot, 50);
+  report.tpot_p99 = Percentile(tpot, 99);
+  report.e2e_p50 = Percentile(e2e, 50);
+  report.e2e_p99 = Percentile(e2e, 99);
+  report.throughput_tokens_per_s =
+      span_seconds > 0 ? tokens / span_seconds : 0;
+  return report;
+}
+
+}  // namespace liquid::serving

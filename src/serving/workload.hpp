@@ -1,0 +1,66 @@
+#pragma once
+// Workload generation and latency metrics for serving experiments.
+//
+// The paper evaluates fixed-length workloads (1024/512); production traces
+// are bursty.  This module generates Poisson-arrival request traces with
+// configurable length distributions and summarizes per-request latency into
+// the metrics operators actually watch: TTFT (time to first token), TPOT
+// (time per output token), and end-to-end latency percentiles.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace liquid::serving {
+
+struct TimedRequest {
+  std::uint64_t id = 0;
+  double arrival_seconds = 0;
+  std::size_t prompt_tokens = 0;
+  std::size_t max_new_tokens = 0;
+};
+
+struct TraceConfig {
+  double arrival_rate_per_s = 4.0;  ///< Poisson rate
+  std::size_t count = 64;
+  std::size_t prompt_min = 64;
+  std::size_t prompt_max = 1024;
+  std::size_t output_min = 32;
+  std::size_t output_max = 512;
+};
+
+/// Generates a deterministic Poisson-arrival trace (exponential gaps, log-
+/// uniform lengths) from the given seed.
+std::vector<TimedRequest> GenerateTrace(const TraceConfig& config,
+                                        std::uint64_t seed);
+
+/// One finished request's timing.
+struct RequestTiming {
+  std::uint64_t id = 0;
+  double arrival = 0;
+  double first_token = 0;  ///< completion time of the first generated token
+  double finish = 0;
+  std::size_t generated = 0;
+
+  [[nodiscard]] double Ttft() const { return first_token - arrival; }
+  [[nodiscard]] double Tpot() const {
+    return generated > 1 ? (finish - first_token) /
+                               static_cast<double>(generated - 1)
+                         : 0.0;
+  }
+  [[nodiscard]] double EndToEnd() const { return finish - arrival; }
+};
+
+struct LatencyReport {
+  std::size_t count = 0;
+  double ttft_p50 = 0, ttft_p99 = 0;
+  double tpot_p50 = 0, tpot_p99 = 0;
+  double e2e_p50 = 0, e2e_p99 = 0;
+  double throughput_tokens_per_s = 0;
+};
+
+LatencyReport SummarizeTimings(const std::vector<RequestTiming>& timings,
+                               double span_seconds);
+
+}  // namespace liquid::serving

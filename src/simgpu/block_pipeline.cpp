@@ -1,0 +1,121 @@
+#include "simgpu/block_pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liquid::simgpu {
+namespace {
+
+/// Ready time imposed by the bounded SMEM stage buffer: load `i` may not
+/// start until the buffer used by iteration `i - depth` has been consumed.
+double SlotReady(const std::vector<double>& consumed, int i, int depth) {
+  if (i < depth) return 0.0;
+  return consumed[static_cast<std::size_t>(i - depth)];
+}
+
+}  // namespace
+
+BlockPipelineResult SimulateBlockPipeline(const BlockPipelineInput& in) {
+  assert(in.k_iters >= 1);
+  BlockPipelineResult out;
+  const bool rec = in.record_trace;
+
+  Track tma("tma", rec);
+  Track cuda("cuda", rec);
+  Track tc("tc", rec);
+
+  const int k = in.k_iters;
+  std::vector<double> load_done(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> slot_freed(static_cast<std::size_t>(k), 0.0);
+  double finish = 0.0;
+
+  switch (in.pipeline) {
+    case PipelineKind::kSymmetric: {
+      for (int i = 0; i < k; ++i) {
+        const Interval ld =
+            tma.Claim(SlotReady(slot_freed, i, in.stage_depth), in.t_load);
+        load_done[static_cast<std::size_t>(i)] = ld.end;
+        const Interval mma = tc.Claim(ld.end, in.t_mma);
+        slot_freed[static_cast<std::size_t>(i)] = mma.end;
+        finish = std::max(finish, mma.end);
+      }
+      break;
+    }
+    case PipelineKind::kSerial: {
+      // One compute role: dequant and MMA issue from the same warps, so the
+      // two occupy the warps back to back; loads still double-buffer ahead.
+      for (int i = 0; i < k; ++i) {
+        const Interval ld =
+            tma.Claim(SlotReady(slot_freed, i, in.stage_depth), in.t_load);
+        load_done[static_cast<std::size_t>(i)] = ld.end;
+        const Interval dq = cuda.Claim(std::max(ld.end, tc.free_at()),
+                                       in.t_dequant);
+        const Interval mma = tc.Claim(dq.end, in.t_mma);
+        slot_freed[static_cast<std::size_t>(i)] = dq.end;
+        finish = std::max(finish, mma.end);
+      }
+      break;
+    }
+    case PipelineKind::kExCP: {
+      // Dedicated Dequant WG: pays the RF->SMEM->RF round trip for the INT8
+      // tile plus a software barrier before the MMA WG may consume it.
+      for (int i = 0; i < k; ++i) {
+        const Interval ld =
+            tma.Claim(SlotReady(slot_freed, i, in.stage_depth), in.t_load);
+        load_done[static_cast<std::size_t>(i)] = ld.end;
+        const Interval dq =
+            cuda.Claim(ld.end, in.t_dequant + in.t_smem_roundtrip);
+        slot_freed[static_cast<std::size_t>(i)] = dq.end;
+        const Interval mma = tc.Claim(dq.end + in.t_sync, in.t_mma);
+        finish = std::max(finish, mma.end);
+      }
+      break;
+    }
+    case PipelineKind::kImFP: {
+      // Single producer, multiple consumers over fine-grained tasks.  Each
+      // task: (worker + CUDA pipe) dequant burst, then async WGMMA on the
+      // tensor-core pipe; the worker is free again as soon as the WGMMA is
+      // issued, so dequant in one WG overlaps MMA of the other.
+      const int f = std::max(1, in.fine_tasks);
+      const double t_dq_task = in.t_dequant / f;
+      const double t_mma_task = in.t_mma / f;
+      std::vector<Track> workers;
+      workers.reserve(static_cast<std::size_t>(std::max(1, in.compute_wgs)));
+      for (int wgi = 0; wgi < std::max(1, in.compute_wgs); ++wgi) {
+        workers.emplace_back("wg" + std::to_string(wgi));
+      }
+      for (int i = 0; i < k; ++i) {
+        const Interval ld =
+            tma.Claim(SlotReady(slot_freed, i, in.stage_depth), in.t_load);
+        load_done[static_cast<std::size_t>(i)] = ld.end;
+        double last_dq = 0.0;
+        for (int t = 0; t < f; ++t) {
+          // Hardware-arbitrated task fetch: the first free worker takes it.
+          Track* worker = &workers[0];
+          for (auto& w : workers) {
+            if (w.free_at() < worker->free_at()) worker = &w;
+          }
+          const Interval dq = ClaimAll(ld.end, t_dq_task, *worker, cuda);
+          const Interval mma = tc.Claim(dq.end, t_mma_task);
+          last_dq = std::max(last_dq, dq.end);
+          finish = std::max(finish, mma.end);
+        }
+        slot_freed[static_cast<std::size_t>(i)] = last_dq;
+      }
+      break;
+    }
+  }
+
+  out.total = finish;
+  out.load_busy = tma.busy_time();
+  out.dequant_busy = cuda.busy_time();
+  out.mma_busy = tc.busy_time();
+  if (rec) {
+    out.load_log = tma.log();
+    out.dequant_log = cuda.log();
+    out.mma_log = tc.log();
+  }
+  return out;
+}
+
+}  // namespace liquid::simgpu

@@ -1,0 +1,49 @@
+#include "simgpu/hardware.hpp"
+
+namespace liquid::simgpu {
+
+HardwareSpec HardwareSpec::A100() {
+  HardwareSpec s;
+  s.name = "A100";
+  s.tc_fp16_ops = 312e12;
+  s.tc_int8_ops = 624e12;
+  s.tc_fp8_ops = 0;  // no FP8 tensor cores on Ampere
+  s.tc_int4_ops = 1248e12;
+  s.cuda_int32_ops = 19.5e12;
+  s.mem_bw_bytes = 2.0e12;
+  s.nvlink_bw_bytes = 600e9;  // NVLink3, bidirectional aggregate
+  s.num_sms = 108;
+  s.max_blocks_per_sm = 2;
+  s.smem_bytes_per_sm = 164 * 1024;
+  s.smem_bw_bytes_per_sm = 128.0 * 1.41e9;  // 128 B/cycle/SM
+  s.clock_hz = 1.41e9;
+  return s;
+}
+
+HardwareSpec HardwareSpec::H100() {
+  HardwareSpec s;
+  s.name = "H100";
+  s.tc_fp16_ops = 989.4e12;
+  s.tc_int8_ops = 1978.9e12;
+  s.tc_fp8_ops = 1978.9e12;
+  s.tc_int4_ops = 0;  // Hopper dropped INT4 tensor cores (Section 3)
+  s.cuda_int32_ops = 33.5e12;
+  s.mem_bw_bytes = 3.3e12;
+  s.nvlink_bw_bytes = 900e9;  // NVLink4
+  s.num_sms = 132;
+  s.max_blocks_per_sm = 2;
+  s.smem_bytes_per_sm = 228 * 1024;
+  s.smem_bw_bytes_per_sm = 128.0 * 1.98e9;
+  s.clock_hz = 1.98e9;
+  return s;
+}
+
+HardwareSpec HardwareSpec::H800() {
+  HardwareSpec s = H100();
+  s.name = "H800";
+  // The H800's defining restriction: NVLink cut to 400 GB/s for export.
+  s.nvlink_bw_bytes = 400e9;
+  return s;
+}
+
+}  // namespace liquid::simgpu

@@ -1,0 +1,119 @@
+#include "simgpu/kernel_config.hpp"
+
+#include "core/dequant/dequant.hpp"
+
+namespace liquid::simgpu {
+
+std::string ToString(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kTrtFp16: return "TRT-FP16";
+    case KernelKind::kTrtW8A8: return "TRT-W8A8";
+    case KernelKind::kTrtFp8: return "TRT-FP8";
+    case KernelKind::kTrtW4A16: return "TRT-W4A16";
+    case KernelKind::kQServeW4A8: return "QServe";
+    case KernelKind::kLiquidW4A8: return "LiquidGEMM";
+    case KernelKind::kLiquidW4A8Serial: return "LiquidGEMM-LQQ";
+    case KernelKind::kLiquidW4A8ExCP: return "LiquidGEMM-ExCP";
+    case KernelKind::kBaselineW4A8: return "W4A8-Baseline";
+  }
+  return "?";
+}
+
+double KernelConfig::MmaOps(const HardwareSpec& hw) const {
+  switch (kind) {
+    case KernelKind::kTrtFp16:
+    case KernelKind::kTrtW4A16:
+      return hw.tc_fp16_ops;
+    case KernelKind::kTrtFp8:
+      return hw.tc_fp8_ops > 0 ? hw.tc_fp8_ops : hw.tc_int8_ops;
+    default:
+      return hw.tc_int8_ops;  // all W4A8/W8A8 paths use INT8 MMA
+  }
+}
+
+KernelConfig KernelConfig::For(KernelKind kind) {
+  KernelConfig c;
+  c.kind = kind;
+  switch (kind) {
+    case KernelKind::kTrtFp16:
+      c.pipeline = PipelineKind::kSymmetric;
+      c.gemv_specialized = true;
+      c.weight_bits = 16;
+      c.act_bits = 16;
+      c.alpha = 0;
+      c.tile_m = 256;
+      break;
+    case KernelKind::kTrtW8A8:
+      c.pipeline = PipelineKind::kSymmetric;
+      c.gemv_specialized = true;
+      c.weight_bits = 8;
+      c.act_bits = 8;
+      c.alpha = 0;
+      c.tile_m = 256;
+      break;
+    case KernelKind::kTrtFp8:
+      c.pipeline = PipelineKind::kSymmetric;
+      c.gemv_specialized = true;
+      c.weight_bits = 8;
+      c.act_bits = 8;
+      c.alpha = 0;
+      c.tile_m = 256;
+      break;
+    case KernelKind::kTrtW4A16:
+      // TRT's AWQ kernel: interleaved layout, fast u4->fp16 conversion,
+      // well-overlapped multistage pipeline, FP16 MMA.
+      c.pipeline = PipelineKind::kImFP;
+      c.gemv_specialized = true;
+      c.weight_bits = 4;
+      c.act_bits = 16;
+      c.alpha = 1.5;
+      c.layout_aux = 0.25;
+      c.tile_m = 256;
+      break;
+    case KernelKind::kQServeW4A8:
+      // QServe on Hopper: Ampere-style kernel, subtraction-after-
+      // multiplication dequant with vsub4 lowering, conventional 2D UINT4
+      // layout (extra LDS.32s + address math), dequant serialized with MMA.
+      c.pipeline = PipelineKind::kSerial;
+      c.weight_bits = 4;
+      c.act_bits = 8;
+      c.alpha = MeasureAlphaQserve();
+      c.layout_aux = 1.0;
+      c.tile_m = 128;
+      c.tc_efficiency = 0.65;   // no WGMMA/TMA path on Hopper
+      c.grouped_launch = false; // no grouped-GEMM kernel: relaunch per expert
+      c.setup_overhead_seconds = 8e-6;
+      break;
+    case KernelKind::kLiquidW4A8:
+      c.pipeline = PipelineKind::kImFP;
+      c.weight_bits = 4;
+      c.act_bits = 8;
+      c.alpha = MeasureAlphaLqq();
+      c.layout_aux = 0.1;  // 1 LDS.128 per 32 elements, no address math
+      c.tile_m = 256;      // (W·Xᵀ)ᵀ: WGMMA n tracks the batch (Section 5.4)
+      c.persistent = true;
+      c.tc_efficiency = 0.90;
+      c.mem_efficiency = 0.90;
+      break;
+    case KernelKind::kLiquidW4A8Serial:
+      c = For(KernelKind::kLiquidW4A8);
+      c.kind = kind;
+      c.pipeline = PipelineKind::kSerial;
+      c.persistent = false;
+      break;
+    case KernelKind::kLiquidW4A8ExCP:
+      c = For(KernelKind::kLiquidW4A8);
+      c.kind = kind;
+      c.pipeline = PipelineKind::kExCP;
+      c.compute_wgs = 1;  // the third WG is consumed by the Dequant role
+      break;
+    case KernelKind::kBaselineW4A8:
+      c = For(KernelKind::kQServeW4A8);
+      c.kind = kind;
+      c.tile_m = 256;  // isolate dequant+pipeline effects from tiling
+      break;
+  }
+  return c;
+}
+
+}  // namespace liquid::simgpu

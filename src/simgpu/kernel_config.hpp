@@ -1,0 +1,98 @@
+#pragma once
+// Kernel variants under simulation (paper Sections 3, 5, 7.3).
+//
+// Each KernelKind bundles: operand precisions, the dequantization cost alpha
+// (instructions per weight element, measured from the SWAR kernels in
+// core/dequant), the pipeline structure (serial / ExCP / ImFP / symmetric),
+// the SMEM layout's auxiliary instruction cost, and the tile shape.  These are
+// exactly the knobs the paper's cost model (Eq. 3–6) exposes.
+
+#include <cstddef>
+#include <string>
+
+#include "simgpu/hardware.hpp"
+
+namespace liquid::simgpu {
+
+enum class PipelineKind {
+  kSymmetric,  ///< no main-loop dequant (W8A8 / FP8 / FP16): LOAD || MMA
+  kSerial,     ///< dequant + MMA serialized in the same warps (QServe-style)
+  kExCP,       ///< explicit 3-WG pipeline with RF<->SMEM round trip + syncs
+  kImFP,       ///< implicit fine-grained pipeline, 1 load WG + N compute WGs
+};
+
+enum class KernelKind {
+  kTrtFp16,
+  kTrtW8A8,
+  kTrtFp8,
+  kTrtW4A16,
+  kQServeW4A8,
+  kLiquidW4A8,        ///< LQQ + ImFP + dual-MMA layout (the paper's kernel)
+  kLiquidW4A8Serial,  ///< ablation: LQQ dequant, no pipeline ("LQQ" bar)
+  kLiquidW4A8ExCP,    ///< ablation: LQQ dequant + explicit pipeline
+  kBaselineW4A8,      ///< ablation baseline: QServe-style dequant, no pipeline
+};
+
+std::string ToString(KernelKind kind);
+
+struct KernelConfig {
+  KernelKind kind = KernelKind::kLiquidW4A8;
+  PipelineKind pipeline = PipelineKind::kImFP;
+
+  double weight_bits = 4;
+  double act_bits = 8;
+  double out_bits = 16;  ///< epilogue output (FP16)
+
+  /// Dequant instructions per weight element (0 for symmetric kernels).
+  double alpha = 0;
+  /// Additional CUDA-core instructions per weight element for SMEM load and
+  /// address arithmetic.  Dual-MMA packed layout: 1 LDS.128 per 32 elements
+  /// (~0.1); conventional UINT4 layout: 2x LDS.32 + address math (~1.0).
+  double layout_aux = 0;
+
+  /// Tile shape.  tile_m is the *maximum* batch-side tile; LiquidGEMM's
+  /// (W·Xᵀ)ᵀ trick (Section 5.4) lets the WGMMA n dimension track the batch
+  /// up to 256, while fixed-shape kernels clip at their design tile.
+  int tile_m = 128;
+  int tile_n = 128;  ///< output channels per block
+  int tile_k = 64;
+  int compute_wgs = 2;      ///< ImFP consumers
+  int fine_tasks_per_iter = 4;  ///< ImFP task granularity per k-iteration
+  int stage_depth = 4;      ///< SMEM pipeline stages (double+ buffering)
+
+  bool persistent = false;  ///< persistent kernel: pipelines across grouped GEMMs
+  /// Whether one launch covers a whole GEMM group (TRT grouped-MoE kernels,
+  /// LiquidGEMM's persistent kernel).  Kernels without grouped support
+  /// relaunch per member GEMM.
+  bool grouped_launch = true;
+
+  /// TRT kernels switch to a weight-streaming GEMV kernel for tiny batches
+  /// (paper Section 7.3: on Mixtral they beat LiquidGEMM below batch 32
+  /// because of it; LiquidGEMM has no such specialization).
+  bool gemv_specialized = false;
+  int gemv_max_m = 16;            ///< per-GEMM batch bound for the GEMV path
+  double gemv_mem_efficiency = 0.95;  ///< streaming loads run near peak BW
+
+  /// Per-launch setup cost beyond the raw launch latency (scale-table
+  /// preprocessing, ldmatrix descriptor setup).  Dominates small-batch GEMMs
+  /// for QServe's kernel, which is why it only *matches* W8A8 on LLaMA2-7B
+  /// at small batch (Figure 5) yet beats it on the larger models (Figure 12).
+  double setup_overhead_seconds = 0;
+
+  /// Achieved-vs-peak efficiency factors.  A WGMMA/TMA kernel sustains a
+  /// large fraction of peak; QServe's Ampere-style kernel (mma.m16n8k32, no
+  /// TMA/WGMMA) sustains markedly less on Hopper tensor cores.
+  double tc_efficiency = 0.85;
+  double mem_efficiency = 0.85;
+  double cuda_efficiency = 0.85;
+
+  /// Tensor-core throughput for this kernel's MMA dtype on `hw`.
+  [[nodiscard]] double MmaOps(const HardwareSpec& hw) const;
+  /// Effective per-element dequant instruction cost including layout aux.
+  [[nodiscard]] double EffectiveAlpha() const { return alpha + layout_aux; }
+
+  /// Paper-faithful preset for each kernel variant.
+  static KernelConfig For(KernelKind kind);
+};
+
+}  // namespace liquid::simgpu

@@ -1,0 +1,69 @@
+#include "simgpu/occupancy.hpp"
+
+#include <algorithm>
+
+namespace liquid::simgpu {
+
+OccupancyResult ComputeOccupancy(const SmResources& sm,
+                                 const BlockFootprint& block) {
+  OccupancyResult out;
+  if (block.warps <= 0) return out;
+  out.limited_by_warps = sm.max_warps / block.warps;
+  out.limited_by_registers =
+      block.RegistersPerBlock() > 0
+          ? static_cast<int>(sm.registers / block.RegistersPerBlock())
+          : sm.max_blocks;
+  out.limited_by_smem =
+      block.smem_bytes > 0
+          ? static_cast<int>(sm.smem_bytes / block.smem_bytes)
+          : sm.max_blocks;
+  out.limited_by_slots = sm.max_blocks;
+
+  out.blocks_per_sm = std::min({out.limited_by_warps, out.limited_by_registers,
+                                out.limited_by_smem, out.limited_by_slots});
+  if (out.blocks_per_sm == out.limited_by_smem) out.limiter = "smem";
+  if (out.blocks_per_sm == out.limited_by_registers) out.limiter = "registers";
+  if (out.blocks_per_sm == out.limited_by_warps) out.limiter = "warps";
+  if (out.blocks_per_sm == out.limited_by_slots) out.limiter = "slots";
+  return out;
+}
+
+BlockFootprint FootprintFor(const KernelConfig& cfg) {
+  BlockFootprint fp;
+  // One Load WG plus the compute WGs (ExCP's dequant WG counts as compute
+  // here; serial kernels still dedicate warps to the main loop).
+  const int wgs = 1 + std::max(1, cfg.compute_wgs) +
+                  (cfg.pipeline == PipelineKind::kExCP ? 1 : 0);
+  fp.warps = 4 * wgs;
+
+  // Registers: dominated by the INT32 accumulator fragment each compute
+  // thread holds — tile_m x tile_n accumulators spread over the compute
+  // threads — plus ~40 for operands, addresses, and descriptors.
+  const int compute_threads = 128 * std::max(1, cfg.compute_wgs);
+  const double accum =
+      static_cast<double>(cfg.tile_m) * cfg.tile_n / compute_threads;
+  fp.regs_per_thread = static_cast<int>(accum) + 40;
+
+  // SMEM: staged weight buffers + one activation tile (INT8/FP16) + barriers.
+  const double weight_stage =
+      static_cast<double>(cfg.tile_n) * cfg.tile_k * cfg.weight_bits / 8.0;
+  const double act_tile =
+      static_cast<double>(cfg.tile_m) * cfg.tile_k * cfg.act_bits / 8.0;
+  fp.smem_bytes = static_cast<std::size_t>(
+      cfg.stage_depth * weight_stage + act_tile + 1024);
+  return fp;
+}
+
+int MaxTileMForSmem(const SmResources& sm, const KernelConfig& cfg,
+                    int min_blocks) {
+  int best = 0;
+  for (int tile_m = 8; tile_m <= 512; tile_m += 8) {
+    KernelConfig probe = cfg;
+    probe.tile_m = tile_m;
+    const OccupancyResult occ = ComputeOccupancy(sm, FootprintFor(probe));
+    if (occ.blocks_per_sm >= min_blocks) best = tile_m;
+  }
+  return best;
+}
+
+}  // namespace liquid::simgpu

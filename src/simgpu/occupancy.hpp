@@ -1,0 +1,62 @@
+#pragma once
+// SM occupancy calculator.
+//
+// The paper's cost model takes L (thread blocks per SM) as a given; this
+// module derives it from the resources a kernel variant actually consumes —
+// warp slots, registers, and shared memory — the way the CUDA occupancy
+// calculator does.  It grounds the `max_blocks_per_sm` used by the GEMM
+// simulator and exposes the SMEM-capacity argument of Section 3.3 ("the
+// arithmetic intensity is ultimately bounded by the tile size Mt, which is
+// constrained by shared memory").
+
+#include <cstddef>
+
+#include "simgpu/hardware.hpp"
+#include "simgpu/kernel_config.hpp"
+
+namespace liquid::simgpu {
+
+struct SmResources {
+  int max_warps = 64;            ///< Hopper: 64 warps / SM
+  int max_blocks = 32;           ///< hardware block-slot limit
+  std::size_t registers = 65536; ///< 32-bit registers per SM
+  std::size_t smem_bytes = 228 * 1024;
+};
+
+struct BlockFootprint {
+  int warps = 0;                  ///< warps per thread block
+  int regs_per_thread = 0;
+  std::size_t smem_bytes = 0;     ///< static + dynamic shared memory
+
+  [[nodiscard]] std::size_t RegistersPerBlock() const {
+    return static_cast<std::size_t>(warps) * 32 *
+           static_cast<std::size_t>(regs_per_thread);
+  }
+};
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int limited_by_warps = 0;
+  int limited_by_registers = 0;
+  int limited_by_smem = 0;
+  int limited_by_slots = 0;
+  const char* limiter = "";
+};
+
+/// CUDA-occupancy-style: blocks/SM = min over each resource's quotient.
+OccupancyResult ComputeOccupancy(const SmResources& sm,
+                                 const BlockFootprint& block);
+
+/// Footprint of a kernel variant: warp groups (load + compute), register
+/// budget (accumulators scale with tile_m x tile_n per thread), and the
+/// staged SMEM buffers (stage_depth x tile_n x tile_k x weight-bits plus the
+/// activation tile).
+BlockFootprint FootprintFor(const KernelConfig& cfg);
+
+/// Largest batch-side tile (multiple of 8) whose accumulators and SMEM
+/// stages still fit one SM at `min_blocks` blocks — the Section 3.3 bound on
+/// arithmetic intensity.
+int MaxTileMForSmem(const SmResources& sm, const KernelConfig& cfg,
+                    int min_blocks = 1);
+
+}  // namespace liquid::simgpu

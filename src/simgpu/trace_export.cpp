@@ -1,0 +1,62 @@
+#include "simgpu/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace liquid::simgpu {
+namespace {
+
+void EmitTrack(std::ostream& os, const std::vector<Interval>& log,
+               const char* name, int tid, bool& first) {
+  int index = 0;
+  for (const Interval& iv : log) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << name << " #" << index++
+       << "\", \"cat\": \"pipeline\", \"ph\": \"X\""
+       << ", \"ts\": " << iv.start * 1e6 << ", \"dur\": " << iv.duration() * 1e6
+       << ", \"pid\": 1, \"tid\": " << tid << "}";
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTrace(const BlockPipelineResult& result,
+                          const std::string& process_name) {
+  std::ostringstream os;
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  // Thread name metadata records.
+  const struct {
+    const char* name;
+    int tid;
+  } tracks[] = {{"TMA load", 1}, {"CUDA cores (dequant)", 2},
+                {"Tensor cores (MMA)", 3}};
+  for (const auto& t : tracks) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << t.tid << ", \"args\": {\"name\": \"" << t.name << "\"}}";
+  }
+  os << ",\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \""
+     << process_name << "\"}}";
+  EmitTrack(os, result.load_log, "load", 1, first);
+  EmitTrack(os, result.dequant_log, "dequant", 2, first);
+  EmitTrack(os, result.mma_log, "mma", 3, first);
+  os << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+  return os.str();
+}
+
+bool WriteChromeTrace(const BlockPipelineInput& input, const std::string& path,
+                      const std::string& process_name) {
+  BlockPipelineInput traced = input;
+  traced.record_trace = true;
+  const BlockPipelineResult result = SimulateBlockPipeline(traced);
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToChromeTrace(result, process_name);
+  return static_cast<bool>(file);
+}
+
+}  // namespace liquid::simgpu

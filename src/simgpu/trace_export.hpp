@@ -1,0 +1,26 @@
+#pragma once
+// Chrome-tracing exporter for pipeline simulations.
+//
+// Serializes the per-unit interval logs of a BlockPipelineResult into the
+// Trace Event JSON format (load in chrome://tracing or https://ui.perfetto.dev)
+// so the ExCP bubbles and ImFP overlap of Figure 6 can be inspected visually.
+
+#include <string>
+
+#include "simgpu/block_pipeline.hpp"
+
+namespace liquid::simgpu {
+
+/// Renders the recorded trace as a Trace Event JSON document.  Each hardware
+/// unit (TMA, CUDA cores, tensor cores) becomes a named "thread"; durations
+/// are emitted in microseconds (the format's native unit), scaled from the
+/// simulation's seconds.
+std::string ToChromeTrace(const BlockPipelineResult& result,
+                          const std::string& process_name = "block");
+
+/// Convenience: simulate with tracing enabled and write the JSON to `path`.
+/// Returns false if the file cannot be written.
+bool WriteChromeTrace(const BlockPipelineInput& input, const std::string& path,
+                      const std::string& process_name = "block");
+
+}  // namespace liquid::simgpu

@@ -1,0 +1,52 @@
+#pragma once
+// 64-byte-aligned heap buffer for tensor storage.  Alignment matches a cache
+// line (and the 16-byte LDS.128 granularity the kernels model), so packed
+// weight tiles can always be reinterpreted as uint32 registers safely.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+
+namespace liquid {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t count) { Resize(count); }
+
+  void Resize(std::size_t count) {
+    if (count == 0) {
+      data_.reset();
+      size_ = 0;
+      return;
+    }
+    void* raw = ::operator new[](count * sizeof(T), std::align_val_t{64});
+    data_.reset(static_cast<T*>(raw));
+    size_ = count;
+    for (std::size_t i = 0; i < size_; ++i) new (data_.get() + i) T{};
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T& operator[](std::size_t i) { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const { return data_.get()[i]; }
+
+  std::span<T> span() { return {data_.get(), size_}; }
+  std::span<const T> span() const { return {data_.get(), size_}; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<T, Deleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace liquid

@@ -1,0 +1,92 @@
+#include "util/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace liquid {
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x80000000u;
+
+}  // namespace
+
+std::uint16_t Half::FromFloat(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
+  const std::uint32_t abs = f & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {  // Inf or NaN.
+    if (abs > 0x7F800000u) {
+      // NaN: keep the top mantissa bits, force quiet bit so the payload is
+      // never rounded away to infinity.
+      return static_cast<std::uint16_t>(sign | 0x7E00u |
+                                        ((abs >> 13) & 0x03FFu));
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs >= 0x477FF000u) {  // Rounds to >= 2^16: overflow to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x33000001u) {  // Below half of the smallest subnormal: to zero.
+    return sign;
+  }
+
+  std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
+  std::uint32_t mant = abs & 0x007FFFFFu;
+
+  if (exp < -14) {
+    // Subnormal half: shift the (implicit-1) mantissa right so the exponent
+    // becomes -14, then round to nearest even.
+    mant |= 0x00800000u;
+    const int shift = -14 - exp;  // in [1, 10] given the zero cutoff above.
+    const std::uint32_t kept = mant >> (13 + shift);
+    const std::uint32_t round_bit = (mant >> (12 + shift)) & 1u;
+    const std::uint32_t sticky =
+        (mant & ((1u << (12 + shift)) - 1u)) != 0 ? 1u : 0u;
+    std::uint32_t result = kept + (round_bit & (sticky | kept)) ;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal range. Round mantissa from 23 to 10 bits, RNE.
+  const std::uint32_t kept = mant >> 13;
+  const std::uint32_t round_bit = (mant >> 12) & 1u;
+  const std::uint32_t sticky = (mant & 0x0FFFu) != 0 ? 1u : 0u;
+  std::uint32_t half_mant = kept + (round_bit & (sticky | kept));
+  std::uint32_t half_exp = static_cast<std::uint32_t>(exp + 15);
+  if (half_mant == 0x400u) {  // Mantissa carry-out: bump exponent.
+    half_mant = 0;
+    ++half_exp;
+    if (half_exp >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  return static_cast<std::uint16_t>(sign | (half_exp << 10) | half_mant);
+}
+
+float Half::ToFloatImpl(std::uint16_t bits) {
+  const std::uint32_t sign = (bits & 0x8000u) ? kF32SignMask : 0u;
+  std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // Signed zero.
+    } else {
+      // Subnormal: normalize by shifting the mantissa up.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x03FFu) << 13);
+    }
+  } else if (exp == 31) {
+    f = sign | 0x7F800000u | (mant << 13);  // Inf / NaN.
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace liquid

@@ -1,0 +1,75 @@
+#pragma once
+// IEEE 754 binary16 ("half") soft-float.
+//
+// The paper's FP16 baselines (TRT-FP16, W4A16 with FP16 dequant targets) run on
+// tensor cores that read FP16 operands and accumulate in FP32.  We reproduce
+// those numerics with a software binary16 type: storage is the 16-bit pattern,
+// arithmetic is performed by converting to float (binary32), which is exact for
+// every binary16 value, and rounding back with round-to-nearest-even — the same
+// rounding the hardware applies.
+
+#include <cstdint>
+#include <limits>
+
+namespace liquid {
+
+class Half {
+ public:
+  constexpr Half() = default;
+
+  /// Converts a float to binary16 with round-to-nearest-even, handling
+  /// subnormals, overflow-to-infinity, and NaN payload preservation (quietened).
+  explicit Half(float value) : bits_(FromFloat(value)) {}
+
+  /// Reinterprets a raw 16-bit pattern as a Half.
+  static constexpr Half FromBits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Exact widening conversion (every binary16 value is representable in
+  /// binary32).
+  [[nodiscard]] float ToFloat() const { return ToFloatImpl(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  [[nodiscard]] constexpr bool IsNan() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  [[nodiscard]] constexpr bool IsInf() const {
+    return (bits_ & 0x7FFFu) == 0x7C00u;
+  }
+
+  friend Half operator+(Half a, Half b) {
+    return Half(a.ToFloat() + b.ToFloat());
+  }
+  friend Half operator-(Half a, Half b) {
+    return Half(a.ToFloat() - b.ToFloat());
+  }
+  friend Half operator*(Half a, Half b) {
+    return Half(a.ToFloat() * b.ToFloat());
+  }
+  friend Half operator/(Half a, Half b) {
+    return Half(a.ToFloat() / b.ToFloat());
+  }
+  friend bool operator==(Half a, Half b) {
+    return a.ToFloat() == b.ToFloat();  // IEEE semantics: -0 == +0, NaN != NaN.
+  }
+  friend bool operator<(Half a, Half b) { return a.ToFloat() < b.ToFloat(); }
+
+  static std::uint16_t FromFloat(float value);
+  static float ToFloatImpl(std::uint16_t bits);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Round-trips a float through binary16: the value an FP16 tensor element would
+/// hold after storing `value`.
+inline float QuantizeToHalf(float value) { return Half(value).ToFloat(); }
+
+constexpr float kHalfMax = 65504.0f;
+
+}  // namespace liquid

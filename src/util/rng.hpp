@@ -1,0 +1,107 @@
+#pragma once
+// Deterministic, seedable RNG used by all tests, benches, and workload
+// generators.  xoshiro256++ (Blackman & Vigna): fast, high quality, and —
+// unlike std::mt19937 + std::normal_distribution — produces identical streams
+// on every standard library, so recorded experiment outputs are reproducible.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace liquid {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t Below(std::uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// LLM-weight-like tensor: mostly Gaussian with a fraction of per-channel
+  /// outliers, matching the activation/weight outlier structure that motivates
+  /// SmoothQuant-style smoothing (paper Section 6).
+  std::vector<float> OutlierTensor(std::size_t n, double stddev,
+                                   double outlier_fraction,
+                                   double outlier_scale) {
+    std::vector<float> out(n);
+    for (auto& v : out) {
+      double x = Normal(0.0, stddev);
+      if (NextDouble() < outlier_fraction) x *= outlier_scale;
+      v = static_cast<float>(x);
+    }
+    return out;
+  }
+
+  std::vector<float> GaussianTensor(std::size_t n, double stddev) {
+    std::vector<float> out(n);
+    for (auto& v : out) v = static_cast<float>(Normal(0.0, stddev));
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace liquid

@@ -1,0 +1,58 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace liquid {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanTime(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return Format("%.3f s", seconds);
+  if (abs >= 1e-3) return Format("%.3f ms", seconds * 1e3);
+  if (abs >= 1e-6) return Format("%.3f us", seconds * 1e6);
+  return Format("%.1f ns", seconds * 1e9);
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return Format("%.2f %s", bytes, units[u]);
+}
+
+std::string FixedDouble(double value, int precision) {
+  return Format("%.*f", precision, value);
+}
+
+std::string WithCommas(long long value) {
+  std::string digits = Format("%lld", value < 0 ? -value : value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return value < 0 ? "-" + out : out;
+}
+
+}  // namespace liquid

@@ -1,0 +1,23 @@
+#pragma once
+// Small formatting helpers (libstdc++ 12 lacks <format>).
+
+#include <string>
+
+namespace liquid {
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.23 us" / "4.56 ms" style human-readable duration from seconds.
+std::string HumanTime(double seconds);
+
+/// "12.3 GB" style human-readable size from bytes.
+std::string HumanBytes(double bytes);
+
+/// Fixed-precision double, e.g. FixedDouble(3.14159, 2) == "3.14".
+std::string FixedDouble(double value, int precision);
+
+/// Thousands-separated integer, e.g. 16694 -> "16,694" (Table 1 style).
+std::string WithCommas(long long value);
+
+}  // namespace liquid

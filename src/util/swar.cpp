@@ -1,0 +1,21 @@
+#include "util/swar.hpp"
+
+#include "util/strings.hpp"
+
+namespace liquid {
+
+std::string IsaCounter::ToString() const {
+  return Format(
+      "logic=%llu lop3=%llu shift=%llu imad=%llu prmt=%llu setp=%llu sel=%llu "
+      "total=%llu",
+      static_cast<unsigned long long>(logic),
+      static_cast<unsigned long long>(lop3),
+      static_cast<unsigned long long>(shift),
+      static_cast<unsigned long long>(imad),
+      static_cast<unsigned long long>(prmt),
+      static_cast<unsigned long long>(setp),
+      static_cast<unsigned long long>(sel),
+      static_cast<unsigned long long>(Total()));
+}
+
+}  // namespace liquid

@@ -1,0 +1,212 @@
+#pragma once
+// SWAR (SIMD-within-a-register) emulation of the GPU register ISA.
+//
+// The paper's dequantization kernels (LiquidQuant, Section 5.3, Figure 8; and
+// the QServe baseline, Section 3.2) operate on 32-bit registers holding four
+// packed 8-bit lanes or eight packed 4-bit lanes.  A `std::uint32_t` on the CPU
+// has *identical* semantics to a GPU general-purpose register, so every device
+// instruction the paper uses maps to a portable C++ expression:
+//
+//   LOP.AND / LOP.XOR / LOP.OR   -> &, ^, |
+//   SHF / SHR / SHL              -> >>, <<
+//   IMAD (32-bit d = a*b + c)    -> a * b + c   (wrapping, as on hardware)
+//   LOP3 (3-input boolean)       -> one logical op (hardware fuses 2 into 1)
+//   PRMT (byte permute)          -> byte gather
+//
+// Every op routes through an IsaCounter so kernels can report their exact
+// instruction mix — this is the paper's per-element dequantization cost "alpha"
+// (Section 3.2/3.3), the quantity that decides whether dequantization can hide
+// behind TMA loads and tensor-core MMA.
+//
+// `vadd4` (QServe's packed byte add) is NOT a native instruction on
+// Ampere/Hopper; NVCC lowers it to a sequence of bitwise/arithmetic ops.  We
+// implement the same carry-isolation lowering and count every constituent
+// instruction, reproducing the pressure the paper measured (21% of warp stalls).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace liquid {
+
+/// Tally of emulated hardware instructions, by class.
+struct IsaCounter {
+  std::uint64_t logic = 0;   // AND/OR/XOR/NOT (LOP)
+  std::uint64_t lop3 = 0;    // fused 3-input boolean
+  std::uint64_t shift = 0;   // SHL/SHR/SHF
+  std::uint64_t imad = 0;    // integer multiply-add (also plain IADD/IMUL)
+  std::uint64_t prmt = 0;    // byte permute
+  std::uint64_t setp = 0;    // predicate set (comparisons)
+  std::uint64_t sel = 0;     // select / predicated move
+
+  [[nodiscard]] std::uint64_t Total() const {
+    return logic + lop3 + shift + imad + prmt + setp + sel;
+  }
+  void Reset() { *this = IsaCounter{}; }
+  [[nodiscard]] std::string ToString() const;
+
+  IsaCounter& operator+=(const IsaCounter& o) {
+    logic += o.logic;
+    lop3 += o.lop3;
+    shift += o.shift;
+    imad += o.imad;
+    prmt += o.prmt;
+    setp += o.setp;
+    sel += o.sel;
+    return *this;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Emulated register ISA.  Each function performs the operation and charges the
+// counter (if provided).  The counter parameter is last and defaults to null
+// so hot loops can run uninstrumented at full speed.
+// ---------------------------------------------------------------------------
+namespace isa {
+
+using u32 = std::uint32_t;
+
+inline u32 And(u32 a, u32 b, IsaCounter* c = nullptr) {
+  if (c) ++c->logic;
+  return a & b;
+}
+inline u32 Or(u32 a, u32 b, IsaCounter* c = nullptr) {
+  if (c) ++c->logic;
+  return a | b;
+}
+inline u32 Xor(u32 a, u32 b, IsaCounter* c = nullptr) {
+  if (c) ++c->logic;
+  return a ^ b;
+}
+inline u32 Not(u32 a, IsaCounter* c = nullptr) {
+  if (c) ++c->logic;
+  return ~a;
+}
+inline u32 Shr(u32 a, unsigned n, IsaCounter* c = nullptr) {
+  if (c) ++c->shift;
+  return a >> n;
+}
+inline u32 Shl(u32 a, unsigned n, IsaCounter* c = nullptr) {
+  if (c) ++c->shift;
+  return a << n;
+}
+
+/// 32-bit integer multiply-add: d = a*b + c, wrapping on overflow exactly as
+/// the hardware IMAD does.  Plain IADD / IMUL are IMAD with b==1 / c==0 and
+/// issue on the same pipe, so they are charged here too.
+inline u32 Imad(u32 a, u32 b, u32 addend, IsaCounter* c = nullptr) {
+  if (c) ++c->imad;
+  return a * b + addend;
+}
+inline u32 Iadd(u32 a, u32 b, IsaCounter* c = nullptr) {
+  if (c) ++c->imad;
+  return a + b;
+}
+
+/// LOP3: arbitrary 3-input boolean.  We expose the two fusions the NVCC
+/// backend actually emits for these kernels.
+inline u32 Lop3AndOr(u32 a, u32 mask, u32 orv, IsaCounter* c = nullptr) {
+  if (c) ++c->lop3;
+  return (a & mask) | orv;
+}
+inline u32 Lop3AndXor(u32 a, u32 mask, u32 xorv, IsaCounter* c = nullptr) {
+  if (c) ++c->lop3;
+  return (a & mask) ^ xorv;
+}
+
+/// PRMT: gather four bytes from the 64-bit concatenation {b,a} according to
+/// the low 4 nibbles of `selector` (hardware semantics, mode 0).
+inline u32 Prmt(u32 a, u32 b, u32 selector, IsaCounter* c = nullptr) {
+  if (c) ++c->prmt;
+  const std::uint64_t src =
+      (static_cast<std::uint64_t>(b) << 32) | static_cast<std::uint64_t>(a);
+  u32 out = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned sel = (selector >> (4 * i)) & 0x7u;
+    const unsigned sign = (selector >> (4 * i)) & 0x8u;
+    std::uint8_t byte =
+        static_cast<std::uint8_t>((src >> (8 * sel)) & 0xFFu);
+    if (sign) {  // replicate MSB (sign mode)
+      byte = (byte & 0x80u) ? 0xFFu : 0x00u;
+    }
+    out |= static_cast<u32>(byte) << (8 * i);
+  }
+  return out;
+}
+
+/// vadd4: per-byte wrapping add of two registers holding four int8 lanes.
+/// Not native on Hopper — lowered to the standard carry-isolation sequence.
+/// Charges every constituent instruction (6 ops), matching the "dozen
+/// low-level operations" pressure for the two vadds QServe needs.
+inline u32 Vadd4(u32 a, u32 b, IsaCounter* c = nullptr) {
+  // Carry-isolation: add the low 7 bits of each byte, then patch the MSBs.
+  const u32 low_mask = 0x7F7F7F7Fu;
+  const u32 a_low = And(a, low_mask, c);
+  const u32 b_low = And(b, low_mask, c);
+  const u32 sum_low = Iadd(a_low, b_low, c);
+  const u32 msb_xor = Xor(a, b, c);
+  const u32 msb = And(msb_xor, ~low_mask, c);
+  return Xor(sum_low, msb, c);
+}
+
+/// vsub4: per-byte wrapping subtract, lowered like vadd4 (via two's
+/// complement of each byte lane: ~b + 0x01010101 per-lane add).
+inline u32 Vsub4(u32 a, u32 b, IsaCounter* c = nullptr) {
+  const u32 nb = Not(b, c);
+  const u32 ones = 0x01010101u;
+  // a + ~b + 1 per lane == vadd4(a, vadd4(~b, 0x01010101)).
+  const u32 negb = Vadd4(nb, ones, c);
+  return Vadd4(a, negb, c);
+}
+
+}  // namespace isa
+
+// ---------------------------------------------------------------------------
+// Packed-lane helpers (not charged: these are host-side conveniences used to
+// build test vectors, not part of any kernel's instruction stream).
+// ---------------------------------------------------------------------------
+
+/// Packs four uint8 lanes into a register, lane 0 in the least significant byte.
+constexpr std::uint32_t PackBytes(std::uint8_t b0, std::uint8_t b1,
+                                  std::uint8_t b2, std::uint8_t b3) {
+  return static_cast<std::uint32_t>(b0) | (static_cast<std::uint32_t>(b1) << 8) |
+         (static_cast<std::uint32_t>(b2) << 16) |
+         (static_cast<std::uint32_t>(b3) << 24);
+}
+
+/// Extracts lane `i` (0 = least significant byte).
+constexpr std::uint8_t ByteLane(std::uint32_t reg, int i) {
+  return static_cast<std::uint8_t>((reg >> (8 * i)) & 0xFFu);
+}
+
+/// Packs eight 4-bit lanes in the paper's interleaved nibble order
+/// (Figure 8): register layout [w7 w3 | w6 w2 | w5 w1 | w4 w0], i.e. byte i
+/// holds (w(i+4) << 4) | w(i).
+constexpr std::uint32_t PackNibblesInterleaved(const std::array<std::uint8_t, 8>& w) {
+  std::uint32_t reg = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t byte =
+        static_cast<std::uint32_t>((w[static_cast<std::size_t>(i + 4)] << 4) |
+                                   (w[static_cast<std::size_t>(i)] & 0xFu));
+    reg |= byte << (8 * i);
+  }
+  return reg;
+}
+
+/// Inverse of PackNibblesInterleaved.
+constexpr std::array<std::uint8_t, 8> UnpackNibblesInterleaved(std::uint32_t reg) {
+  std::array<std::uint8_t, 8> w{};
+  for (int i = 0; i < 4; ++i) {
+    const std::uint8_t byte = ByteLane(reg, i);
+    w[static_cast<std::size_t>(i)] = byte & 0xFu;
+    w[static_cast<std::size_t>(i + 4)] = byte >> 4;
+  }
+  return w;
+}
+
+/// Broadcasts one byte to all four lanes (e.g. the packed zero-offset `a`).
+constexpr std::uint32_t BroadcastByte(std::uint8_t b) {
+  return 0x01010101u * static_cast<std::uint32_t>(b);
+}
+
+}  // namespace liquid

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <sstream>
+
+namespace liquid {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != ',' && c != 'x' &&
+               c != '%' && c != 'e' && c != '(' && c != ')' && c != ' ') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table& Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+  return *this;
+}
+
+Table& Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), pending_rule_});
+  pending_rule_ = false;
+  return *this;
+}
+
+Table& Table::AddRule() {
+  pending_rule_ = true;
+  return *this;
+}
+
+std::string Table::Render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells, bool align_right) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const bool right = align_right && LooksNumeric(cell);
+      const std::size_t pad = width[c] - cell.size();
+      os << ' ';
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    emit_row(header_, /*align_right=*/false);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.rule_before) rule();
+    emit_row(r.cells, /*align_right=*/true);
+  }
+  rule();
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const { os << Render(); }
+void Table::Print() const { Print(std::cout); }
+
+}  // namespace liquid

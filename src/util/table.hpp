@@ -1,0 +1,38 @@
+#pragma once
+// Column-aligned ASCII table printer.  Every bench binary reproduces a paper
+// table/figure by printing one of these, so the output reads like the paper's
+// rows/series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace liquid {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& SetHeader(std::vector<std::string> header);
+  Table& AddRow(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  Table& AddRule();
+
+  /// Renders with column alignment; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string Render() const;
+  void Print(std::ostream& os) const;
+  void Print() const;  // to stdout
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace liquid

@@ -1,0 +1,150 @@
+#include "core/quant/first_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace liquid {
+namespace {
+
+MatrixF RandomWeights(std::size_t n, std::size_t k, std::uint64_t seed,
+                      double outlier_frac = 0.0) {
+  Rng rng(seed);
+  MatrixF w(n, k);
+  auto vals = outlier_frac > 0 ? rng.OutlierTensor(n * k, 0.05, outlier_frac, 15.0)
+                               : rng.GaussianTensor(n * k, 0.05);
+  for (std::size_t i = 0; i < w.size(); ++i) w.Flat()[i] = vals[i];
+  return w;
+}
+
+TEST(FirstLevelTest, ProtectiveRangeIsEnforced) {
+  const MatrixF w = RandomWeights(16, 256, 1, 0.02);
+  const FirstLevelResult q = QuantizeFirstLevel(w);
+  for (const std::int8_t v : q.q.Flat()) {
+    EXPECT_GE(v, -kProtectiveMax);
+    EXPECT_LE(v, kProtectiveMax);
+  }
+}
+
+TEST(FirstLevelTest, FullRangeWhenUnprotected) {
+  MatrixF w(1, 4);
+  w.At(0, 0) = 1.0f;
+  w.At(0, 1) = -1.0f;
+  w.At(0, 2) = 0.5f;
+  w.At(0, 3) = 0.0f;
+  FirstLevelOptions opt;
+  opt.protective_range = false;
+  const FirstLevelResult q = QuantizeFirstLevel(w, opt);
+  EXPECT_EQ(q.q.At(0, 0), 127);
+  EXPECT_EQ(q.q.At(0, 1), -127);
+}
+
+TEST(FirstLevelTest, MaxAbsElementHitsBound) {
+  const MatrixF w = RandomWeights(8, 128, 2);
+  const FirstLevelResult q = QuantizeFirstLevel(w);
+  for (std::size_t n = 0; n < w.rows(); ++n) {
+    int absmax = 0;
+    for (const std::int8_t v : q.q.Row(n)) {
+      absmax = std::max<int>(absmax, std::abs(static_cast<int>(v)));
+    }
+    EXPECT_EQ(absmax, kProtectiveMax) << "row " << n;
+  }
+}
+
+TEST(FirstLevelTest, ReconstructionErrorWithinHalfStep) {
+  const MatrixF w = RandomWeights(8, 128, 3);
+  const FirstLevelResult q = QuantizeFirstLevel(w);
+  const MatrixF rec = DequantizeFirstLevel(q);
+  for (std::size_t n = 0; n < w.rows(); ++n) {
+    const float half_step = q.channel_scale[n] * 0.5f * 1.0001f;
+    for (std::size_t k = 0; k < w.cols(); ++k) {
+      EXPECT_LE(std::fabs(rec.At(n, k) - w.At(n, k)), half_step);
+    }
+  }
+}
+
+TEST(FirstLevelTest, ZeroRowHasUnitScale) {
+  MatrixF w(2, 8);  // all zeros
+  const FirstLevelResult q = QuantizeFirstLevel(w);
+  EXPECT_EQ(q.channel_scale[0], 1.0f);
+  for (const std::int8_t v : q.q.Flat()) EXPECT_EQ(v, 0);
+}
+
+TEST(FirstLevelTest, SmoothingPreservesProduct) {
+  // X * W^T must be unchanged by (X / s) * (W * s)^T.
+  Rng rng(4);
+  MatrixF x(4, 64);
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  MatrixF w = RandomWeights(8, 64, 5);
+  const auto smooth = ComputeSmoothScale(x, w, 0.5);
+
+  // Direct dot product check on a few entries.
+  MatrixF xs = x;
+  MatrixF ws = w;
+  SmoothActivations(xs, smooth);
+  SmoothWeights(ws, smooth);
+  for (std::size_t m = 0; m < 4; ++m) {
+    for (std::size_t n = 0; n < 8; ++n) {
+      double before = 0;
+      double after = 0;
+      for (std::size_t k = 0; k < 64; ++k) {
+        before += static_cast<double>(x.At(m, k)) * w.At(n, k);
+        after += static_cast<double>(xs.At(m, k)) * ws.At(n, k);
+      }
+      EXPECT_NEAR(after, before, 1e-3 * (std::fabs(before) + 1.0));
+    }
+  }
+}
+
+TEST(FirstLevelTest, SmoothingReducesActivationOutlierImpact) {
+  // With activation outliers in a few columns, smoothing shifts difficulty
+  // into the weights: post-smoothing activation absmax per column shrinks.
+  Rng rng(6);
+  MatrixF x(16, 64);
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  for (std::size_t m = 0; m < 16; ++m) x.At(m, 7) *= 50.0f;  // outlier channel
+  MatrixF w = RandomWeights(8, 64, 7);
+  const auto smooth = ComputeSmoothScale(x, w, 0.5);
+  EXPECT_GT(smooth[7], smooth[3]);
+}
+
+TEST(FirstLevelTest, AlphaSearchReturnsCandidate) {
+  Rng rng(8);
+  MatrixF x(8, 64);
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  const MatrixF w = RandomWeights(8, 64, 9);
+  const std::vector<double> grid{0.3, 0.5, 0.7};
+  const double alpha = SearchSmoothAlpha(x, w, 64, grid);
+  EXPECT_TRUE(alpha == 0.3 || alpha == 0.5 || alpha == 0.7);
+}
+
+TEST(ActivationQuantTest, PerTokenRoundTrip) {
+  Rng rng(10);
+  MatrixF x(8, 128);
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 3));
+  const QuantizedActivations q = QuantizeActivationsPerToken(x);
+  const MatrixF rec = DequantizeActivations(q);
+  for (std::size_t m = 0; m < x.rows(); ++m) {
+    const float half_step = q.token_scale[m] * 0.5f * 1.0001f;
+    for (std::size_t k = 0; k < x.cols(); ++k) {
+      EXPECT_LE(std::fabs(rec.At(m, k) - x.At(m, k)), half_step);
+    }
+  }
+}
+
+TEST(ActivationQuantTest, ScalesArePerToken) {
+  MatrixF x(2, 4);
+  x.At(0, 0) = 127.0f;   // row 0 absmax 127 -> scale 1
+  x.At(1, 0) = 254.0f;   // row 1 absmax 254 -> scale 2
+  const QuantizedActivations q = QuantizeActivationsPerToken(x);
+  EXPECT_FLOAT_EQ(q.token_scale[0], 1.0f);
+  EXPECT_FLOAT_EQ(q.token_scale[1], 2.0f);
+  EXPECT_EQ(q.q.At(0, 0), 127);
+  EXPECT_EQ(q.q.At(1, 0), 127);
+}
+
+}  // namespace
+}  // namespace liquid

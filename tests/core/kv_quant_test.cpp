@@ -1,0 +1,171 @@
+// Tests for KV-cache quantization: INT8 per-channel static and INT4
+// per-token schemes, round-trip bounds, and attention-score fidelity.
+
+#include "core/quant/kv_quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace liquid {
+namespace {
+
+constexpr std::size_t kHeads = 4;
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kChannels = kHeads * kDim;
+
+std::vector<float> RandomToken(Rng& rng, double sd = 1.0) {
+  std::vector<float> t(kChannels);
+  for (auto& v : t) v = static_cast<float>(rng.Normal(0, sd));
+  return t;
+}
+
+TEST(KvInt8Test, CalibrationCoversSample) {
+  Rng rng(1);
+  std::vector<float> sample;
+  for (int i = 0; i < 64; ++i) {
+    const auto t = RandomToken(rng);
+    sample.insert(sample.end(), t.begin(), t.end());
+  }
+  const KvInt8Params params = CalibrateKvInt8(sample, kChannels);
+  // Every calibration value must quantize without clipping.
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const float scaled = sample[i] / params.channel_scale[i % kChannels];
+    EXPECT_LE(std::fabs(scaled), 127.0f);
+  }
+}
+
+TEST(KvInt8Test, RoundTripWithinHalfStepForCoveredValues) {
+  // Static quantization only guarantees the half-step bound for values
+  // inside the calibrated range; test with a scaled-down calibration token.
+  Rng rng(2);
+  std::vector<float> sample;
+  for (int i = 0; i < 32; ++i) {
+    const auto t = RandomToken(rng);
+    sample.insert(sample.end(), t.begin(), t.end());
+  }
+  const KvInt8Params params = CalibrateKvInt8(sample, kChannels);
+  std::vector<float> token(sample.begin(), sample.begin() + kChannels);
+  for (auto& v : token) v *= 0.9f;
+  std::vector<std::int8_t> q(kChannels);
+  std::vector<float> rec(kChannels);
+  QuantizeKvInt8(token, params, q);
+  DequantizeKvInt8(q, params, rec);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    EXPECT_LE(std::fabs(rec[c] - token[c]),
+              params.channel_scale[c] * 0.5f * 1.0001f);
+  }
+}
+
+TEST(KvInt8Test, OutOfRangeValuesClipSaturating) {
+  KvInt8Params params;
+  params.channel_scale.assign(kChannels, 0.01f);  // representable: +-1.27
+  std::vector<float> token(kChannels, 5.0f);      // far out of range
+  std::vector<std::int8_t> q(kChannels);
+  std::vector<float> rec(kChannels);
+  QuantizeKvInt8(token, params, q);
+  DequantizeKvInt8(q, params, rec);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    EXPECT_EQ(q[c], 127);
+    EXPECT_NEAR(rec[c], 1.27f, 1e-5);
+  }
+}
+
+TEST(KvInt8Test, PerChannelScalesTrackChannelMagnitudes) {
+  // A channel with 10x larger values gets a ~10x larger scale.
+  std::vector<float> sample(kChannels * 8);
+  Rng rng(3);
+  for (std::size_t t = 0; t < 8; ++t) {
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      sample[t * kChannels + c] =
+          static_cast<float>(rng.Normal(0, c == 5 ? 10.0 : 1.0));
+    }
+  }
+  const KvInt8Params params = CalibrateKvInt8(sample, kChannels);
+  EXPECT_GT(params.channel_scale[5], 4.0f * params.channel_scale[6]);
+}
+
+TEST(KvInt4Test, RoundTripWithinHalfStep) {
+  Rng rng(4);
+  const auto token = RandomToken(rng);
+  const KvInt4Token q = QuantizeKvInt4(token, kHeads, kDim);
+  std::vector<float> rec(kChannels);
+  DequantizeKvInt4(q, kHeads, kDim, rec);
+  for (std::size_t h = 0; h < kHeads; ++h) {
+    const float half_step = q.head_params[h].scale * 0.5f * 1.0001f;
+    for (std::size_t d = 0; d < kDim; ++d) {
+      EXPECT_LE(std::fabs(rec[h * kDim + d] - token[h * kDim + d]), half_step);
+    }
+  }
+}
+
+TEST(KvInt4Test, ExtremesAreExact) {
+  // Asymmetric UINT4 maps the head min and max exactly onto the grid ends.
+  std::vector<float> token(kChannels, 0.0f);
+  token[0] = -3.0f;  // head 0 min
+  token[1] = 5.0f;   // head 0 max
+  const KvInt4Token q = QuantizeKvInt4(token, kHeads, kDim);
+  std::vector<float> rec(kChannels);
+  DequantizeKvInt4(q, kHeads, kDim, rec);
+  EXPECT_NEAR(rec[0], -3.0f, 1e-5);
+  EXPECT_NEAR(rec[1], 5.0f, 1e-5);
+}
+
+TEST(KvInt4Test, HalvesInt8Storage) {
+  EXPECT_EQ(KvInt8BytesPerToken(kHeads, kDim), kChannels);
+  EXPECT_LT(KvInt4BytesPerToken(kHeads, kDim), kChannels / 2 + kHeads * 4 + 1);
+}
+
+TEST(KvQuantTest, AttentionScoreErrorSmall) {
+  // QK^T scores computed against an INT8-quantized K stay close to FP32 —
+  // the property the serving attention path relies on.
+  Rng rng(5);
+  std::vector<float> sample;
+  std::vector<std::vector<float>> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(RandomToken(rng));
+    sample.insert(sample.end(), keys.back().begin(), keys.back().end());
+  }
+  const KvInt8Params params = CalibrateKvInt8(sample, kChannels);
+  const auto query = RandomToken(rng);
+
+  std::vector<float> exact, approx;
+  std::vector<std::int8_t> q(kChannels);
+  std::vector<float> rec(kChannels);
+  for (const auto& key : keys) {
+    double dot = 0;
+    for (std::size_t c = 0; c < kDim; ++c) dot += query[c] * key[c];
+    exact.push_back(static_cast<float>(dot));
+    QuantizeKvInt8(key, params, q);
+    DequantizeKvInt8(q, params, rec);
+    double dot_q = 0;
+    for (std::size_t c = 0; c < kDim; ++c) dot_q += query[c] * rec[c];
+    approx.push_back(static_cast<float>(dot_q));
+  }
+  EXPECT_LT(RelativeFrobeniusError(exact, approx), 0.01);
+}
+
+TEST(KvQuantTest, Int4NoisierThanInt8) {
+  Rng rng(6);
+  std::vector<float> sample;
+  for (int i = 0; i < 32; ++i) {
+    const auto t = RandomToken(rng);
+    sample.insert(sample.end(), t.begin(), t.end());
+  }
+  const KvInt8Params p8 = CalibrateKvInt8(sample, kChannels);
+  const auto token = RandomToken(rng, 0.8);
+  std::vector<std::int8_t> q8(kChannels);
+  std::vector<float> rec8(kChannels), rec4(kChannels);
+  QuantizeKvInt8(token, p8, q8);
+  DequantizeKvInt8(q8, p8, rec8);
+  const KvInt4Token q4 = QuantizeKvInt4(token, kHeads, kDim);
+  DequantizeKvInt4(q4, kHeads, kDim, rec4);
+  EXPECT_LT(MeanSquaredError(token, rec8), MeanSquaredError(token, rec4));
+}
+
+}  // namespace
+}  // namespace liquid

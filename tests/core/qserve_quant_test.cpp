@@ -1,0 +1,155 @@
+// Tests for the QServe-style baseline quantizer, including a demonstration of
+// the wraparound hazard LiquidQuant eliminates (paper Sections 3.2 and 4).
+
+#include "core/quant/qserve_quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/quant/liquid_quant.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace liquid {
+namespace {
+
+MatrixF RandomWeights(std::size_t n, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF w(n, k);
+  for (auto& v : w.Flat()) v = static_cast<float>(rng.Normal(0, 0.05));
+  return w;
+}
+
+TEST(QserveQuantTest, ParamsInRange) {
+  const MatrixF w = RandomWeights(16, 512, 1);
+  const QserveWeights q = QuantizeWeightsQserve(w);
+  for (const QserveGroupParams& p : q.group_params) {
+    EXPECT_GE(p.scale, 1);
+    EXPECT_LE(p.scale, 16);
+    EXPECT_LE(p.zero, 15);
+    EXPECT_EQ(p.zero_scaled, static_cast<std::uint8_t>(p.zero * p.scale));
+  }
+}
+
+TEST(QserveQuantTest, MultiplicationStaysUnsigned) {
+  // Progressive quantization guarantee: q_u4 * s <= 240 for all elements.
+  const MatrixF w = RandomWeights(16, 512, 2);
+  const QserveWeights q = QuantizeWeightsQserve(w);
+  for (std::size_t n = 0; n < q.n; ++n) {
+    for (std::size_t k = 0; k < q.k; ++k) {
+      const QserveGroupParams& p = q.Params(n, k / q.group_size);
+      EXPECT_LE(static_cast<int>(q.U4At(n, k)) * p.scale, 240);
+    }
+  }
+}
+
+TEST(QserveQuantTest, SecondLevelErrorBounded) {
+  const MatrixF w = RandomWeights(16, 256, 3);
+  const FirstLevelResult first = QuantizeFirstLevel(w);
+  QserveOptions opt;
+  opt.group_size = 128;
+  const QserveWeights q = QuantizeSecondLevelQserve(first, opt);
+  const MatrixI8 rec = DequantizeSecondLevelReferenceQserve(q);
+  for (std::size_t n = 0; n < q.n; ++n) {
+    for (std::size_t k = 0; k < q.k; ++k) {
+      const QserveGroupParams& p = q.Params(n, k / q.group_size);
+      // Zero-point rounding adds up to s/2 on top of value rounding.
+      EXPECT_LE(std::abs(static_cast<int>(rec.At(n, k)) -
+                         static_cast<int>(first.q.At(n, k))),
+                p.scale + 1);
+    }
+  }
+}
+
+TEST(QserveQuantTest, SubtractionCanCrossZero) {
+  // The reason vsub4 is needed: dequantized values are signed, so the packed
+  // subtraction must borrow across the zero boundary.  Verify a typical
+  // weight tensor has both signs after dequantization.
+  const MatrixF w = RandomWeights(8, 256, 4);
+  const QserveWeights q = QuantizeWeightsQserve(w);
+  const MatrixI8 rec = DequantizeSecondLevelReferenceQserve(q);
+  bool saw_neg = false;
+  bool saw_pos = false;
+  for (const std::int8_t v : rec.Flat()) {
+    saw_neg |= v < 0;
+    saw_pos |= v > 0;
+  }
+  EXPECT_TRUE(saw_neg);
+  EXPECT_TRUE(saw_pos);
+}
+
+TEST(QserveQuantTest, NaiveByteAdditionWouldWrap) {
+  // Reproduce the paper's overflow demonstration in QServe terms: for a
+  // group with min = -104, the scaled zero is large, and q_u4*s - z*s as a
+  // plain unsigned byte subtraction wraps; the two's-complement wrap is only
+  // correct because |result| < 128 — which zero-point *clamping* can violate
+  // for extreme asymmetric groups.  Verify the clamp distorts such a group.
+  MatrixI8 q(1, 128);
+  for (std::size_t k = 0; k < 128; ++k) q.At(0, k) = -119;  // extreme
+  q.At(0, 0) = 119;
+  FirstLevelResult first;
+  first.q = std::move(q);
+  first.channel_scale = {1.0f};
+  const QserveWeights qs = QuantizeSecondLevelQserve(first);
+  const QserveGroupParams& p = qs.Params(0, 0);
+  // z = round(119/16) = 7, but the exact zero point would be 119/15.867:
+  // reconstruction of the max element saturates the UINT4 grid.
+  const MatrixI8 rec = DequantizeSecondLevelReferenceQserve(qs);
+  EXPECT_LE(p.zero, 15);
+  EXPECT_LE(std::abs(static_cast<int>(rec.At(0, 0)) - 119), p.scale + 1);
+}
+
+TEST(QserveQuantTest, ComparableAccuracyToLqq) {
+  // Both second levels quantize the same INT8 tensor to 4 bits; their MSE
+  // should be within ~2x of each other on Gaussian data (QServe's zero-point
+  // rounding costs it a little).
+  const MatrixF w = RandomWeights(32, 512, 5);
+  LqqOptions lopt;
+  lopt.group_size = 64;
+  QserveOptions qopt;
+  qopt.group_size = 64;
+  const MatrixF rec_lqq = DequantizeWeightsLqq(QuantizeWeightsLqq(w, lopt));
+  const MatrixF rec_qs = DequantizeWeightsQserve(QuantizeWeightsQserve(w, qopt));
+  const double mse_lqq = MeanSquaredError(w.Flat(), rec_lqq.Flat());
+  const double mse_qs = MeanSquaredError(w.Flat(), rec_qs.Flat());
+  EXPECT_LT(mse_lqq, mse_qs * 2.0);
+  EXPECT_LT(mse_qs, mse_lqq * 2.0);
+}
+
+struct QserveSweepParam {
+  std::size_t n;
+  std::size_t k;
+  std::size_t group;
+};
+
+class QserveSweepTest : public ::testing::TestWithParam<QserveSweepParam> {};
+
+TEST_P(QserveSweepTest, ScalarDequantMatchesDefinition) {
+  const auto [n, k, g] = GetParam();
+  const MatrixF w = RandomWeights(n, k, 99 + n + k);
+  QserveOptions opt;
+  opt.group_size = g;
+  const QserveWeights q = QuantizeWeightsQserve(w, opt);
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t col = 0; col < k; ++col) {
+      const QserveGroupParams& p = q.Params(row, col / g);
+      const int expect = static_cast<int>(q.U4At(row, col)) * p.scale -
+                         static_cast<int>(p.zero) * p.scale;
+      EXPECT_EQ(QserveDequantElement(q.U4At(row, col), p.scale, p.zero_scaled),
+                static_cast<std::int8_t>(expect));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QserveSweepTest,
+    ::testing::Values(QserveSweepParam{1, 128, 128},
+                      QserveSweepParam{4, 256, 64},
+                      QserveSweepParam{8, 256, 128},
+                      QserveSweepParam{16, 512, 128},
+                      QserveSweepParam{3, 384, 128}));
+
+}  // namespace
+}  // namespace liquid

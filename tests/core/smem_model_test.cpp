@@ -1,0 +1,88 @@
+// Tests for the shared-memory transaction model (paper Section 5.2): the
+// dual-MMA packed layout is conflict-free and fully utilized; the
+// conventional layout wastes bandwidth, issues more instructions, and
+// conflicts; ldmatrix on UINT4 misdelivers.
+
+#include "core/layout/smem_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace liquid {
+namespace {
+
+std::array<std::uint64_t, 32> Addrs(std::uint64_t base, std::uint64_t stride) {
+  std::array<std::uint64_t, 32> a{};
+  for (int i = 0; i < 32; ++i) {
+    a[static_cast<std::size_t>(i)] = base + stride * static_cast<std::uint64_t>(i);
+  }
+  return a;
+}
+
+TEST(SmemModelTest, ContiguousLds128IsConflictFree) {
+  const auto addrs = Addrs(0, 16);
+  const SmemAccessReport r =
+      AnalyzeWarpLoad(addrs, LdsWidth::kLds128, 16);
+  EXPECT_EQ(r.memory_cycles, 4);  // one cycle per 8-thread phase
+  EXPECT_EQ(r.min_cycles, 4);
+  EXPECT_DOUBLE_EQ(r.ConflictFactor(), 1.0);
+  EXPECT_DOUBLE_EQ(r.BandwidthEfficiency(), 1.0);
+}
+
+TEST(SmemModelTest, ContiguousLds32IsConflictFree) {
+  const auto addrs = Addrs(0, 4);
+  const SmemAccessReport r = AnalyzeWarpLoad(addrs, LdsWidth::kLds32, 4);
+  EXPECT_EQ(r.memory_cycles, 1);
+  EXPECT_DOUBLE_EQ(r.ConflictFactor(), 1.0);
+}
+
+TEST(SmemModelTest, StrideCausesConflicts) {
+  // Stride of 128 bytes = 32 words: every thread hits bank 0.
+  const auto addrs = Addrs(0, 128);
+  const SmemAccessReport r = AnalyzeWarpLoad(addrs, LdsWidth::kLds32, 4);
+  EXPECT_EQ(r.memory_cycles, 32);  // fully serialized
+  EXPECT_DOUBLE_EQ(r.ConflictFactor(), 32.0);
+}
+
+TEST(SmemModelTest, SameAddressBroadcasts) {
+  const auto addrs = Addrs(64, 0);  // all threads read the same word
+  const SmemAccessReport r = AnalyzeWarpLoad(addrs, LdsWidth::kLds32, 4);
+  EXPECT_EQ(r.memory_cycles, 1);
+}
+
+TEST(SmemModelTest, DualMmaTileLoadIsIdeal) {
+  const SmemAccessReport r = DualMmaTileLoadCost();
+  // 4 warps x 1 LDS.128 each, conflict-free, every byte consumed.
+  EXPECT_EQ(r.instructions, 4);
+  EXPECT_DOUBLE_EQ(r.ConflictFactor(), 1.0);
+  EXPECT_DOUBLE_EQ(r.BandwidthEfficiency(), 1.0);
+  EXPECT_EQ(r.bytes_loaded, 4u * 32 * 16);  // the whole 2 KiB supertile
+}
+
+TEST(SmemModelTest, ConventionalLayoutWastesHalfTheBandwidth) {
+  const SmemAccessReport r = ConventionalTileLoadCost();
+  EXPECT_DOUBLE_EQ(r.BandwidthEfficiency(), 0.5);  // "half the data is unused"
+}
+
+TEST(SmemModelTest, ConventionalLayoutIssuesMoreInstructions) {
+  const SmemAccessReport dual = DualMmaTileLoadCost();
+  const SmemAccessReport conv = ConventionalTileLoadCost();
+  // 8x the warp-wide load instructions (4 vectors x 2 MMAs vs 1 LDS.128).
+  EXPECT_EQ(conv.instructions, 8 * dual.instructions);
+  EXPECT_GT(conv.memory_cycles, dual.memory_cycles);
+}
+
+TEST(SmemModelTest, ConventionalLayoutHasBankConflicts) {
+  const SmemAccessReport conv = ConventionalTileLoadCost();
+  EXPECT_GT(conv.ConflictFactor(), 1.0);
+}
+
+TEST(SmemModelTest, LdmatrixMisdeliversUint4) {
+  // Figure 7a: with packed 4-bit elements, 75% of each thread's data lands
+  // in the wrong lane — the instruction is unusable, not merely slow.
+  EXPECT_DOUBLE_EQ(LdmatrixMisdeliveryFraction(), 0.75);
+}
+
+}  // namespace
+}  // namespace liquid

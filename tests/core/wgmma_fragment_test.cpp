@@ -1,0 +1,75 @@
+// Tests for the WGMMA m64k32 fragment geometry (paper Figure 7a).
+
+#include "core/layout/wgmma_fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace liquid {
+namespace {
+
+TEST(WgmmaFragmentTest, CoordsInBounds) {
+  for (int t = 0; t < kWgThreads; ++t) {
+    for (int e = 0; e < kElemsPerThread; ++e) {
+      const FragCoord c = WgmmaFragmentCoord(t, e);
+      EXPECT_GE(c.row, 0);
+      EXPECT_LT(c.row, kFragRows);
+      EXPECT_GE(c.col, 0);
+      EXPECT_LT(c.col, kFragCols);
+    }
+  }
+}
+
+TEST(WgmmaFragmentTest, FragmentIsAPartition) {
+  // The 128 threads x 16 elements exactly tile the 64x32 fragment: every
+  // coordinate owned once, none twice, none missed.
+  std::set<std::pair<int, int>> seen;
+  for (int t = 0; t < kWgThreads; ++t) {
+    for (int e = 0; e < kElemsPerThread; ++e) {
+      const FragCoord c = WgmmaFragmentCoord(t, e);
+      EXPECT_TRUE(seen.insert({c.row, c.col}).second)
+          << "duplicate (" << c.row << "," << c.col << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kFragRows * kFragCols));
+}
+
+TEST(WgmmaFragmentTest, WarpOwnsSixteenRowSlab) {
+  for (int t = 0; t < kWgThreads; ++t) {
+    const int warp = t / 32;
+    for (int e = 0; e < kElemsPerThread; ++e) {
+      const FragCoord c = WgmmaFragmentCoord(t, e);
+      EXPECT_GE(c.row, 16 * warp);
+      EXPECT_LT(c.row, 16 * (warp + 1));
+    }
+  }
+}
+
+TEST(WgmmaFragmentTest, VectorsAreContiguousInK) {
+  // Each 4-element vector covers 4 consecutive k columns in one row —
+  // the property the packed-register unpack relies on.
+  for (int t = 0; t < kWgThreads; ++t) {
+    for (int vec = 0; vec < kVectorsPerThread; ++vec) {
+      const FragCoord first = WgmmaFragmentCoord(t, vec * 4);
+      for (int j = 1; j < 4; ++j) {
+        const FragCoord c = WgmmaFragmentCoord(t, vec * 4 + j);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.col, first.col + j);
+      }
+    }
+  }
+}
+
+TEST(WgmmaFragmentTest, ThreadQuadPattern) {
+  // Lanes 0..3 of warp 0 sit in row 0 (Figure 7a's T0 T1 T2 T3 top row).
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(WgmmaFragmentCoord(lane, 0).row, 0);
+    EXPECT_EQ(WgmmaFragmentCoord(lane, 0).col, 4 * lane);
+  }
+  // Lane 4 starts row 1.
+  EXPECT_EQ(WgmmaFragmentCoord(4, 0).row, 1);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,133 @@
+// Tests of the analytical cost model against the numbers the paper derives
+// from it (Section 3.3): transition batch sizes 150/300 on H100 and 156 on
+// A100, the alpha budget ~5.07, and roofline geometry.
+
+#include "model/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dequant/dequant.hpp"
+
+namespace liquid::model {
+namespace {
+
+const HardwareSpec kH100 = HardwareSpec::H100();
+const HardwareSpec kA100 = HardwareSpec::A100();
+
+TEST(CostModelTest, TransitionBatchSizesMatchPaper) {
+  // "batch size thresholds of 150 for W4A8 and 300 for W8A8 on H100"
+  EXPECT_NEAR(TransitionBatchSize(kH100, PrecisionConfig::W4A8(kH100, 0)),
+              150.0, 1.0);
+  EXPECT_NEAR(TransitionBatchSize(kH100, PrecisionConfig::W8A8(kH100)),
+              300.0, 1.0);
+  // "156 for W8A8 on A100"
+  EXPECT_NEAR(TransitionBatchSize(kA100, PrecisionConfig::W8A8(kA100)),
+              156.0, 1.0);
+}
+
+TEST(CostModelTest, AlphaBudgetMatchesPaper) {
+  // "the instruction cost per dequantized element must be alpha <= 5.07 on
+  // H100" (memory-bound overlap).
+  EXPECT_NEAR(AlphaBudgetMemoryBound(kH100, PrecisionConfig::W4A8(kH100, 0)),
+              5.07, 0.01);
+  // "threshold becomes alpha <= 5.05 when M = 150" (compute-bound).
+  EXPECT_NEAR(
+      AlphaBudgetComputeBound(kH100, PrecisionConfig::W4A8(kH100, 0), 150.0),
+      5.08, 0.05);
+}
+
+TEST(CostModelTest, LqqMeetsAlphaBudgetQserveDoesNot) {
+  const double budget =
+      AlphaBudgetMemoryBound(kH100, PrecisionConfig::W4A8(kH100, 0));
+  EXPECT_LT(liquid::MeasureAlphaLqq(), budget);
+  // QServe's dequant arithmetic plus its layout's load/address overhead
+  // (~1 instr/elem, Section 5.2) breaks the budget.
+  EXPECT_GT(liquid::MeasureAlphaQserve() + 1.0, budget * 0.95);
+}
+
+TEST(CostModelTest, MemoryBoundRegimeFavorsW4OverW8) {
+  const GemmShape shape{16, 8192, 8192};
+  const auto w4 = PredictGemm(kH100, PrecisionConfig::W4A8(kH100, 0.875), shape);
+  const auto w8 = PredictGemm(kH100, PrecisionConfig::W8A8(kH100), shape);
+  EXPECT_TRUE(w4.memory_bound);
+  EXPECT_TRUE(w8.memory_bound);
+  EXPECT_NEAR(w8.total / w4.total, 2.0, 0.2);
+}
+
+TEST(CostModelTest, ComputeBoundRegimeEqualizesW4AndW8WithoutDequant) {
+  const GemmShape shape{512, 8192, 8192};
+  CostModelOptions opt;
+  opt.tile_m = 512;  // let min(Mt, M) = M to probe the asymptotic regime
+  const auto w4 =
+      PredictGemm(kH100, PrecisionConfig::W4A8(kH100, 0), shape, opt);
+  const auto w8 = PredictGemm(kH100, PrecisionConfig::W8A8(kH100), shape, opt);
+  EXPECT_FALSE(w4.memory_bound);
+  EXPECT_NEAR(w4.total / w8.total, 1.0, 0.01);
+}
+
+TEST(CostModelTest, HighAlphaMakesW4A8SlowerThanW8A8) {
+  // Section 3.3's root cause: with QServe-like alpha, W4A8 loses its
+  // memory-bound advantage and falls behind in the compute-bound regime.
+  const GemmShape shape{256, 8192, 8192};
+  const double alpha_qserve = liquid::MeasureAlphaQserve() + 1.0;
+  const auto w4 =
+      PredictGemm(kH100, PrecisionConfig::W4A8(kH100, alpha_qserve), shape);
+  const auto w8 = PredictGemm(kH100, PrecisionConfig::W8A8(kH100), shape);
+  EXPECT_GT(w4.total, w8.total);
+}
+
+TEST(CostModelTest, DequantTermScalesWithAlpha) {
+  const GemmShape shape{64, 4096, 4096};
+  const auto lo = PredictGemm(kH100, PrecisionConfig::W4A8(kH100, 1.0), shape);
+  const auto hi = PredictGemm(kH100, PrecisionConfig::W4A8(kH100, 4.0), shape);
+  EXPECT_NEAR(hi.t_dequant / lo.t_dequant, 4.0, 1e-9);
+  EXPECT_EQ(hi.t_load, lo.t_load);
+  EXPECT_EQ(hi.t_mma, lo.t_mma);
+}
+
+TEST(CostModelTest, RooflineKneeOrdering) {
+  // Lower-precision weights move the knee right in element intensity
+  // terms only via compute; W4A8's knee (ops/element) sits at half of
+  // W8A8's because its element bandwidth doubles.
+  const double knee_w4 =
+      RooflineKneeIntensity(kH100, PrecisionConfig::W4A8(kH100, 0));
+  const double knee_w8 =
+      RooflineKneeIntensity(kH100, PrecisionConfig::W8A8(kH100));
+  const double knee_fp16 =
+      RooflineKneeIntensity(kH100, PrecisionConfig::Fp16(kH100));
+  EXPECT_NEAR(knee_w8 / knee_w4, 2.0, 1e-6);
+  // FP16 halves compute *and* element bandwidth: same knee as W8A8 (up to
+  // the published 989.4 vs 1978.9 TOPS rounding).
+  EXPECT_NEAR(knee_fp16 / knee_w8, 1.0, 1e-3);
+}
+
+TEST(CostModelTest, RooflineCurveShape) {
+  const auto cfg = PrecisionConfig::W4A8(kH100, 0);
+  const auto curve = RooflineCurve(kH100, cfg, 1000.0, 100);
+  ASSERT_EQ(curve.size(), 100u);
+  // Monotone non-decreasing, capped at peak.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].attainable_ops, curve[i - 1].attainable_ops);
+    EXPECT_LE(curve[i].attainable_ops, cfg.mma_ops * 1.0000001);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().attainable_ops, cfg.mma_ops);
+}
+
+TEST(CostModelTest, W4A4UnsupportedOnHopper) {
+  EXPECT_EQ(PrecisionConfig::W4A4(kH100).mma_ops, 0.0);
+  EXPECT_GT(PrecisionConfig::W4A4(kA100).mma_ops, 0.0);
+}
+
+TEST(CostModelTest, TileBoundOnArithmeticIntensity) {
+  // "the arithmetic intensity is ultimately bounded by the tile size Mt":
+  // growing M beyond Mt multiplies tiles instead of shrinking per-tile time.
+  const auto cfg = PrecisionConfig::W4A8(kH100, 0.875);
+  CostModelOptions opt;
+  opt.tile_m = 256;
+  const auto at256 = PredictGemm(kH100, cfg, {256, 8192, 8192}, opt);
+  const auto at512 = PredictGemm(kH100, cfg, {512, 8192, 8192}, opt);
+  EXPECT_NEAR(at512.total / at256.total, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace liquid::model

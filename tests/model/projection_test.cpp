@@ -1,0 +1,54 @@
+#include "model/projection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::model {
+namespace {
+
+TEST(ProjectionTest, PublishedGenerationsPresent) {
+  const auto gens = ProjectGenerations(0, 2.0, 1.3);
+  ASSERT_EQ(gens.size(), 3u);
+  EXPECT_EQ(gens[1].name, "A100");
+  EXPECT_EQ(gens[2].name, "H100");
+}
+
+TEST(ProjectionTest, TransitionMatchesPaperAnchors) {
+  const auto trend = TransitionTrend(ProjectGenerations(0, 2.0, 1.3));
+  // A100 W8A8: 156; H100 W8A8: 300 (paper Section 3.3).
+  EXPECT_NEAR(trend[1].w8a8_batch, 156.0, 1.0);
+  EXPECT_NEAR(trend[2].w8a8_batch, 300.0, 1.0);
+  // W4A8 halves the threshold on every generation.
+  for (const auto& p : trend) {
+    EXPECT_NEAR(p.w4a8_batch * 2.0, p.w8a8_batch, 1e-9);
+  }
+}
+
+TEST(ProjectionTest, ComputeOutpacingBandwidthRaisesThreshold) {
+  // Compute growing 2x/generation vs bandwidth 1.3x: the transition batch
+  // must grow ~1.54x per future generation.
+  const auto trend = TransitionTrend(ProjectGenerations(3, 2.0, 1.3));
+  for (std::size_t i = 3; i < trend.size(); ++i) {
+    EXPECT_NEAR(trend[i].w8a8_batch / trend[i - 1].w8a8_batch, 2.0 / 1.3,
+                1e-9);
+  }
+}
+
+TEST(ProjectionTest, BalancedGrowthKeepsThresholdFlat) {
+  const auto trend = TransitionTrend(ProjectGenerations(2, 1.5, 1.5));
+  EXPECT_NEAR(trend[3].w8a8_batch, trend[2].w8a8_batch, 1e-6);
+  EXPECT_NEAR(trend[4].w8a8_batch, trend[2].w8a8_batch, 1e-6);
+}
+
+TEST(ProjectionTest, KvBytesToSaturate) {
+  // Saturating H100 W8A8 (batch 300) on LLaMA2-7B at 1.5k context pins
+  // ~118 GB of INT8 KV; W4A8's batch 150 halves that — the paper's
+  // operational argument for W4A8.
+  const double kv_per_token = 262144.0;  // LLaMA2-7B INT8
+  const double w8 = KvBytesToSaturate(300, 1536, kv_per_token);
+  const double w4 = KvBytesToSaturate(150, 1536, kv_per_token);
+  EXPECT_NEAR(w8, 1.2e11, 2e9);
+  EXPECT_NEAR(w8 / w4, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace liquid::model

@@ -1,0 +1,62 @@
+#include "serving/attention_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::serving {
+namespace {
+
+const simgpu::HardwareSpec kH800 = simgpu::HardwareSpec::H800();
+const LlmConfig k7B = LlmConfig::Llama2_7B();
+
+TEST(AttentionModelTest, DecodeLinearInBatchAndLength) {
+  AttentionCostConfig cfg;
+  const double base = DecodeAttentionSeconds(kH800, k7B, cfg, 16, 1024);
+  EXPECT_NEAR(DecodeAttentionSeconds(kH800, k7B, cfg, 32, 1024), 2 * base,
+              1e-12);
+  EXPECT_NEAR(DecodeAttentionSeconds(kH800, k7B, cfg, 16, 2048), 2 * base,
+              1e-12);
+}
+
+TEST(AttentionModelTest, KvBitsScaleDecodeCost) {
+  AttentionCostConfig int8{8, 0.8, 1.15};
+  AttentionCostConfig int4{4, 0.8, 1.15};
+  const double t8 = DecodeAttentionSeconds(kH800, k7B, int8, 64, 1024);
+  const double t4 = DecodeAttentionSeconds(kH800, k7B, int4, 64, 1024);
+  EXPECT_NEAR(t8 / t4, 2.0, 1e-9);
+}
+
+TEST(AttentionModelTest, GqaReducesDecodeCost) {
+  // Mistral-7B (8 KV heads) vs LLaMA2-7B (32 KV heads), same hidden size.
+  AttentionCostConfig cfg;
+  const double mha = DecodeAttentionSeconds(kH800, k7B, cfg, 64, 1024);
+  const double gqa =
+      DecodeAttentionSeconds(kH800, LlmConfig::Mistral_7B(), cfg, 64, 1024);
+  EXPECT_NEAR(mha / gqa, 4.0, 1e-9);
+}
+
+TEST(AttentionModelTest, PrefillQuadraticInLength) {
+  AttentionCostConfig cfg;
+  const double t1 = PrefillAttentionSeconds(kH800, k7B, cfg, 8, 512);
+  const double t2 = PrefillAttentionSeconds(kH800, k7B, cfg, 8, 1024);
+  EXPECT_NEAR(t2 / t1, 4.0, 1e-9);
+}
+
+TEST(AttentionModelTest, EfficiencyDividesCost) {
+  AttentionCostConfig fast{8, 0.9, 1.15};
+  AttentionCostConfig slow{8, 0.45, 1.15};
+  const double tf = DecodeAttentionSeconds(kH800, k7B, fast, 64, 1024);
+  const double ts = DecodeAttentionSeconds(kH800, k7B, slow, 64, 1024);
+  EXPECT_NEAR(ts / tf, 2.0, 1e-9);
+}
+
+TEST(AttentionModelTest, DecodeCostSanityMagnitude) {
+  // Batch 128 x 1280 tokens of INT8 KV on LLaMA2-7B is ~43 GB -> ~15 ms at
+  // H800 bandwidth * 0.8.
+  AttentionCostConfig cfg{8, 0.8, 1.0};
+  const double t = DecodeAttentionSeconds(kH800, k7B, cfg, 128, 1280);
+  EXPECT_GT(t, 10e-3);
+  EXPECT_LT(t, 25e-3);
+}
+
+}  // namespace
+}  // namespace liquid::serving

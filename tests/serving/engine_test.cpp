@@ -1,0 +1,135 @@
+// Serving-engine tests: memory accounting, OOM behaviour (Table 1's OOM and
+// batch-limit entries), breakdown structure, and the qualitative end-to-end
+// relationships the paper reports.
+
+#include "serving/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::serving {
+namespace {
+
+const simgpu::HardwareSpec kH800 = simgpu::HardwareSpec::H800();
+
+ServingEngine Make(const SystemPreset& preset, const LlmConfig& model) {
+  return ServingEngine(kH800, preset, model);
+}
+
+TEST(EngineTest, WeightMemoryScalesWithPrecision) {
+  const LlmConfig m = LlmConfig::Llama2_7B();
+  const double fp16 = Make(SystemPreset::TrtFp16(), m).WeightMemoryBytes();
+  const double w8 = Make(SystemPreset::TrtW8A8(), m).WeightMemoryBytes();
+  const double w4 = Make(SystemPreset::LiquidServe(), m).WeightMemoryBytes();
+  EXPECT_GT(fp16, 1.9 * w8);
+  EXPECT_GT(w8, 1.7 * w4);  // 4-bit + group params + shared FP16 embeddings
+  // LLaMA2-7B FP16 weights ~13.5 GB.
+  EXPECT_NEAR(fp16, 13.5e9, 1.5e9);
+}
+
+TEST(EngineTest, Fp16SeventyBOoms) {
+  // Table 1: TRT-FP16 on LLaMA2-70B is OOM on 80 GB (weights alone ~138 GB).
+  const auto engine = Make(SystemPreset::TrtFp16(), LlmConfig::Llama2_70B());
+  const auto peak = engine.PeakThroughput(1024, 512);
+  EXPECT_TRUE(peak.oom);
+  EXPECT_EQ(peak.batch, 0u);
+}
+
+TEST(EngineTest, Fp16MixtralOoms) {
+  const auto engine = Make(SystemPreset::TrtFp16(), LlmConfig::Mixtral_8x7B());
+  EXPECT_TRUE(engine.PeakThroughput(1024, 512).oom);
+}
+
+TEST(EngineTest, W8A8MixtralUnsupported) {
+  const auto engine = Make(SystemPreset::TrtW8A8(), LlmConfig::Mixtral_8x7B());
+  const auto peak = engine.PeakThroughput(1024, 512);
+  EXPECT_FALSE(peak.supported);
+}
+
+TEST(EngineTest, QServeMixtralUnsupported) {
+  const auto engine = Make(SystemPreset::QServe(), LlmConfig::Mixtral_8x7B());
+  EXPECT_FALSE(engine.PeakThroughput(1024, 512).supported);
+}
+
+TEST(EngineTest, QuantizationExtendsMaxBatch) {
+  // 4-bit weights leave more room for KV cache -> larger feasible batch.
+  const LlmConfig m = LlmConfig::Llama2_70B();
+  const auto w4 = Make(SystemPreset::LiquidServe(), m);
+  const auto w8 = Make(SystemPreset::TrtW8A8(), m);
+  EXPECT_GT(w4.MaxBatch(1024, 512), 2 * w8.MaxBatch(1024, 512));
+}
+
+TEST(EngineTest, MemoryGrowsMonotonicallyWithBatch) {
+  const auto engine = Make(SystemPreset::LiquidServe(), LlmConfig::Llama2_7B());
+  double prev = 0;
+  for (std::size_t b = 1; b <= 256; b *= 2) {
+    const double mem = engine.MemoryBytes({1024, 512, b});
+    EXPECT_GT(mem, prev);
+    prev = mem;
+  }
+}
+
+TEST(EngineTest, RunProducesConsistentResult) {
+  const auto engine = Make(SystemPreset::LiquidServe(), LlmConfig::Llama2_7B());
+  const ServingResult r = engine.Run({1024, 512, 64});
+  ASSERT_FALSE(r.oom);
+  EXPECT_GT(r.tokens_per_second, 0);
+  EXPECT_GT(r.prefill_seconds, 0);
+  EXPECT_GT(r.decode_step_seconds, 0);
+  EXPECT_NEAR(r.total_seconds,
+              r.prefill_seconds + 512 * r.decode_step_seconds, 1e-9);
+  EXPECT_NEAR(r.tokens_per_second, 64.0 * 512 / r.total_seconds, 1e-6);
+  // Breakdown components all populated.
+  EXPECT_GT(r.decode_layer.gemm, 0);
+  EXPECT_GT(r.decode_layer.attention, 0);
+  EXPECT_GT(r.decode_layer.others, 0);
+}
+
+TEST(EngineTest, LiquidServeBeatsLiquidServeWo) {
+  // Table 1: swapping QServe's kernel into our stack costs 1.13-1.98x.
+  for (const auto& model :
+       {LlmConfig::Llama2_7B(), LlmConfig::Llama2_70B(), LlmConfig::Yi_34B()}) {
+    const auto full = Make(SystemPreset::LiquidServe(), model)
+                          .PeakThroughput(1024, 512);
+    const auto wo = Make(SystemPreset::LiquidServeWo(), model)
+                        .PeakThroughput(1024, 512);
+    const double speedup = full.tokens_per_second / wo.tokens_per_second;
+    EXPECT_GT(speedup, 1.05) << model.name;
+    EXPECT_LT(speedup, 2.5) << model.name;
+  }
+}
+
+TEST(EngineTest, LiquidServeBeatsQServeSystem) {
+  for (const auto& model : {LlmConfig::Llama2_7B(), LlmConfig::Llama3_8B()}) {
+    const auto liquid =
+        Make(SystemPreset::LiquidServe(), model).PeakThroughput(1024, 512);
+    const auto qserve =
+        Make(SystemPreset::QServe(), model).PeakThroughput(1024, 512);
+    EXPECT_GT(liquid.tokens_per_second, qserve.tokens_per_second) << model.name;
+  }
+}
+
+TEST(EngineTest, LiquidServeBeatsW8A8On70B) {
+  // Table 1's largest win: 3.16x over TRT-W8A8 on LLaMA2-70B (batch room).
+  const LlmConfig m = LlmConfig::Llama2_70B();
+  const auto liquid = Make(SystemPreset::LiquidServe(), m).PeakThroughput(1024, 512);
+  const auto w8 = Make(SystemPreset::TrtW8A8(), m).PeakThroughput(1024, 512);
+  const double speedup = liquid.tokens_per_second / w8.tokens_per_second;
+  EXPECT_GT(speedup, 1.8);
+  EXPECT_GT(liquid.batch, w8.batch);
+}
+
+TEST(EngineTest, ThroughputImprovesWithBatchInMemoryBoundRegime) {
+  const auto engine = Make(SystemPreset::LiquidServe(), LlmConfig::Llama2_7B());
+  const double t16 = engine.Run({1024, 512, 16}).tokens_per_second;
+  const double t64 = engine.Run({1024, 512, 64}).tokens_per_second;
+  EXPECT_GT(t64, t16);
+}
+
+TEST(EngineTest, DecodeStepGrowsWithKvLength) {
+  const auto engine = Make(SystemPreset::LiquidServe(), LlmConfig::Llama2_7B());
+  EXPECT_GT(engine.DecodeStepSeconds(64, 2048),
+            engine.DecodeStepSeconds(64, 512));
+}
+
+}  // namespace
+}  // namespace liquid::serving

@@ -1,0 +1,120 @@
+// Integration sweep: every (model, system) pair of Table 1 through the full
+// serving engine, checking structural invariants — finite positive costs,
+// memory monotonicity, feasibility logic, and cross-system consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serving/engine.hpp"
+#include "serving/system_preset.hpp"
+
+namespace liquid::serving {
+namespace {
+
+struct Cell {
+  std::size_t model_index;
+  std::size_t system_index;
+};
+
+class Table1CellTest : public ::testing::TestWithParam<Cell> {
+ protected:
+  static const std::vector<LlmConfig>& Models() {
+    static const auto models = LlmConfig::PaperModels();
+    return models;
+  }
+  static const std::vector<SystemPreset>& Systems() {
+    static const auto systems = SystemPreset::PaperSystems();
+    return systems;
+  }
+};
+
+TEST_P(Table1CellTest, RunIsWellFormed) {
+  const auto& model = Models()[GetParam().model_index];
+  const auto& preset = Systems()[GetParam().system_index];
+  const ServingEngine engine(simgpu::HardwareSpec::H800(), preset, model);
+
+  const ServingResult r = engine.Run({1024, 512, 8});
+  if (!preset.Supports(model)) {
+    EXPECT_FALSE(r.supported);
+    return;
+  }
+  if (r.oom) {
+    // OOM must be explained by the memory model.
+    EXPECT_GT(engine.MemoryBytes({1024, 512, 8}), 0.0);
+    return;
+  }
+  EXPECT_TRUE(std::isfinite(r.tokens_per_second));
+  EXPECT_GT(r.tokens_per_second, 0);
+  EXPECT_GT(r.prefill_seconds, 0);
+  EXPECT_GT(r.decode_step_seconds, 0);
+  EXPECT_GT(r.decode_layer.gemm, 0);
+  EXPECT_GT(r.decode_layer.attention, 0);
+  EXPECT_GE(r.memory_bytes, engine.WeightMemoryBytes());
+}
+
+TEST_P(Table1CellTest, DecodeStepMonotoneInBatch) {
+  const auto& model = Models()[GetParam().model_index];
+  const auto& preset = Systems()[GetParam().system_index];
+  if (!preset.Supports(model)) GTEST_SKIP();
+  const ServingEngine engine(simgpu::HardwareSpec::H800(), preset, model);
+  double prev = 0;
+  for (const std::size_t b : {1u, 8u, 64u}) {
+    const double step = engine.DecodeStepSeconds(b, 1024);
+    EXPECT_GE(step * 1.0000001, prev) << "batch " << b;
+    prev = step;
+  }
+}
+
+TEST_P(Table1CellTest, MemoryDecomposesSanely) {
+  const auto& model = Models()[GetParam().model_index];
+  const auto& preset = Systems()[GetParam().system_index];
+  const ServingEngine engine(simgpu::HardwareSpec::H800(), preset, model);
+  const double w = engine.WeightMemoryBytes();
+  // Weight memory must scale with the configured weight bits (4 / 8 / 16).
+  const double bits = preset.WeightBits();
+  const double expected =
+      model.TotalGemmWeights() * bits / 8.0 + model.EmbeddingWeights() * 2.0;
+  EXPECT_NEAR(w, expected, expected * 0.1);  // quant params < 10%
+  // Batch 2 costs more than batch 1 by at least one sequence of KV.
+  const double m1 = engine.MemoryBytes({1024, 512, 1});
+  const double m2 = engine.MemoryBytes({1024, 512, 2});
+  EXPECT_GE(m2 - m1, 1536 * model.KvBytesPerToken(preset.kv_bits) * 0.99);
+}
+
+std::vector<Cell> AllCells() {
+  std::vector<Cell> cells;
+  for (std::size_t m = 0; m < 8; ++m) {
+    for (std::size_t s = 0; s < 7; ++s) cells.push_back({m, s});
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, Table1CellTest,
+                         ::testing::ValuesIn(AllCells()));
+
+TEST(ServingIntegrationTest, W4KernelsLeaveMostRoomForKv) {
+  // Across every model, the W4 systems admit the largest batch.
+  for (const auto& model : LlmConfig::PaperModels()) {
+    const ServingEngine w4(simgpu::HardwareSpec::H800(),
+                           SystemPreset::LiquidServe(), model);
+    const ServingEngine fp16(simgpu::HardwareSpec::H800(),
+                             SystemPreset::TrtFp16(), model);
+    EXPECT_GE(w4.MaxBatch(1024, 512), fp16.MaxBatch(1024, 512)) << model.name;
+  }
+}
+
+TEST(ServingIntegrationTest, GqaModelsSupportLargerBatches) {
+  // LLaMA3-8B (8 KV heads) vs LLaMA2-7B (32): same system, ~4x smaller KV
+  // per token -> strictly larger feasible batch despite more weights.
+  const ServingEngine gqa(simgpu::HardwareSpec::H800(),
+                          SystemPreset::LiquidServe(),
+                          LlmConfig::Llama3_8B());
+  const ServingEngine mha(simgpu::HardwareSpec::H800(),
+                          SystemPreset::LiquidServe(),
+                          LlmConfig::Llama2_7B());
+  EXPECT_GT(gqa.MaxBatch(1024, 512, 4096), mha.MaxBatch(1024, 512, 4096));
+}
+
+}  // namespace
+}  // namespace liquid::serving

@@ -1,0 +1,124 @@
+// Tests of the PagedAttention-style block manager: allocation, growth,
+// fork/copy-on-write sharing, OOM behaviour, and accounting invariants.
+
+#include "serving/kv_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::serving {
+namespace {
+
+TEST(KvCacheTest, AllocatesCeilOfPromptBlocks) {
+  KvBlockManager m(100, 16);
+  EXPECT_TRUE(m.AddSequence(1, 33));  // 3 blocks
+  EXPECT_EQ(m.used_blocks(), 3u);
+  EXPECT_EQ(m.BlockTable(1).size(), 3u);
+  EXPECT_EQ(m.SequenceTokens(1), 33u);
+}
+
+TEST(KvCacheTest, AppendAllocatesOnBoundary) {
+  KvBlockManager m(100, 4);
+  ASSERT_TRUE(m.AddSequence(1, 4));  // exactly 1 full block
+  EXPECT_EQ(m.used_blocks(), 1u);
+  EXPECT_TRUE(m.AppendToken(1));  // token 5 -> new block
+  EXPECT_EQ(m.used_blocks(), 2u);
+  EXPECT_TRUE(m.AppendToken(1));  // token 6 -> same block
+  EXPECT_EQ(m.used_blocks(), 2u);
+}
+
+TEST(KvCacheTest, RejectsWhenPoolExhausted) {
+  KvBlockManager m(2, 16);
+  EXPECT_FALSE(m.AddSequence(1, 48));  // needs 3 > 2
+  EXPECT_EQ(m.used_blocks(), 0u);      // nothing leaked
+  EXPECT_TRUE(m.AddSequence(1, 32));
+  EXPECT_FALSE(m.AddSequence(2, 1));
+}
+
+TEST(KvCacheTest, AppendOomLeavesStateUnchanged) {
+  KvBlockManager m(1, 2);
+  ASSERT_TRUE(m.AddSequence(1, 2));
+  EXPECT_FALSE(m.AppendToken(1));  // would need block 2
+  EXPECT_EQ(m.SequenceTokens(1), 2u);
+}
+
+TEST(KvCacheTest, FreeReturnsBlocks) {
+  KvBlockManager m(10, 16);
+  ASSERT_TRUE(m.AddSequence(1, 160));
+  EXPECT_EQ(m.free_blocks(), 0u);
+  m.Free(1);
+  EXPECT_EQ(m.free_blocks(), 10u);
+  EXPECT_FALSE(m.HasSequence(1));
+}
+
+TEST(KvCacheTest, ForkSharesBlocks) {
+  KvBlockManager m(10, 16);
+  ASSERT_TRUE(m.AddSequence(1, 32));  // 2 blocks
+  ASSERT_TRUE(m.Fork(1, 2));
+  EXPECT_EQ(m.used_blocks(), 2u);  // shared, not copied
+  EXPECT_EQ(m.BlockTable(2), m.BlockTable(1));
+  // Freeing the parent keeps the child's blocks alive.
+  m.Free(1);
+  EXPECT_EQ(m.used_blocks(), 2u);
+  m.Free(2);
+  EXPECT_EQ(m.used_blocks(), 0u);
+}
+
+TEST(KvCacheTest, CopyOnWriteOnSharedTail) {
+  KvBlockManager m(10, 16);
+  ASSERT_TRUE(m.AddSequence(1, 20));  // blocks: [full, 4/16]
+  ASSERT_TRUE(m.Fork(1, 2));
+  EXPECT_EQ(m.cow_count(), 0u);
+  // Child appends into the shared partial tail -> must copy it.
+  EXPECT_TRUE(m.AppendToken(2));
+  EXPECT_EQ(m.cow_count(), 1u);
+  EXPECT_EQ(m.used_blocks(), 3u);
+  EXPECT_NE(m.BlockTable(2).back(), m.BlockTable(1).back());
+  // First block still shared.
+  EXPECT_EQ(m.BlockTable(2).front(), m.BlockTable(1).front());
+}
+
+TEST(KvCacheTest, ForkChainRefCounting) {
+  KvBlockManager m(10, 16);
+  ASSERT_TRUE(m.AddSequence(1, 16));
+  ASSERT_TRUE(m.Fork(1, 2));
+  ASSERT_TRUE(m.Fork(2, 3));
+  EXPECT_EQ(m.used_blocks(), 1u);
+  m.Free(1);
+  m.Free(2);
+  EXPECT_EQ(m.used_blocks(), 1u);  // seq 3 still holds it
+  m.Free(3);
+  EXPECT_EQ(m.used_blocks(), 0u);
+}
+
+TEST(KvCacheTest, DuplicateIdsRejected) {
+  KvBlockManager m(10, 16);
+  ASSERT_TRUE(m.AddSequence(1, 16));
+  EXPECT_FALSE(m.AddSequence(1, 16));
+  EXPECT_FALSE(m.Fork(1, 1));
+  EXPECT_FALSE(m.Fork(99, 2));  // unknown parent
+}
+
+TEST(KvCacheTest, ExactFillThenDrainCycle) {
+  // Property: repeated add/free cycles neither leak nor double-free.
+  KvBlockManager m(64, 8);
+  for (int round = 0; round < 50; ++round) {
+    for (SeqId s = 0; s < 8; ++s) {
+      ASSERT_TRUE(m.AddSequence(s, 64));  // 8 blocks each = full pool
+    }
+    EXPECT_EQ(m.free_blocks(), 0u);
+    EXPECT_FALSE(m.AddSequence(100, 1));
+    for (SeqId s = 0; s < 8; ++s) m.Free(s);
+    EXPECT_EQ(m.free_blocks(), 64u);
+  }
+}
+
+TEST(KvCacheTest, BlocksNeededHelper) {
+  KvBlockManager m(1, 16);
+  EXPECT_EQ(m.BlocksNeeded(0), 0u);
+  EXPECT_EQ(m.BlocksNeeded(1), 1u);
+  EXPECT_EQ(m.BlocksNeeded(16), 1u);
+  EXPECT_EQ(m.BlocksNeeded(17), 2u);
+}
+
+}  // namespace
+}  // namespace liquid::serving

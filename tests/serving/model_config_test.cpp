@@ -1,0 +1,92 @@
+#include "serving/model_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::serving {
+namespace {
+
+TEST(ModelConfigTest, ParameterCountsApproximatelyMatchModelNames) {
+  // GEMM + embedding weights should land near each model's nominal size.
+  struct Expect {
+    LlmConfig cfg;
+    double billions;
+    double tol;
+  };
+  const Expect cases[] = {
+      {LlmConfig::Llama2_7B(), 6.6, 0.6},
+      {LlmConfig::Llama2_13B(), 12.8, 1.0},
+      {LlmConfig::Llama2_70B(), 68.0, 3.0},
+      {LlmConfig::Llama1_30B(), 32.0, 2.0},
+      {LlmConfig::Llama3_8B(), 7.9, 0.6},
+      {LlmConfig::Mistral_7B(), 7.1, 0.5},
+      {LlmConfig::Yi_34B(), 34.0, 2.0},
+      {LlmConfig::Mixtral_8x7B(), 46.5, 2.5},
+  };
+  for (const auto& c : cases) {
+    const double params =
+        (c.cfg.TotalGemmWeights() + c.cfg.EmbeddingWeights()) / 1e9;
+    EXPECT_NEAR(params, c.billions, c.tol) << c.cfg.name;
+  }
+}
+
+TEST(ModelConfigTest, DenseLayerGemmShapes) {
+  const LlmConfig m = LlmConfig::Llama2_7B();
+  const auto calls = m.LayerGemms(32);
+  ASSERT_EQ(calls.size(), 4u);
+  // QKV fused: no GQA on LLaMA2-7B -> N = 3 * hidden.
+  EXPECT_EQ(calls[0].shape.n, 3u * 4096);
+  EXPECT_EQ(calls[0].shape.k, 4096u);
+  EXPECT_EQ(calls[0].shape.m, 32u);
+  // O projection.
+  EXPECT_EQ(calls[1].shape.n, 4096u);
+  // Gate+up fused.
+  EXPECT_EQ(calls[2].shape.n, 2u * 11008);
+  // Down.
+  EXPECT_EQ(calls[3].shape.n, 4096u);
+  EXPECT_EQ(calls[3].shape.k, 11008u);
+  for (const auto& c : calls) EXPECT_EQ(c.grouped, 1);
+}
+
+TEST(ModelConfigTest, GqaShrinksQkv) {
+  const LlmConfig m = LlmConfig::Llama2_70B();
+  const auto calls = m.LayerGemms(8);
+  // 8 KV heads x 128 = 1024 per K and V.
+  EXPECT_EQ(calls[0].shape.n, 8192u + 2u * 1024);
+}
+
+TEST(ModelConfigTest, MoeEmitsGroupedGemms) {
+  const LlmConfig m = LlmConfig::Mixtral_8x7B();
+  const auto calls = m.LayerGemms(64);
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[2].grouped, 8);
+  EXPECT_EQ(calls[3].grouped, 8);
+  // 64 tokens x top-2 / 8 experts = 16 tokens per expert.
+  EXPECT_EQ(calls[2].shape.m, 16u);
+}
+
+TEST(ModelConfigTest, MoeTokensPerExpertNeverZero) {
+  const LlmConfig m = LlmConfig::Mixtral_8x7B();
+  const auto calls = m.LayerGemms(1);
+  EXPECT_GE(calls[2].shape.m, 1u);
+}
+
+TEST(ModelConfigTest, KvBytesPerToken) {
+  const LlmConfig m = LlmConfig::Llama2_7B();
+  // 2 (K,V) * 32 heads * 128 dim * 32 layers at 8 bits = 256 KiB per token.
+  EXPECT_DOUBLE_EQ(m.KvBytesPerToken(8), 262144.0);
+  // INT4 KV cache halves it.
+  EXPECT_DOUBLE_EQ(m.KvBytesPerToken(4), 131072.0);
+  // GQA: LLaMA2-70B has 8/64 of the heads but 80 layers.
+  EXPECT_DOUBLE_EQ(LlmConfig::Llama2_70B().KvBytesPerToken(8),
+                   2.0 * 8 * 128 * 80);
+}
+
+TEST(ModelConfigTest, PaperModelListComplete) {
+  const auto models = LlmConfig::PaperModels();
+  ASSERT_EQ(models.size(), 8u);
+  EXPECT_EQ(models[0].name, "LLaMA1-30B");
+  EXPECT_EQ(models[7].name, "Mixtral-8x7B");
+}
+
+}  // namespace
+}  // namespace liquid::serving

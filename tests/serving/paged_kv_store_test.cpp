@@ -1,0 +1,126 @@
+// Tests for the paged KV store with real quantized storage.
+
+#include "serving/paged_kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace liquid::serving {
+namespace {
+
+constexpr std::size_t kHeads = 2;
+constexpr std::size_t kDim = 16;
+constexpr std::size_t kChannels = kHeads * kDim;
+
+KvInt8Params UnitParams() {
+  KvInt8Params p;
+  p.channel_scale.assign(kChannels, 0.05f);
+  return p;
+}
+
+std::vector<float> Token(Rng& rng) {
+  std::vector<float> t(kChannels);
+  for (auto& v : t) v = static_cast<float>(rng.Normal(0, 1.0));
+  return t;
+}
+
+TEST(PagedKvStoreTest, AppendGatherRoundTrip) {
+  PagedKvStore store(16, 4, kHeads, kDim, UnitParams(), UnitParams());
+  ASSERT_TRUE(store.AddSequence(1));
+  Rng rng(1);
+  std::vector<std::vector<float>> ks, vs;
+  for (int t = 0; t < 10; ++t) {  // spans 3 blocks of 4 tokens
+    ks.push_back(Token(rng));
+    vs.push_back(Token(rng));
+    ASSERT_TRUE(store.AppendToken(1, ks.back(), vs.back()));
+  }
+  EXPECT_EQ(store.SequenceTokens(1), 10u);
+  EXPECT_EQ(store.used_blocks(), 3u);
+
+  std::vector<float> k_out, v_out;
+  store.GatherSequence(1, k_out, v_out);
+  ASSERT_EQ(k_out.size(), 10 * kChannels);
+  for (int t = 0; t < 10; ++t) {
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      // Half-step bound at scale 0.05 (values within +-6.35 representable).
+      EXPECT_LE(std::fabs(k_out[t * kChannels + c] - ks[t][c]), 0.0251f);
+      EXPECT_LE(std::fabs(v_out[t * kChannels + c] - vs[t][c]), 0.0251f);
+    }
+  }
+}
+
+TEST(PagedKvStoreTest, ReadSingleTokenMatchesGather) {
+  PagedKvStore store(16, 4, kHeads, kDim, UnitParams(), UnitParams());
+  ASSERT_TRUE(store.AddSequence(7));
+  Rng rng(2);
+  for (int t = 0; t < 6; ++t) {
+    ASSERT_TRUE(store.AppendToken(7, Token(rng), Token(rng)));
+  }
+  std::vector<float> k_all, v_all;
+  store.GatherSequence(7, k_all, v_all);
+  std::vector<float> k(kChannels), v(kChannels);
+  for (std::size_t t = 0; t < 6; ++t) {
+    store.ReadToken(7, t, k, v);
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      EXPECT_EQ(k[c], k_all[t * kChannels + c]);
+      EXPECT_EQ(v[c], v_all[t * kChannels + c]);
+    }
+  }
+}
+
+TEST(PagedKvStoreTest, InterleavedSequencesStayIsolated) {
+  PagedKvStore store(16, 4, kHeads, kDim, UnitParams(), UnitParams());
+  ASSERT_TRUE(store.AddSequence(1));
+  ASSERT_TRUE(store.AddSequence(2));
+  Rng rng(3);
+  std::vector<float> k1 = Token(rng), k2 = Token(rng);
+  const std::vector<float> zeros(kChannels, 0.0f);
+  // Interleave appends so their blocks interleave physically.
+  ASSERT_TRUE(store.AppendToken(1, k1, zeros));
+  ASSERT_TRUE(store.AppendToken(2, k2, zeros));
+  ASSERT_TRUE(store.AppendToken(1, k1, zeros));
+  std::vector<float> k(kChannels), v(kChannels);
+  store.ReadToken(2, 0, k, v);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    EXPECT_NEAR(k[c], k2[c], 0.0251f);
+  }
+}
+
+TEST(PagedKvStoreTest, OomReturnsFalseWithoutCorruption) {
+  PagedKvStore store(2, 2, kHeads, kDim, UnitParams(), UnitParams());
+  ASSERT_TRUE(store.AddSequence(1));
+  Rng rng(4);
+  const auto t = Token(rng);
+  ASSERT_TRUE(store.AppendToken(1, t, t));  // block 1
+  ASSERT_TRUE(store.AppendToken(1, t, t));
+  ASSERT_TRUE(store.AppendToken(1, t, t));  // block 2
+  ASSERT_TRUE(store.AppendToken(1, t, t));
+  EXPECT_FALSE(store.AppendToken(1, t, t));  // pool exhausted
+  EXPECT_EQ(store.SequenceTokens(1), 4u);
+}
+
+TEST(PagedKvStoreTest, FreeRecyclesBlocksForNewSequences) {
+  PagedKvStore store(2, 2, kHeads, kDim, UnitParams(), UnitParams());
+  ASSERT_TRUE(store.AddSequence(1));
+  Rng rng(5);
+  const auto a = Token(rng);
+  ASSERT_TRUE(store.AppendToken(1, a, a));
+  store.Free(1);
+  EXPECT_EQ(store.used_blocks(), 0u);
+  // New sequence reuses the freed block; data is freshly written.
+  ASSERT_TRUE(store.AddSequence(2));
+  const auto b = Token(rng);
+  ASSERT_TRUE(store.AppendToken(2, b, b));
+  std::vector<float> k(kChannels), v(kChannels);
+  store.ReadToken(2, 0, k, v);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    EXPECT_NEAR(k[c], b[c], 0.0251f);
+  }
+}
+
+}  // namespace
+}  // namespace liquid::serving

@@ -1,0 +1,92 @@
+#include "serving/tensor_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::serving {
+namespace {
+
+const simgpu::HardwareSpec kH800 = simgpu::HardwareSpec::H800();
+
+TEST(TensorParallelTest, ShardDividesResources) {
+  const LlmConfig m = LlmConfig::Llama2_70B();
+  const LlmConfig shard = ShardModel(m, 8);
+  EXPECT_EQ(shard.heads, 8);
+  EXPECT_EQ(shard.kv_heads, 1);
+  EXPECT_EQ(shard.ffn_intermediate, 28672 / 8);
+  // Per-GPU GEMM weights are exactly 1/8 of the full model's.
+  EXPECT_NEAR(shard.TotalGemmWeights(), m.TotalGemmWeights() / 8.0,
+              m.TotalGemmWeights() * 1e-9);
+}
+
+TEST(TensorParallelTest, CanShardChecksDivisibility) {
+  EXPECT_TRUE(CanShard(LlmConfig::Llama2_70B(), 8));
+  EXPECT_TRUE(CanShard(LlmConfig::Llama2_7B(), 4));
+  // Mistral: 8 KV heads; TP 16 would need replication we don't model.
+  EXPECT_FALSE(CanShard(LlmConfig::Mistral_7B(), 16));
+  // LLaMA2-13B has 40 heads: TP 16 does not divide.
+  EXPECT_FALSE(CanShard(LlmConfig::Llama2_13B(), 16));
+  EXPECT_TRUE(CanShard(LlmConfig::Llama2_13B(), 8));
+}
+
+TEST(TensorParallelTest, AllReduceScalesWithDegreeAndLink) {
+  TensorParallelEngine tp2(kH800, SystemPreset::LiquidServe(),
+                           LlmConfig::Llama2_7B(), 2);
+  TensorParallelEngine tp8(kH800, SystemPreset::LiquidServe(),
+                           LlmConfig::Llama2_70B(), 8);
+  const double bytes = 1e6;
+  // 2*(tp-1)/tp factor: 1.0 at tp=2, 1.75 at tp=8.
+  EXPECT_NEAR(tp2.AllReduceSeconds(bytes) - 8e-6, bytes / 400e9, 1e-9);
+  EXPECT_NEAR(tp8.AllReduceSeconds(bytes) - 8e-6, 1.75 * bytes / 400e9, 1e-9);
+  // The H100's faster NVLink shrinks it.
+  TensorParallelEngine tp8_h100(simgpu::HardwareSpec::H100(),
+                                SystemPreset::LiquidServe(),
+                                LlmConfig::Llama2_70B(), 8);
+  EXPECT_LT(tp8_h100.AllReduceSeconds(bytes), tp8.AllReduceSeconds(bytes));
+}
+
+TEST(TensorParallelTest, Tp8MakesFp16SeventyBFeasible) {
+  // Single-GPU TRT-FP16 OOMs on LLaMA2-70B (Table 1); TP8 shards fit.
+  TensorParallelEngine tp(kH800, SystemPreset::TrtFp16(),
+                          LlmConfig::Llama2_70B(), 8);
+  const TpResult r = tp.Run({1024, 512, 32});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.tokens_per_second, 0);
+  EXPECT_LT(r.memory_per_gpu, 80e9);
+}
+
+TEST(TensorParallelTest, ScalingEfficiencyBelowOneAndReasonable) {
+  // W4A8 LLaMA2-7B fits one GPU, so TP2 pays all-reduce for less per-GPU
+  // work: efficiency must be in (0.3, 1.0).
+  TensorParallelEngine tp(kH800, SystemPreset::LiquidServe(),
+                          LlmConfig::Llama2_7B(), 2);
+  const TpResult r = tp.Run({1024, 512, 64});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.scaling_efficiency, 0.3);
+  EXPECT_LT(r.scaling_efficiency, 1.0);
+}
+
+TEST(TensorParallelTest, CutNvlinkHurtsScaling) {
+  // The H800's 400 GB/s NVLink (vs H100's 900) lowers TP efficiency — the
+  // deployment argument for single-GPU W4A8 serving on this part.
+  const ServingWorkload w{1024, 512, 64};
+  TensorParallelEngine h800(kH800, SystemPreset::LiquidServe(),
+                            LlmConfig::Llama2_7B(), 4);
+  TensorParallelEngine h100(simgpu::HardwareSpec::H100(),
+                            SystemPreset::LiquidServe(),
+                            LlmConfig::Llama2_7B(), 4);
+  const TpResult r800 = h800.Run(w);
+  const TpResult r100 = h100.Run(w);
+  ASSERT_TRUE(r800.feasible);
+  ASSERT_TRUE(r100.feasible);
+  EXPECT_GT(r800.allreduce_seconds_per_layer,
+            r100.allreduce_seconds_per_layer);
+}
+
+TEST(TensorParallelTest, InfeasibleDegreeReported) {
+  TensorParallelEngine tp(kH800, SystemPreset::LiquidServe(),
+                          LlmConfig::Llama2_13B(), 16);
+  EXPECT_FALSE(tp.Run({1024, 512, 16}).feasible);
+}
+
+}  // namespace
+}  // namespace liquid::serving

@@ -1,0 +1,181 @@
+// Invariant tests for the warp-group pipeline simulations (paper Section 5.1,
+// Figure 6): steady-state rates, overlap properties, and the ordering
+// ImFP <= ExCP and ImFP <= Serial that the design argues for.
+
+#include "simgpu/block_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::simgpu {
+namespace {
+
+BlockPipelineInput Base(PipelineKind kind, int k = 64) {
+  BlockPipelineInput in;
+  in.pipeline = kind;
+  in.k_iters = k;
+  in.t_load = 1.0;
+  in.t_dequant = 0.4;
+  in.t_mma = 1.2;
+  in.compute_wgs = 2;
+  in.fine_tasks = 4;
+  in.stage_depth = 4;
+  return in;
+}
+
+TEST(BlockPipelineTest, SymmetricSteadyStateIsMaxOfStages) {
+  // Memory-bound: per-iteration time -> t_load.
+  auto in = Base(PipelineKind::kSymmetric);
+  in.t_mma = 0.5;
+  const double k = in.k_iters;
+  const double total = SimulateBlockPipeline(in).total;
+  EXPECT_NEAR(total / k, in.t_load, 0.1);
+
+  // Compute-bound: per-iteration time -> t_mma.
+  in.t_mma = 2.0;
+  const double total2 = SimulateBlockPipeline(in).total;
+  EXPECT_NEAR(total2 / k, in.t_mma, 0.1);
+}
+
+TEST(BlockPipelineTest, SerialAddsDequantToCriticalPath) {
+  // Compute-bound serial: steady iteration = t_dq + t_mma.
+  auto in = Base(PipelineKind::kSerial);
+  in.t_load = 0.1;
+  const double total = SimulateBlockPipeline(in).total;
+  EXPECT_NEAR(total / in.k_iters, in.t_dequant + in.t_mma, 0.1);
+}
+
+TEST(BlockPipelineTest, ImFpHidesDequantBehindMma) {
+  // ImFP with t_dq < t_mma: dequant fully overlapped, steady rate = t_mma.
+  auto in = Base(PipelineKind::kImFP);
+  in.t_load = 0.1;
+  const BlockPipelineResult r = SimulateBlockPipeline(in);
+  EXPECT_NEAR(r.total / in.k_iters, in.t_mma, 0.15);
+  // And the tensor core is nearly saturated.
+  EXPECT_GT(r.mma_busy / r.total, 0.9);
+}
+
+TEST(BlockPipelineTest, ImFpBoundedByCudaWhenDequantDominates)
+{
+  // If alpha is huge (QServe-like) even ImFP becomes CUDA-bound.
+  auto in = Base(PipelineKind::kImFP);
+  in.t_load = 0.1;
+  in.t_dequant = 5.0;
+  const double total = SimulateBlockPipeline(in).total;
+  EXPECT_NEAR(total / in.k_iters, in.t_dequant, 0.3);
+}
+
+TEST(BlockPipelineTest, ImFpNoSlowerThanExCpAndSerial) {
+  for (const double t_dq : {0.1, 0.5, 1.0, 2.0}) {
+    for (const double t_mma : {0.5, 1.0, 2.0}) {
+      auto imfp = Base(PipelineKind::kImFP);
+      auto excp = Base(PipelineKind::kExCP);
+      auto serial = Base(PipelineKind::kSerial);
+      for (auto* in : {&imfp, &excp, &serial}) {
+        in->t_dequant = t_dq;
+        in->t_mma = t_mma;
+        in->t_sync = 0.05;
+        in->t_smem_roundtrip = 0.2;
+      }
+      imfp.t_sync = imfp.t_smem_roundtrip = 0.0;    // ImFP pays neither
+      serial.t_sync = serial.t_smem_roundtrip = 0.0;
+      const double t_imfp = SimulateBlockPipeline(imfp).total;
+      const double t_excp = SimulateBlockPipeline(excp).total;
+      const double t_serial = SimulateBlockPipeline(serial).total;
+      EXPECT_LE(t_imfp, t_excp * 1.001) << t_dq << " " << t_mma;
+      EXPECT_LE(t_imfp, t_serial * 1.001) << t_dq << " " << t_mma;
+    }
+  }
+}
+
+TEST(BlockPipelineTest, ExCpRoundTripAndSyncHurtInMemoryBoundRegime) {
+  // Paper Figure 13: at small batch (memory bound) ExCP *degrades*
+  // performance versus the serial pipeline.
+  auto serial = Base(PipelineKind::kSerial);
+  serial.t_load = 2.0;  // memory bound
+  serial.t_mma = 0.3;
+  auto excp = serial;
+  excp.pipeline = PipelineKind::kExCP;
+  excp.t_smem_roundtrip = 0.8;
+  excp.t_sync = 0.4;
+  const double t_serial = SimulateBlockPipeline(serial).total;
+  const double t_excp = SimulateBlockPipeline(excp).total;
+  EXPECT_GE(t_excp, t_serial);
+}
+
+TEST(BlockPipelineTest, ExCpBeatsSerialWhenComputeBound) {
+  // At large batch the explicit pipeline's overlap outweighs its overheads.
+  auto serial = Base(PipelineKind::kSerial);
+  serial.t_load = 0.2;
+  serial.t_dequant = 1.0;
+  serial.t_mma = 1.5;
+  auto excp = serial;
+  excp.pipeline = PipelineKind::kExCP;
+  excp.t_smem_roundtrip = 0.2;
+  excp.t_sync = 0.05;
+  const double t_serial = SimulateBlockPipeline(serial).total;
+  const double t_excp = SimulateBlockPipeline(excp).total;
+  EXPECT_LT(t_excp, t_serial);
+}
+
+TEST(BlockPipelineTest, StageDepthLimitsLookahead) {
+  // With depth 1 (no double buffering) the symmetric pipeline serializes
+  // load and MMA; with depth 4 they overlap.
+  auto shallow = Base(PipelineKind::kSymmetric);
+  shallow.stage_depth = 1;
+  auto deep = Base(PipelineKind::kSymmetric);
+  deep.stage_depth = 4;
+  const double t_shallow = SimulateBlockPipeline(shallow).total;
+  const double t_deep = SimulateBlockPipeline(deep).total;
+  EXPECT_GT(t_shallow, t_deep);
+  EXPECT_NEAR(t_shallow / shallow.k_iters,
+              shallow.t_load + shallow.t_mma, 0.1);
+}
+
+TEST(BlockPipelineTest, MoreComputeWgsHelpUntilPipesSaturate) {
+  auto one = Base(PipelineKind::kImFP);
+  one.t_load = 0.1;
+  one.compute_wgs = 1;
+  auto two = one;
+  two.compute_wgs = 2;
+  const double t1 = SimulateBlockPipeline(one).total;
+  const double t2 = SimulateBlockPipeline(two).total;
+  // With 1 WG, dequant and MMA of the *same* WG still pipeline via async
+  // WGMMA, but two WGs can never be slower.
+  EXPECT_LE(t2, t1 * 1.001);
+}
+
+TEST(BlockPipelineTest, BusyTimesAreConsistent) {
+  auto in = Base(PipelineKind::kImFP);
+  const BlockPipelineResult r = SimulateBlockPipeline(in);
+  EXPECT_NEAR(r.load_busy, in.t_load * in.k_iters, 1e-9);
+  EXPECT_NEAR(r.dequant_busy, in.t_dequant * in.k_iters, 1e-9);
+  EXPECT_NEAR(r.mma_busy, in.t_mma * in.k_iters, 1e-9);
+  EXPECT_GE(r.total, r.mma_busy);
+}
+
+TEST(BlockPipelineTest, TraceRecordsWhenRequested) {
+  auto in = Base(PipelineKind::kExCP, 8);
+  in.record_trace = true;
+  const BlockPipelineResult r = SimulateBlockPipeline(in);
+  EXPECT_EQ(r.load_log.size(), 8u);
+  EXPECT_EQ(r.dequant_log.size(), 8u);
+  EXPECT_EQ(r.mma_log.size(), 8u);
+  // Causality: MMA i starts after dequant i ends (+ sync).
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(r.mma_log[i].start, r.dequant_log[i].end);
+    EXPECT_GE(r.dequant_log[i].start, r.load_log[i].end);
+  }
+}
+
+TEST(BlockPipelineTest, SingleIterationHasNoOverlapBenefit) {
+  auto in = Base(PipelineKind::kImFP, 1);
+  const double total = SimulateBlockPipeline(in).total;
+  // One iteration: load then compute; the fine tasks pipeline internally, so
+  // the lower bound is t_load + (t_dq + t_mma)/tasks-pipelined; it can never
+  // beat t_load + max stage.
+  EXPECT_GE(total, in.t_load + in.t_mma / in.fine_tasks);
+  EXPECT_LE(total, in.t_load + in.t_dequant + in.t_mma + 1e-9);
+}
+
+}  // namespace
+}  // namespace liquid::simgpu

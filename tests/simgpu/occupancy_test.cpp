@@ -1,0 +1,76 @@
+#include "simgpu/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::simgpu {
+namespace {
+
+TEST(OccupancyTest, BasicQuotients) {
+  SmResources sm;  // Hopper defaults
+  BlockFootprint block;
+  block.warps = 12;          // 3 warp groups
+  block.regs_per_thread = 96;
+  block.smem_bytes = 64 * 1024;
+  const OccupancyResult occ = ComputeOccupancy(sm, block);
+  EXPECT_EQ(occ.limited_by_warps, 64 / 12);
+  EXPECT_EQ(occ.limited_by_smem, static_cast<int>(sm.smem_bytes / block.smem_bytes));
+  EXPECT_EQ(occ.blocks_per_sm,
+            std::min({occ.limited_by_warps, occ.limited_by_registers,
+                      occ.limited_by_smem, occ.limited_by_slots}));
+}
+
+TEST(OccupancyTest, SmemBoundKernel) {
+  SmResources sm;
+  BlockFootprint block;
+  block.warps = 4;
+  block.regs_per_thread = 32;
+  block.smem_bytes = 200 * 1024;  // nearly the whole SM
+  const OccupancyResult occ = ComputeOccupancy(sm, block);
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_STREQ(occ.limiter, "smem");
+}
+
+TEST(OccupancyTest, LiquidKernelResidency) {
+  // The full-width (tile_m = 256) ping-pong configuration is register-bound
+  // at one block per SM — the CUTLASS Hopper norm for fat tiles; the
+  // simulator's L = 2 corresponds to the half-width tile each compute WG
+  // effectively owns.
+  const KernelConfig wide = KernelConfig::For(KernelKind::kLiquidW4A8);
+  const OccupancyResult occ_wide =
+      ComputeOccupancy(SmResources{}, FootprintFor(wide));
+  EXPECT_GE(occ_wide.blocks_per_sm, 1);
+  EXPECT_STREQ(occ_wide.limiter, "registers");
+  // Shrinking the accumulator footprint (small-batch tiles) restores
+  // multi-block residency.
+  KernelConfig narrow = wide;
+  narrow.tile_m = 64;
+  EXPECT_GE(ComputeOccupancy(SmResources{}, FootprintFor(narrow)).blocks_per_sm,
+            2);
+}
+
+TEST(OccupancyTest, TileMBoundedBySmem) {
+  // Section 3.3: the batch-side tile cannot grow arbitrarily — SMEM (and
+  // accumulator registers) cap it.  The bound must be finite and at least
+  // the 256 LiquidGEMM uses.
+  const KernelConfig cfg = KernelConfig::For(KernelKind::kLiquidW4A8);
+  const int max_tile = MaxTileMForSmem(SmResources{}, cfg, 1);
+  EXPECT_GE(max_tile, 256);
+  EXPECT_LE(max_tile, 512);
+  // Demanding 2 resident blocks tightens the bound.
+  EXPECT_LE(MaxTileMForSmem(SmResources{}, cfg, 2), max_tile);
+}
+
+TEST(OccupancyTest, ExCpCostsAWarpGroup) {
+  const KernelConfig imfp = KernelConfig::For(KernelKind::kLiquidW4A8);
+  const KernelConfig excp = KernelConfig::For(KernelKind::kLiquidW4A8ExCP);
+  // ExCP adds a dedicated dequant WG: more warps per block.
+  EXPECT_GT(FootprintFor(excp).warps, FootprintFor(imfp).warps - 4);
+}
+
+TEST(OccupancyTest, ZeroWarpBlockYieldsZero) {
+  const OccupancyResult occ = ComputeOccupancy(SmResources{}, BlockFootprint{});
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+}
+
+}  // namespace
+}  // namespace liquid::simgpu

@@ -1,0 +1,62 @@
+#include "simgpu/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace liquid::simgpu {
+namespace {
+
+BlockPipelineInput SmallPipeline() {
+  BlockPipelineInput in;
+  in.pipeline = PipelineKind::kExCP;
+  in.k_iters = 4;
+  in.t_load = 1e-6;
+  in.t_dequant = 0.5e-6;
+  in.t_mma = 1.2e-6;
+  in.t_sync = 0.1e-6;
+  in.record_trace = true;
+  return in;
+}
+
+TEST(TraceExportTest, ContainsAllEvents) {
+  const BlockPipelineResult result = SimulateBlockPipeline(SmallPipeline());
+  const std::string json = ToChromeTrace(result);
+  // 3 thread-name records + 1 process-name + 3 tracks x 4 iterations.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\""); pos != std::string::npos;
+       pos = json.find("\"ph\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4u + 12u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("TMA load"), std::string::npos);
+  EXPECT_NE(json.find("Tensor cores (MMA)"), std::string::npos);
+}
+
+TEST(TraceExportTest, DurationsInMicroseconds) {
+  const BlockPipelineResult result = SimulateBlockPipeline(SmallPipeline());
+  const std::string json = ToChromeTrace(result);
+  // The 1 us load must appear as "dur": 1 (within float formatting).
+  EXPECT_NE(json.find("\"dur\": 1"), std::string::npos);
+}
+
+TEST(TraceExportTest, WritesFile) {
+  const std::string path = "/tmp/liquid_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(SmallPipeline(), path, "excp"));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buf;
+  buf << file.rdbuf();
+  EXPECT_NE(buf.str().find("excp"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, BadPathReturnsFalse) {
+  EXPECT_FALSE(WriteChromeTrace(SmallPipeline(), "/nonexistent-dir/x.json"));
+}
+
+}  // namespace
+}  // namespace liquid::simgpu

@@ -1,0 +1,108 @@
+// Tests for the software binary16 type: exact round-trips, RNE rounding,
+// subnormals, overflow, and special values.
+
+#include "util/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace liquid {
+namespace {
+
+TEST(HalfTest, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {  // all integers <= 2^11 are exact
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(Half(f).ToFloat(), f) << i;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7BFFu);  // max finite half
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(Half(std::ldexp(1.0f, -24)).bits(), 0x0001u);
+  // Smallest normal: 2^-14.
+  EXPECT_EQ(Half(std::ldexp(1.0f, -14)).bits(), 0x0400u);
+}
+
+TEST(HalfTest, RoundTripAllBitPatterns) {
+  // Every finite half converts to float and back to the identical pattern.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const Half h = Half::FromBits(static_cast<std::uint16_t>(bits));
+    if (h.IsNan()) continue;
+    const Half back(h.ToFloat());
+    EXPECT_EQ(back.bits(), h.bits()) << "pattern 0x" << std::hex << bits;
+  }
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even (1.0).
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3C00u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even (1+2^-9).
+  EXPECT_EQ(Half(1.0f + 3 * std::ldexp(1.0f, -11)).bits(), 0x3C02u);
+  // Slightly above the halfway point rounds up.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -20)).bits(),
+            0x3C01u);
+}
+
+TEST(HalfTest, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).IsInf());   // rounds to 2^16 -> inf
+  EXPECT_TRUE(Half(1e9f).IsInf());
+  EXPECT_TRUE(Half(-1e9f).IsInf());
+  EXPECT_EQ(Half(65519.9f).bits(), 0x7BFFu);  // just below: max finite
+  EXPECT_TRUE(Half(std::numeric_limits<float>::infinity()).IsInf());
+}
+
+TEST(HalfTest, UnderflowToZero) {
+  EXPECT_EQ(Half(std::ldexp(1.0f, -26)).bits(), 0x0000u);  // below half of min subnormal
+  EXPECT_EQ(Half(-std::ldexp(1.0f, -26)).bits(), 0x8000u);
+}
+
+TEST(HalfTest, NanPropagates) {
+  const Half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.IsNan());
+  EXPECT_TRUE(std::isnan(h.ToFloat()));
+}
+
+TEST(HalfTest, SubnormalRoundTrip) {
+  for (std::uint16_t bits = 1; bits < 0x0400u; ++bits) {  // all subnormals
+    const Half h = Half::FromBits(bits);
+    EXPECT_EQ(Half(h.ToFloat()).bits(), bits);
+  }
+}
+
+TEST(HalfTest, ArithmeticMatchesFloatThenRound) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    const float b = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    const Half ha(a);
+    const Half hb(b);
+    EXPECT_EQ((ha * hb).bits(), Half(ha.ToFloat() * hb.ToFloat()).bits());
+    EXPECT_EQ((ha + hb).bits(), Half(ha.ToFloat() + hb.ToFloat()).bits());
+  }
+}
+
+TEST(HalfTest, QuantizeToHalfIsIdempotent) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.Normal(0.0, 10.0));
+    const float once = QuantizeToHalf(v);
+    EXPECT_EQ(QuantizeToHalf(once), once);
+    // Relative error bound for normal-range values: 2^-11.
+    if (std::fabs(v) > std::ldexp(1.0f, -14)) {
+      EXPECT_LE(std::fabs(once - v), std::fabs(v) * std::ldexp(1.0f, -11));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace liquid {
+namespace {
+
+TEST(StatsTest, SummaryBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = Summarize(std::span<const double>(v));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, SummaryEmpty) {
+  const Summary s = Summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5), 15.0);
+}
+
+TEST(StatsTest, MseAndSqnr) {
+  const std::vector<float> ref{1.0f, -1.0f, 1.0f, -1.0f};
+  const std::vector<float> rec{1.1f, -0.9f, 1.1f, -0.9f};
+  EXPECT_NEAR(MeanSquaredError(ref, rec), 0.01, 1e-6);
+  // Signal power 1, noise 0.01 -> 20 dB.
+  EXPECT_NEAR(SignalToQuantNoiseDb(ref, rec), 20.0, 1e-3);
+  EXPECT_NEAR(MaxAbsError(ref, rec), 0.1, 1e-6);
+}
+
+TEST(StatsTest, PerfectReconstructionIsInfiniteSqnr) {
+  const std::vector<float> ref{1.0f, 2.0f};
+  EXPECT_TRUE(std::isinf(SignalToQuantNoiseDb(ref, ref)));
+  EXPECT_DOUBLE_EQ(RelativeFrobeniusError(ref, ref), 0.0);
+}
+
+TEST(StatsTest, RelativeFrobenius) {
+  const std::vector<float> ref{3.0f, 4.0f};  // norm 5
+  const std::vector<float> rec{3.0f, 3.0f};  // error norm 1
+  EXPECT_NEAR(RelativeFrobeniusError(ref, rec), 0.2, 1e-6);
+}
+
+TEST(StatsTest, GeometricMean) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(GeometricMean(v), 2.0, 1e-12);
+  const std::vector<double> ones{1.0, 1.0, 1.0};
+  EXPECT_NEAR(GeometricMean(ones), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace liquid

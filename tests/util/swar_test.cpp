@@ -1,0 +1,133 @@
+// Tests for the emulated GPU register ISA: semantics of each instruction,
+// instruction accounting, and the vadd4/vsub4 lowerings against a per-byte
+// reference.
+
+#include "util/swar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace liquid {
+namespace {
+
+TEST(SwarTest, PackAndExtractBytes) {
+  const std::uint32_t reg = PackBytes(0x01, 0x02, 0x03, 0x04);
+  EXPECT_EQ(reg, 0x04030201u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ByteLane(reg, i), static_cast<std::uint8_t>(i + 1));
+  }
+}
+
+TEST(SwarTest, NibbleInterleaveRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<std::uint8_t, 8> w{};
+    for (auto& v : w) v = static_cast<std::uint8_t>(rng.Below(16));
+    const std::uint32_t reg = PackNibblesInterleaved(w);
+    EXPECT_EQ(UnpackNibblesInterleaved(reg), w);
+  }
+}
+
+TEST(SwarTest, NibbleInterleaveLayoutMatchesFigure8) {
+  // Figure 8: byte i of the register holds (w[i+4] << 4) | w[i].
+  const std::array<std::uint8_t, 8> w{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t reg = PackNibblesInterleaved(w);
+  EXPECT_EQ(ByteLane(reg, 0), 0x51);  // w4=5, w0=1
+  EXPECT_EQ(ByteLane(reg, 1), 0x62);
+  EXPECT_EQ(ByteLane(reg, 2), 0x73);
+  EXPECT_EQ(ByteLane(reg, 3), 0x84);
+}
+
+TEST(SwarTest, BroadcastByte) {
+  EXPECT_EQ(BroadcastByte(0xAB), 0xABABABABu);
+  EXPECT_EQ(BroadcastByte(0x00), 0u);
+}
+
+TEST(SwarTest, ImadWrapsLikeHardware) {
+  IsaCounter c;
+  // 32-bit wraparound semantics.
+  EXPECT_EQ(isa::Imad(0xFFFFFFFFu, 2, 3, &c), 1u);
+  EXPECT_EQ(c.imad, 1u);
+}
+
+TEST(SwarTest, PrmtGathersBytes) {
+  const std::uint32_t a = 0x44332211u;
+  const std::uint32_t b = 0x88776655u;
+  // Identity on a.
+  EXPECT_EQ(isa::Prmt(a, b, 0x3210), a);
+  // Select bytes 4..7 -> b.
+  EXPECT_EQ(isa::Prmt(a, b, 0x7654), b);
+  // Reverse of a.
+  EXPECT_EQ(isa::Prmt(a, b, 0x0123), 0x11223344u);
+  // Sign-replication mode: selector nibble 0xB = sign bit + byte 3 of a,
+  // which is 0x44 (MSB clear) -> replicated sign is 0x00.
+  EXPECT_EQ(isa::Prmt(a, b, 0x000B) & 0xFFu, 0x00u);
+  // Byte 7 (0x88, MSB set) -> 0xFF.
+  EXPECT_EQ(isa::Prmt(a, b, 0x000Fu) & 0xFFu, 0xFFu);
+}
+
+TEST(SwarTest, Vadd4MatchesPerByteReference) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.Next());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.Next());
+    const std::uint32_t got = isa::Vadd4(a, b);
+    for (int i = 0; i < 4; ++i) {
+      const std::uint8_t expect =
+          static_cast<std::uint8_t>(ByteLane(a, i) + ByteLane(b, i));
+      EXPECT_EQ(ByteLane(got, i), expect);
+    }
+  }
+}
+
+TEST(SwarTest, Vsub4MatchesPerByteReference) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.Next());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.Next());
+    const std::uint32_t got = isa::Vsub4(a, b);
+    for (int i = 0; i < 4; ++i) {
+      const std::uint8_t expect =
+          static_cast<std::uint8_t>(ByteLane(a, i) - ByteLane(b, i));
+      EXPECT_EQ(ByteLane(got, i), expect);
+    }
+  }
+}
+
+TEST(SwarTest, Vadd4CostsMultipleInstructions) {
+  // The paper's point: vadd4 is not native and lowers to several ops.
+  IsaCounter c;
+  (void)isa::Vadd4(0x01020304u, 0x05060708u, &c);
+  EXPECT_GE(c.Total(), 6u);
+  IsaCounter s;
+  (void)isa::Vsub4(0x01020304u, 0x05060708u, &s);
+  EXPECT_GT(s.Total(), c.Total());
+}
+
+TEST(SwarTest, CounterAccumulatesByClass) {
+  IsaCounter c;
+  (void)isa::And(1, 2, &c);
+  (void)isa::Xor(1, 2, &c);
+  (void)isa::Shr(8, 1, &c);
+  (void)isa::Imad(2, 3, 4, &c);
+  (void)isa::Lop3AndOr(1, 2, 3, &c);
+  EXPECT_EQ(c.logic, 2u);
+  EXPECT_EQ(c.shift, 1u);
+  EXPECT_EQ(c.imad, 1u);
+  EXPECT_EQ(c.lop3, 1u);
+  EXPECT_EQ(c.Total(), 5u);
+
+  IsaCounter d = c;
+  d += c;
+  EXPECT_EQ(d.Total(), 10u);
+}
+
+TEST(SwarTest, NullCounterIsFree) {
+  // Ops must work uninstrumented (the hot GEMM path passes nullptr).
+  EXPECT_EQ(isa::And(0xF0F0F0F0u, 0x0F0F0F0Fu), 0u);
+  EXPECT_EQ(isa::Xor(0xAAu, 0xFFu), 0x55u);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace liquid {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("demo");
+  t.SetHeader({"system", "tok/s"});
+  t.AddRow({"LiquidServe", "6721"});
+  t.AddRow({"QServe", "5402"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("LiquidServe"), std::string::npos);
+  EXPECT_NE(s.find("6721"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(TableTest, HandlesRaggedRows) {
+  Table t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(TableTest, RuleInsertsSeparator) {
+  Table t;
+  t.AddRow({"x"});
+  t.AddRule();
+  t.AddRow({"y"});
+  const std::string s = t.Render();
+  // 4 rules total: top, two around the ruled row... count occurrences.
+  std::size_t count = 0;
+  for (std::size_t pos = s.find('+'); pos != std::string::npos;
+       pos = s.find('+', pos + 1)) {
+    if (pos == 0 || s[pos - 1] == '\n') ++count;
+  }
+  EXPECT_EQ(count, 3u);  // top, before "y", bottom
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(Format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(FixedDouble(3.14159, 2), "3.14");
+}
+
+TEST(StringsTest, HumanTime) {
+  EXPECT_EQ(HumanTime(1.5), "1.500 s");
+  EXPECT_EQ(HumanTime(0.0015), "1.500 ms");
+  EXPECT_EQ(HumanTime(1.5e-6), "1.500 us");
+  EXPECT_EQ(HumanTime(5e-9), "5.0 ns");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(80e9), "74.51 GiB");
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(16694), "16,694");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+  EXPECT_EQ(WithCommas(-1234), "-1,234");
+}
+
+}  // namespace
+}  // namespace liquid
