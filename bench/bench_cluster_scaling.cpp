@@ -1,0 +1,98 @@
+// Fleet scaling study, two sweeps:
+//
+//  (1) Throughput vs. replica count at a fixed offered load: how close the
+//      cluster gets to linear scaling, and where queueing latency collapses
+//      once capacity exceeds the offered rate.
+//
+//  (2) Router-policy shootout on a skewed-prompt-length trace (log-uniform
+//      64..4096 prompt tokens against tight KV pools): queue depth is a poor
+//      proxy for KV pressure when a few huge prompts pin a replica's pool,
+//      so least-KV-load routing should beat round-robin on p99 TTFT.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::cluster;
+
+namespace {
+
+ReplicaSpec Replica() {
+  ReplicaSpec spec;
+  spec.hw = simgpu::HardwareSpec::H800();
+  spec.preset = serving::SystemPreset::LiquidServe();
+  spec.model = serving::LlmConfig::Llama2_7B();
+  spec.kv_pool_blocks = 512;  // 8192 KV tokens: one huge prompt can pin most
+                              // of a pool, which is what the shootout probes
+  spec.block_tokens = 16;
+  spec.max_batch = 64;
+  return spec;
+}
+
+std::vector<serving::TimedRequest> SkewedTrace(std::size_t count,
+                                               std::uint64_t seed) {
+  serving::TraceConfig config;
+  config.arrival_rate_per_s = 40.0;
+  config.count = count;
+  config.prompt_min = 64;
+  config.prompt_max = 6144;  // log-uniform: a heavy tail of huge prompts
+  config.output_min = 16;
+  config.output_max = 128;
+  config.sessions = 24;
+  return serving::GenerateTrace(config, seed);
+}
+
+FleetStats RunFleet(RoutePolicy policy, std::size_t replicas,
+                    const std::vector<serving::TimedRequest>& trace) {
+  ClusterSimulator sim(policy);
+  for (std::size_t i = 0; i < replicas; ++i) sim.AddReplica(Replica());
+  return sim.Run(trace);
+}
+
+}  // namespace
+
+int main() {
+  const auto trace = SkewedTrace(/*count=*/300, /*seed=*/77);
+
+  Table scaling("Throughput vs. replicas (least_kv, 300-request skewed trace)");
+  scaling.SetHeader({"replicas", "tok/s", "p50 TTFT", "p99 TTFT", "p99 e2e",
+                     "preempt", "dropped"});
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    const FleetStats s = RunFleet(RoutePolicy::kLeastKvLoad, n, trace);
+    scaling.AddRow({std::to_string(n),
+                    WithCommas(static_cast<long long>(
+                        s.throughput_tokens_per_s)),
+                    HumanTime(s.ttft.p50), HumanTime(s.ttft.p99),
+                    HumanTime(s.e2e.p99), std::to_string(s.preemptions),
+                    std::to_string(s.dropped)});
+  }
+  scaling.Print();
+  std::printf("\n");
+
+  Table shootout("Router policies, 4 replicas, skewed prompt lengths");
+  shootout.SetHeader({"policy", "p50 TTFT", "p99 TTFT", "p99 e2e", "tok/s",
+                      "preempt", "dropped"});
+  double rr_p99 = 0, kv_p99 = 0;
+  for (const RoutePolicy policy :
+       {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstanding,
+        RoutePolicy::kLeastKvLoad, RoutePolicy::kSessionAffinity}) {
+    const FleetStats s = RunFleet(policy, 4, trace);
+    if (policy == RoutePolicy::kRoundRobin) rr_p99 = s.ttft.p99;
+    if (policy == RoutePolicy::kLeastKvLoad) kv_p99 = s.ttft.p99;
+    shootout.AddRow({ToString(policy), HumanTime(s.ttft.p50),
+                     HumanTime(s.ttft.p99), HumanTime(s.e2e.p99),
+                     WithCommas(static_cast<long long>(
+                         s.throughput_tokens_per_s)),
+                     std::to_string(s.preemptions),
+                     std::to_string(s.dropped)});
+  }
+  shootout.Print();
+  std::printf("\nleast_kv p99 TTFT %s vs round_robin %s: %s\n",
+              HumanTime(kv_p99).c_str(), HumanTime(rr_p99).c_str(),
+              kv_p99 < rr_p99 ? "WIN" : "LOSS");
+  return 0;
+}

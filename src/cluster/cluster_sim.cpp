@@ -1,0 +1,169 @@
+#include "cluster/cluster_sim.hpp"
+
+#include <algorithm>
+
+namespace liquid::cluster {
+
+ClusterSimulator::ClusterSimulator(RoutePolicy policy,
+                                   AutoscaleConfig autoscale)
+    : router_(policy), autoscale_(autoscale) {}
+
+std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
+  Replica r;
+  r.id = replicas_.size();
+  r.spec = spec;
+  r.engine = std::make_unique<serving::ServingEngine>(spec.hw, spec.preset,
+                                                      spec.model, spec.options);
+  r.scheduler = std::make_unique<serving::ContinuousBatchScheduler>(
+      *r.engine, spec.kv_pool_blocks, spec.block_tokens, spec.max_batch);
+  if (!autoscale_spec_) autoscale_spec_ = spec;
+  replicas_.push_back(std::move(r));
+  return replicas_.back().id;
+}
+
+bool ClusterSimulator::RemoveReplica(std::size_t id) {
+  if (id >= replicas_.size() || !replicas_[id].active) return false;
+  if (ActiveReplicas() <= 1) return false;  // never strand in-flight work
+  Replica& victim = replicas_[id];
+  victim.active = false;
+  router_.ForgetReplica(id);
+  // Unfinished work (with carried TTFT/progress state) moves to the least
+  // loaded survivor; its scheduler clock is already on the shared clock.
+  std::vector<serving::Request> orphans = victim.scheduler->Drain();
+  for (const serving::Request& req : orphans) {
+    std::size_t best = replicas_.size();
+    for (const Replica& r : replicas_) {
+      if (!r.active) continue;
+      if (best == replicas_.size() ||
+          r.scheduler->outstanding() <
+              replicas_[best].scheduler->outstanding()) {
+        best = r.id;
+      }
+    }
+    replicas_[best].scheduler->Submit(req);
+    ++replicas_[best].submitted;
+    ++tally_.rerouted;
+  }
+  return true;
+}
+
+void ClusterSimulator::AdvanceTo(double deadline) {
+  for (Replica& r : replicas_) {
+    if (r.active) r.scheduler->StepUntil(deadline);
+  }
+}
+
+std::vector<ReplicaView> ClusterSimulator::Views() const {
+  std::vector<ReplicaView> views(replicas_.size());
+  for (const Replica& r : replicas_) {
+    ReplicaView& v = views[r.id];
+    v.alive = r.active;
+    v.outstanding = r.scheduler->outstanding();
+    v.free_kv_blocks = r.scheduler->pool().free_blocks();
+    v.total_kv_blocks = r.scheduler->pool().total_blocks();
+  }
+  return views;
+}
+
+std::optional<std::size_t> ClusterSimulator::SubmitAndRoute(
+    const serving::TimedRequest& request) {
+  ++tally_.submitted;
+  const std::optional<std::size_t> dest = router_.Route(request, Views());
+  if (!dest) {
+    ++tally_.dropped;  // no alive replica; folded into FleetStats.dropped
+    return std::nullopt;
+  }
+  replicas_[*dest].scheduler->SubmitTimed(request);
+  ++replicas_[*dest].submitted;
+  return dest;
+}
+
+std::size_t ClusterSimulator::ActiveReplicas() const {
+  std::size_t n = 0;
+  for (const Replica& r : replicas_) n += r.active ? 1 : 0;
+  return n;
+}
+
+std::size_t ClusterSimulator::TotalOutstanding() const {
+  std::size_t n = 0;
+  for (const Replica& r : replicas_) {
+    if (r.active) n += r.scheduler->outstanding();
+  }
+  return n;
+}
+
+void ClusterSimulator::MaybeAutoscale(double now) {
+  if (!autoscale_.enabled || !autoscale_spec_) return;
+  if (now - last_scale_event_ < autoscale_.cooldown_seconds) return;
+  const std::size_t active = ActiveReplicas();
+  if (active == 0) return;
+  const double mean_queue = static_cast<double>(TotalOutstanding()) /
+                            static_cast<double>(active);
+  if (mean_queue > autoscale_.queue_high && active < autoscale_.max_replicas) {
+    const std::size_t id = AddReplica(*autoscale_spec_);
+    replicas_[id].scheduler->StepUntil(now);  // join the shared clock
+    ++tally_.scale_ups;
+    last_scale_event_ = now;
+  } else if (mean_queue < autoscale_.queue_low &&
+             active > autoscale_.min_replicas) {
+    // Retire the least-loaded replica.
+    std::size_t victim = replicas_.size();
+    for (const Replica& r : replicas_) {
+      if (!r.active) continue;
+      if (victim == replicas_.size() ||
+          r.scheduler->outstanding() <
+              replicas_[victim].scheduler->outstanding()) {
+        victim = r.id;
+      }
+    }
+    if (victim < replicas_.size() && RemoveReplica(victim)) {
+      ++tally_.scale_downs;
+      last_scale_event_ = now;
+    }
+  }
+}
+
+FleetStats ClusterSimulator::Run(
+    const std::vector<serving::TimedRequest>& trace) {
+  std::vector<serving::TimedRequest> sorted = trace;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const serving::TimedRequest& a, const serving::TimedRequest& b) {
+              return a.arrival_seconds != b.arrival_seconds
+                         ? a.arrival_seconds < b.arrival_seconds
+                         : a.id < b.id;
+            });
+
+  for (const serving::TimedRequest& request : sorted) {
+    AdvanceTo(request.arrival_seconds);
+    MaybeAutoscale(request.arrival_seconds);
+    SubmitAndRoute(request);
+  }
+
+  // Arrivals are done: no further routing decisions, so each replica can run
+  // its residual work to completion independently.
+  for (Replica& r : replicas_) {
+    if (r.active) r.scheduler->RunToCompletion();
+  }
+
+  FleetStats stats = tally_;
+  stats.replicas_final = ActiveReplicas();
+  std::vector<serving::RequestTiming> timings;
+  for (const Replica& r : replicas_) {
+    ReplicaReport report;
+    report.id = r.id;
+    report.label = r.spec.Label();
+    report.active = r.active;
+    report.stats = r.scheduler->stats();
+    report.submitted = r.submitted;
+    stats.replicas.push_back(report);
+    const std::vector<serving::RequestTiming>& done =
+        r.scheduler->completions();
+    timings.insert(timings.end(), done.begin(), done.end());
+  }
+  const std::size_t routing_drops = stats.dropped;  // kept by Finalize rescan
+  FinalizeFleetStats(timings, stats);
+  stats.dropped += routing_drops;
+  return stats;
+}
+
+}  // namespace liquid::cluster

@@ -1,0 +1,104 @@
+#pragma once
+// Multi-replica cluster simulator: the fleet layer above the single-engine
+// serving loop.  N replicas — each a full Scheduler+ServingEngine over its
+// own paged-KV pool, optionally heterogeneous (A100 next to the paper's
+// target GPU, different presets/models) — advance on a shared simulated
+// clock while a Router places Poisson-trace arrivals.  Replicas can be added
+// or removed mid-run (an autoscaling hook keyed on mean queue depth does
+// both automatically); removing a replica drains its unfinished requests and
+// re-routes them, so conservation (completed + dropped == submitted) holds
+// across scale events.  Per-request timings from every replica pool into
+// FleetStats.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/fleet_stats.hpp"
+#include "cluster/router.hpp"
+#include "serving/engine.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/workload.hpp"
+
+namespace liquid::cluster {
+
+/// Everything needed to stand up one replica.
+struct ReplicaSpec {
+  simgpu::HardwareSpec hw;
+  serving::SystemPreset preset;
+  serving::LlmConfig model;
+  serving::EngineOptions options = {};
+  std::size_t kv_pool_blocks = 4096;
+  std::size_t block_tokens = 16;
+  std::size_t max_batch = 64;
+
+  [[nodiscard]] std::string Label() const { return hw.name + "/" + preset.name; }
+};
+
+/// Queue-depth autoscaler: when the mean outstanding requests per active
+/// replica crosses `queue_high`, a replica (cloned from the first spec) is
+/// added; below `queue_low` the least-loaded replica is drained and removed.
+struct AutoscaleConfig {
+  bool enabled = false;
+  double queue_high = 8.0;
+  double queue_low = 0.5;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 16;
+  double cooldown_seconds = 2.0;  ///< minimum time between scale events
+};
+
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(RoutePolicy policy = RoutePolicy::kLeastOutstanding,
+                            AutoscaleConfig autoscale = {});
+
+  /// Adds a replica (usable mid-run: its clock joins the fleet clock).
+  /// Returns the replica id, which is stable for the simulator's lifetime.
+  std::size_t AddReplica(const ReplicaSpec& spec);
+
+  /// Drains the replica's unfinished requests, re-routes them to the
+  /// remaining replicas, and deactivates it.  Its completed-request stats
+  /// are retained.  Returns false for an unknown/already-removed id or when
+  /// it is the last active replica.
+  bool RemoveReplica(std::size_t id);
+
+  /// Advances every active replica to `deadline` on the shared clock.
+  void AdvanceTo(double deadline);
+
+  /// Routes one request at its arrival time.  Returns the chosen replica id,
+  /// or nullopt (counted as a fleet drop) when no replica is alive.
+  std::optional<std::size_t> SubmitAndRoute(
+      const serving::TimedRequest& request);
+
+  /// Full episode: sorts the trace by arrival, interleaves advancing the
+  /// shared clock, autoscaling, and routing, then runs all replicas to
+  /// completion and aggregates FleetStats.
+  FleetStats Run(const std::vector<serving::TimedRequest>& trace);
+
+  [[nodiscard]] std::size_t ActiveReplicas() const;
+  [[nodiscard]] std::size_t TotalOutstanding() const;
+  [[nodiscard]] const Router& router() const { return router_; }
+
+ private:
+  struct Replica {
+    std::size_t id = 0;
+    ReplicaSpec spec;
+    std::unique_ptr<serving::ServingEngine> engine;
+    std::unique_ptr<serving::ContinuousBatchScheduler> scheduler;
+    bool active = true;
+    std::size_t submitted = 0;
+  };
+
+  [[nodiscard]] std::vector<ReplicaView> Views() const;
+  void MaybeAutoscale(double now);
+
+  Router router_;
+  AutoscaleConfig autoscale_;
+  std::vector<Replica> replicas_;
+  std::optional<ReplicaSpec> autoscale_spec_;  ///< first added spec
+  FleetStats tally_;  ///< counters accumulated during the run
+  double last_scale_event_ = -1e300;
+};
+
+}  // namespace liquid::cluster

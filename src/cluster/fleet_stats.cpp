@@ -1,0 +1,94 @@
+#include "cluster/fleet_stats.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace liquid::cluster {
+namespace {
+
+PercentileTriple Triple(std::span<const double> values) {
+  PercentileTriple t;
+  t.p50 = Percentile(values, 50);
+  t.p95 = Percentile(values, 95);
+  t.p99 = Percentile(values, 99);
+  return t;
+}
+
+}  // namespace
+
+void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
+                        FleetStats& stats) {
+  double first_arrival = 0, last_finish = 0;
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const serving::RequestTiming& t = timings[i];
+    first_arrival = i == 0 ? t.arrival : std::min(first_arrival, t.arrival);
+    last_finish = std::max(last_finish, t.finish);
+  }
+  const serving::LatencySamples samples =
+      serving::CollectLatencySamples(timings);
+  stats.generated_tokens = samples.generated_tokens;
+  stats.ttft = Triple(samples.ttft);
+  stats.tpot = Triple(samples.tpot);
+  stats.e2e = Triple(samples.e2e);
+  stats.span_seconds = timings.empty() ? 0 : last_finish - first_arrival;
+  stats.throughput_tokens_per_s =
+      stats.span_seconds > 0 ? stats.generated_tokens / stats.span_seconds : 0;
+
+  stats.completed = 0;
+  stats.dropped = 0;
+  stats.preemptions = 0;
+  for (ReplicaReport& r : stats.replicas) {
+    stats.completed += r.stats.completed;
+    stats.dropped += r.stats.dropped;
+    stats.preemptions += r.stats.preemptions;
+    r.utilization = stats.span_seconds > 0
+                        ? r.stats.busy_seconds / stats.span_seconds
+                        : 0;
+  }
+}
+
+void PrintFleetStats(const FleetStats& stats) {
+  Table fleet("Fleet summary");
+  fleet.SetHeader({"metric", "p50", "p95", "p99"});
+  fleet.AddRow({"TTFT", HumanTime(stats.ttft.p50), HumanTime(stats.ttft.p95),
+                HumanTime(stats.ttft.p99)});
+  fleet.AddRow({"TPOT", HumanTime(stats.tpot.p50), HumanTime(stats.tpot.p95),
+                HumanTime(stats.tpot.p99)});
+  fleet.AddRow({"end-to-end", HumanTime(stats.e2e.p50),
+                HumanTime(stats.e2e.p95), HumanTime(stats.e2e.p99)});
+  fleet.Print();
+
+  Table totals;
+  totals.SetHeader({"metric", "value"});
+  totals.AddRow({"submitted", std::to_string(stats.submitted)});
+  totals.AddRow({"completed", std::to_string(stats.completed)});
+  totals.AddRow({"dropped", std::to_string(stats.dropped)});
+  totals.AddRow({"preemptions", std::to_string(stats.preemptions)});
+  totals.AddRow({"rerouted (scale-down)", std::to_string(stats.rerouted)});
+  totals.AddRow({"scale-ups / scale-downs",
+                 Format("%zu / %zu", stats.scale_ups, stats.scale_downs)});
+  totals.AddRow({"final active replicas", std::to_string(stats.replicas_final)});
+  totals.AddRow({"span", HumanTime(stats.span_seconds)});
+  totals.AddRow({"fleet throughput (tok/s)",
+                 WithCommas(static_cast<long long>(
+                     stats.throughput_tokens_per_s))});
+  totals.Print();
+
+  Table per_replica("Per-replica");
+  per_replica.SetHeader({"id", "config", "state", "routed", "completed",
+                         "preempt", "util"});
+  for (const ReplicaReport& r : stats.replicas) {
+    per_replica.AddRow({std::to_string(r.id), r.label,
+                        r.active ? "active" : "removed",
+                        std::to_string(r.submitted),
+                        std::to_string(r.stats.completed),
+                        std::to_string(r.stats.preemptions),
+                        Format("%.1f%%", 100.0 * r.utilization)});
+  }
+  per_replica.Print();
+}
+
+}  // namespace liquid::cluster

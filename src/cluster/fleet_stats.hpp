@@ -1,0 +1,64 @@
+#pragma once
+// Fleet-level serving metrics: the per-request timings every replica records
+// are pooled here into the percentiles operators put SLOs on — p50/p95/p99
+// TTFT, TPOT, and end-to-end latency — plus per-replica utilization and the
+// conservation counters (submitted == completed + dropped) the cluster tests
+// assert on.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serving/scheduler.hpp"
+#include "serving/workload.hpp"
+
+namespace liquid::cluster {
+
+/// A three-point percentile summary of one latency metric, in seconds.
+struct PercentileTriple {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// One replica's contribution, captured when the run finishes (replicas that
+/// were scaled down mid-run keep their entry, marked inactive).
+struct ReplicaReport {
+  std::size_t id = 0;
+  std::string label;        ///< e.g. "H800/LiquidServe"
+  bool active = true;       ///< false if scaled down before the run ended
+  serving::SchedulerStats stats;
+  std::size_t submitted = 0;  ///< requests routed here (incl. re-routes)
+  double utilization = 0;     ///< busy_seconds / fleet span
+};
+
+struct FleetStats {
+  std::size_t submitted = 0;  ///< unique trace requests entering the cluster
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  std::size_t preemptions = 0;
+  std::size_t rerouted = 0;   ///< requests moved off a scaled-down replica
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  std::size_t replicas_final = 0;  ///< active replicas at end of run
+
+  double span_seconds = 0;  ///< first arrival to last completion
+  double generated_tokens = 0;
+  double throughput_tokens_per_s = 0;
+
+  PercentileTriple ttft;
+  PercentileTriple tpot;
+  PercentileTriple e2e;
+
+  std::vector<ReplicaReport> replicas;
+};
+
+/// Pools per-request timings into fleet percentiles and fills the derived
+/// fields (span, throughput, per-replica utilization) of `stats`.
+void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
+                        FleetStats& stats);
+
+/// Renders the fleet summary (and per-replica table) to stdout.
+void PrintFleetStats(const FleetStats& stats);
+
+}  // namespace liquid::cluster

@@ -1,0 +1,82 @@
+#include "cluster/router.hpp"
+
+namespace liquid::cluster {
+
+const char* ToString(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin: return "round_robin";
+    case RoutePolicy::kLeastOutstanding: return "least_outstanding";
+    case RoutePolicy::kLeastKvLoad: return "least_kv";
+    case RoutePolicy::kSessionAffinity: return "affinity";
+  }
+  return "?";
+}
+
+std::optional<RoutePolicy> ParseRoutePolicy(const std::string& name) {
+  if (name == "round_robin") return RoutePolicy::kRoundRobin;
+  if (name == "least_outstanding") return RoutePolicy::kLeastOutstanding;
+  if (name == "least_kv") return RoutePolicy::kLeastKvLoad;
+  if (name == "affinity") return RoutePolicy::kSessionAffinity;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Router::LeastOutstanding(
+    const std::vector<ReplicaView>& replicas) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (!replicas[i].alive) continue;
+    if (!best || replicas[i].outstanding < replicas[*best].outstanding) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> Router::Route(
+    const serving::TimedRequest& request,
+    const std::vector<ReplicaView>& replicas) {
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin: {
+      for (std::size_t probe = 0; probe < replicas.size(); ++probe) {
+        const std::size_t i = (rr_cursor_ + probe) % replicas.size();
+        if (replicas[i].alive) {
+          rr_cursor_ = (i + 1) % replicas.size();
+          return i;
+        }
+      }
+      return std::nullopt;
+    }
+    case RoutePolicy::kLeastOutstanding:
+      return LeastOutstanding(replicas);
+    case RoutePolicy::kLeastKvLoad: {
+      std::optional<std::size_t> best;
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (!replicas[i].alive) continue;
+        if (!best ||
+            replicas[i].free_kv_blocks > replicas[*best].free_kv_blocks) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case RoutePolicy::kSessionAffinity: {
+      const auto pin = affinity_.find(request.session);
+      if (pin != affinity_.end() && pin->second < replicas.size() &&
+          replicas[pin->second].alive) {
+        return pin->second;
+      }
+      const std::optional<std::size_t> placed = LeastOutstanding(replicas);
+      if (placed) affinity_[request.session] = *placed;
+      return placed;
+    }
+  }
+  return std::nullopt;
+}
+
+void Router::ForgetReplica(std::size_t replica) {
+  for (auto it = affinity_.begin(); it != affinity_.end();) {
+    it = it->second == replica ? affinity_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace liquid::cluster

@@ -1,0 +1,75 @@
+#pragma once
+// Request router for the multi-replica serving cluster.  At each arrival the
+// ClusterSimulator snapshots every replica's load into ReplicaView and asks
+// the router for a destination.  Policies:
+//
+//   round_robin        — rotate over alive replicas, ignoring load.
+//   least_outstanding  — fewest queued+running requests (classic LOR LB).
+//   least_kv           — most free paged-KV blocks; long-prompt aware, since
+//                        a replica's queue can be short while its KV pool is
+//                        pinned by a few huge prompts.
+//   affinity           — sticky session routing (prefix-cache locality): a
+//                        session keeps hitting its replica; new sessions are
+//                        placed by least_outstanding.
+//
+// The router is deliberately stateless about time: it only sees the views the
+// simulator hands it, so policies stay unit-testable without an engine.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/workload.hpp"
+
+namespace liquid::cluster {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kLeastOutstanding,
+  kLeastKvLoad,
+  kSessionAffinity,
+};
+
+[[nodiscard]] const char* ToString(RoutePolicy policy);
+/// Parses "round_robin" | "least_outstanding" | "least_kv" | "affinity".
+[[nodiscard]] std::optional<RoutePolicy> ParseRoutePolicy(
+    const std::string& name);
+
+/// What a policy is allowed to see about one replica at decision time.
+struct ReplicaView {
+  bool alive = true;
+  std::size_t outstanding = 0;     ///< waiting + running requests
+  std::size_t free_kv_blocks = 0;
+  std::size_t total_kv_blocks = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RoutePolicy policy) : policy_(policy) {}
+
+  /// Picks a destination among alive replicas; ties break toward the lowest
+  /// index so routing stays deterministic.  Returns nullopt when no replica
+  /// is alive.
+  [[nodiscard]] std::optional<std::size_t> Route(
+      const serving::TimedRequest& request,
+      const std::vector<ReplicaView>& replicas);
+
+  /// Drops affinity pins onto `replica` (called on scale-down); its sessions
+  /// will be re-placed on their next request.
+  void ForgetReplica(std::size_t replica);
+
+  [[nodiscard]] RoutePolicy policy() const { return policy_; }
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> LeastOutstanding(
+      const std::vector<ReplicaView>& replicas) const;
+
+  RoutePolicy policy_;
+  std::size_t rr_cursor_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> affinity_;
+};
+
+}  // namespace liquid::cluster

@@ -28,7 +28,9 @@ void ContinuousBatchScheduler::Admit() {
     assert(ok);
     (void)ok;
     // Prefill for the admitted sequence happens in this iteration; charge it.
-    stats_.simulated_seconds += engine_.PrefillSeconds(1, next.prompt_tokens);
+    const double prefill = engine_.PrefillSeconds(1, next.prompt_tokens);
+    stats_.simulated_seconds += prefill;
+    stats_.busy_seconds += prefill;
     running_.push_back({next, 0});
     waiting_.pop_front();
   }
@@ -102,8 +104,10 @@ bool ContinuousBatchScheduler::Step() {
   }
   if (running_.empty()) return !waiting_.empty();
 
-  stats_.simulated_seconds += engine_.DecodeStepSeconds(
+  const double decode = engine_.DecodeStepSeconds(
       running_.size(), static_cast<std::size_t>(mean_len));
+  stats_.simulated_seconds += decode;
+  stats_.busy_seconds += decode;
   stats_.generated_tokens += static_cast<double>(running_.size());
   ++stats_.iterations;
 
@@ -122,6 +126,37 @@ bool ContinuousBatchScheduler::Step() {
     }
   }
   return true;
+}
+
+void ContinuousBatchScheduler::StepUntil(double deadline) {
+  while (stats_.simulated_seconds < deadline) {
+    // Idle (or waiting only on arrivals past the deadline): snap the clock to
+    // the deadline instead of fast-forwarding past it, so a request routed
+    // here at `deadline` is admitted at its true arrival time.
+    if (running_.empty() &&
+        (waiting_.empty() || waiting_.front().arrival > deadline)) {
+      stats_.simulated_seconds = deadline;
+      return;
+    }
+    if (!Step()) return;
+  }
+}
+
+std::vector<Request> ContinuousBatchScheduler::Drain() {
+  std::vector<Request> out;
+  out.reserve(running_.size() + waiting_.size());
+  for (const Running& r : running_) {
+    pool_.Free(r.request.id);
+    Request req = r.request;
+    req.prompt_tokens += r.generated;
+    req.max_new_tokens -= r.generated;
+    req.progress += r.generated;
+    out.push_back(req);
+  }
+  running_.clear();
+  out.insert(out.end(), waiting_.begin(), waiting_.end());
+  waiting_.clear();
+  return out;
 }
 
 SchedulerStats ContinuousBatchScheduler::RunToCompletion() {

@@ -36,6 +36,7 @@ struct SchedulerStats {
   std::size_t preemptions = 0;
   std::size_t dropped = 0;  ///< requests that can never fit the KV pool
   double simulated_seconds = 0;
+  double busy_seconds = 0;  ///< clock time spent in prefill/decode compute
   double generated_tokens = 0;
   std::size_t peak_running = 0;
   [[nodiscard]] double TokensPerSecond() const {
@@ -63,12 +64,33 @@ class ContinuousBatchScheduler {
   /// Returns false when there is no work left.
   bool Step();
 
+  /// Advances the replica until its simulated clock reaches `deadline` or it
+  /// runs out of work; an idle replica's clock is snapped to `deadline` so a
+  /// fleet of replicas stays on a shared simulated clock.  A single iteration
+  /// may overshoot the deadline (discrete-event semantics).
+  void StepUntil(double deadline);
+
+  /// Extracts every unfinished request (running first, preserving carried
+  /// timing state, then waiting) and frees their KV blocks.  Used by the
+  /// cluster layer to re-route work off a replica being scaled down.
+  std::vector<Request> Drain();
+
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<RequestTiming>& completions() const {
     return completions_;
   }
   [[nodiscard]] std::size_t running() const { return running_.size(); }
   [[nodiscard]] std::size_t waiting() const { return waiting_.size(); }
+  /// Queue depth the router balances on: everything admitted or queued.
+  [[nodiscard]] std::size_t outstanding() const {
+    return running_.size() + waiting_.size();
+  }
+  [[nodiscard]] bool HasWork() const {
+    return !running_.empty() || !waiting_.empty();
+  }
+  [[nodiscard]] double Now() const { return stats_.simulated_seconds; }
+  /// Read-only view of the paged-KV pool (free/used block introspection).
+  [[nodiscard]] const KvBlockManager& pool() const { return pool_; }
 
  private:
   struct Running {

@@ -33,9 +33,53 @@ std::vector<TimedRequest> GenerateTrace(const TraceConfig& config,
     r.arrival_seconds = clock;
     r.prompt_tokens = LogUniform(rng, config.prompt_min, config.prompt_max);
     r.max_new_tokens = LogUniform(rng, config.output_min, config.output_max);
+    r.session = config.sessions > 0 ? i % config.sessions : i;
     trace.push_back(r);
   }
   return trace;
+}
+
+std::vector<TimedRequest> GenerateMultiTenantTrace(
+    const std::vector<TenantConfig>& tenants, std::uint64_t seed) {
+  std::vector<TimedRequest> merged;
+  std::uint64_t next_id = 0;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantConfig& tenant = tenants[t];
+    std::vector<TimedRequest> trace =
+        GenerateTrace(tenant.trace, seed + 0x9e3779b97f4a7c15ull * (t + 1));
+    Rng session_rng(seed ^ (0xc2b2ae3d27d4eb4full * (t + 1)));
+    const std::size_t sessions = std::max<std::size_t>(1, tenant.sessions);
+    for (TimedRequest& r : trace) {
+      r.id = next_id++;
+      r.tenant = tenant.tenant;
+      // Stable session key unique across tenants.
+      r.session = (static_cast<std::uint64_t>(tenant.tenant) << 32) |
+                  static_cast<std::uint64_t>(
+                      session_rng.Int(0, static_cast<std::int64_t>(sessions) - 1));
+      merged.push_back(r);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TimedRequest& a, const TimedRequest& b) {
+              return a.arrival_seconds != b.arrival_seconds
+                         ? a.arrival_seconds < b.arrival_seconds
+                         : a.id < b.id;
+            });
+  return merged;
+}
+
+LatencySamples CollectLatencySamples(
+    const std::vector<RequestTiming>& timings) {
+  LatencySamples samples;
+  samples.ttft.reserve(timings.size());
+  samples.e2e.reserve(timings.size());
+  for (const RequestTiming& t : timings) {
+    samples.ttft.push_back(t.Ttft());
+    if (t.generated > 1) samples.tpot.push_back(t.Tpot());
+    samples.e2e.push_back(t.EndToEnd());
+    samples.generated_tokens += static_cast<double>(t.generated);
+  }
+  return samples;
 }
 
 LatencyReport SummarizeTimings(const std::vector<RequestTiming>& timings,
@@ -43,22 +87,15 @@ LatencyReport SummarizeTimings(const std::vector<RequestTiming>& timings,
   LatencyReport report;
   report.count = timings.size();
   if (timings.empty()) return report;
-  std::vector<double> ttft, tpot, e2e;
-  double tokens = 0;
-  for (const RequestTiming& t : timings) {
-    ttft.push_back(t.Ttft());
-    if (t.generated > 1) tpot.push_back(t.Tpot());
-    e2e.push_back(t.EndToEnd());
-    tokens += static_cast<double>(t.generated);
-  }
-  report.ttft_p50 = Percentile(ttft, 50);
-  report.ttft_p99 = Percentile(ttft, 99);
-  report.tpot_p50 = Percentile(tpot, 50);
-  report.tpot_p99 = Percentile(tpot, 99);
-  report.e2e_p50 = Percentile(e2e, 50);
-  report.e2e_p99 = Percentile(e2e, 99);
+  const LatencySamples samples = CollectLatencySamples(timings);
+  report.ttft_p50 = Percentile(samples.ttft, 50);
+  report.ttft_p99 = Percentile(samples.ttft, 99);
+  report.tpot_p50 = Percentile(samples.tpot, 50);
+  report.tpot_p99 = Percentile(samples.tpot, 99);
+  report.e2e_p50 = Percentile(samples.e2e, 50);
+  report.e2e_p99 = Percentile(samples.e2e, 99);
   report.throughput_tokens_per_s =
-      span_seconds > 0 ? tokens / span_seconds : 0;
+      span_seconds > 0 ? samples.generated_tokens / span_seconds : 0;
   return report;
 }
 

@@ -19,6 +19,8 @@ struct TimedRequest {
   double arrival_seconds = 0;
   std::size_t prompt_tokens = 0;
   std::size_t max_new_tokens = 0;
+  std::uint32_t tenant = 0;    ///< which arrival mix produced this request
+  std::uint64_t session = 0;   ///< conversation key for affinity routing
 };
 
 struct TraceConfig {
@@ -28,12 +30,29 @@ struct TraceConfig {
   std::size_t prompt_max = 1024;
   std::size_t output_min = 32;
   std::size_t output_max = 512;
+  /// Requests are spread round-robin over this many session keys so
+  /// affinity routing has spread to work with (0 = one session per request).
+  std::size_t sessions = 16;
 };
 
 /// Generates a deterministic Poisson-arrival trace (exponential gaps, log-
 /// uniform lengths) from the given seed.
 std::vector<TimedRequest> GenerateTrace(const TraceConfig& config,
                                         std::uint64_t seed);
+
+/// One tenant's slice of a multi-tenant arrival mix: its own Poisson rate and
+/// length distribution, with requests spread over `sessions` conversation
+/// keys (session affinity routes all requests of one session together).
+struct TenantConfig {
+  std::uint32_t tenant = 0;
+  TraceConfig trace;
+  std::size_t sessions = 8;
+};
+
+/// Superposes the per-tenant Poisson processes into one trace, sorted by
+/// arrival, with globally unique ids and deterministic session assignment.
+std::vector<TimedRequest> GenerateMultiTenantTrace(
+    const std::vector<TenantConfig>& tenants, std::uint64_t seed);
 
 /// One finished request's timing.
 struct RequestTiming {
@@ -51,6 +70,15 @@ struct RequestTiming {
   }
   [[nodiscard]] double EndToEnd() const { return finish - arrival; }
 };
+
+/// Per-metric samples pooled from finished requests — the one place the
+/// TPOT-eligibility rule (needs >1 generated token) lives, shared by the
+/// single-replica LatencyReport and the fleet-level FleetStats.
+struct LatencySamples {
+  std::vector<double> ttft, tpot, e2e;
+  double generated_tokens = 0;
+};
+LatencySamples CollectLatencySamples(const std::vector<RequestTiming>& timings);
 
 struct LatencyReport {
   std::size_t count = 0;

@@ -40,6 +40,7 @@ Summary Summarize(std::span<const float> values) { return SummarizeImpl(values);
 
 double Percentile(std::span<const double> values, double p) {
   if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   const double rank =

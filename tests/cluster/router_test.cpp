@@ -1,0 +1,98 @@
+#include "cluster/router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace liquid::cluster {
+namespace {
+
+serving::TimedRequest Req(std::uint64_t id, std::uint64_t session = 0) {
+  serving::TimedRequest r;
+  r.id = id;
+  r.session = session;
+  return r;
+}
+
+TEST(RouterTest, ParseAndPrintPolicies) {
+  for (const RoutePolicy p :
+       {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstanding,
+        RoutePolicy::kLeastKvLoad, RoutePolicy::kSessionAffinity}) {
+    const auto parsed = ParseRoutePolicy(ToString(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(ParseRoutePolicy("no_such_policy").has_value());
+}
+
+TEST(RouterTest, RoundRobinCyclesAndSkipsDeadReplicas) {
+  Router router(RoutePolicy::kRoundRobin);
+  std::vector<ReplicaView> views(3);
+  views[1].alive = false;
+  EXPECT_EQ(router.Route(Req(0), views), 0u);
+  EXPECT_EQ(router.Route(Req(1), views), 2u);  // skips dead replica 1
+  EXPECT_EQ(router.Route(Req(2), views), 0u);
+}
+
+TEST(RouterTest, NoAliveReplicaRoutesNowhere) {
+  Router router(RoutePolicy::kRoundRobin);
+  std::vector<ReplicaView> views(2);
+  views[0].alive = views[1].alive = false;
+  EXPECT_FALSE(router.Route(Req(0), views).has_value());
+}
+
+TEST(RouterTest, LeastOutstandingPicksShortestQueue) {
+  Router router(RoutePolicy::kLeastOutstanding);
+  std::vector<ReplicaView> views(3);
+  views[0].outstanding = 5;
+  views[1].outstanding = 2;
+  views[2].outstanding = 9;
+  EXPECT_EQ(router.Route(Req(0), views), 1u);
+}
+
+TEST(RouterTest, LeastKvLoadPicksMostFreeBlocks) {
+  Router router(RoutePolicy::kLeastKvLoad);
+  std::vector<ReplicaView> views(3);
+  // Queue depth says replica 0; KV headroom says replica 2.
+  views[0].outstanding = 1;
+  views[0].free_kv_blocks = 10;
+  views[1].outstanding = 4;
+  views[1].free_kv_blocks = 40;
+  views[2].outstanding = 4;
+  views[2].free_kv_blocks = 300;
+  EXPECT_EQ(router.Route(Req(0), views), 2u);
+}
+
+TEST(RouterTest, LeastKvLoadTieBreaksTowardLowestIndex) {
+  Router router(RoutePolicy::kLeastKvLoad);
+  std::vector<ReplicaView> views(3);
+  for (ReplicaView& v : views) v.free_kv_blocks = 7;
+  EXPECT_EQ(router.Route(Req(0), views), 0u);
+}
+
+TEST(RouterTest, AffinityPinsSessionToFirstPlacement) {
+  Router router(RoutePolicy::kSessionAffinity);
+  std::vector<ReplicaView> views(3);
+  views[0].outstanding = 9;
+  views[1].outstanding = 0;
+  views[2].outstanding = 9;
+  ASSERT_EQ(router.Route(Req(0, /*session=*/42), views), 1u);
+  // Even when another replica becomes less loaded, the session stays pinned.
+  views[1].outstanding = 50;
+  EXPECT_EQ(router.Route(Req(1, 42), views), 1u);
+  EXPECT_EQ(router.Route(Req(2, 42), views), 1u);
+  // A different session lands on the now least-loaded replica.
+  EXPECT_EQ(router.Route(Req(3, 43), views), 0u);
+}
+
+TEST(RouterTest, AffinityRepinsWhenReplicaForgotten) {
+  Router router(RoutePolicy::kSessionAffinity);
+  std::vector<ReplicaView> views(2);
+  views[0].outstanding = 0;
+  views[1].outstanding = 3;
+  ASSERT_EQ(router.Route(Req(0, 7), views), 0u);
+  router.ForgetReplica(0);
+  views[0].alive = false;
+  EXPECT_EQ(router.Route(Req(1, 7), views), 1u);
+}
+
+}  // namespace
+}  // namespace liquid::cluster

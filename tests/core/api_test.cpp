@@ -43,7 +43,9 @@ TEST(ApiTest, UnalignedShapesSkipDualMmaPack) {
   Rng rng(3);
   MatrixF w(60, 64);  // N not a multiple of 64
   for (auto& v : w.Flat()) v = static_cast<float>(rng.Normal(0, 0.05));
-  const PreparedWeights prep = PrepareWeights(w, MatrixF(), {.smooth = false});
+  PrepareOptions options;
+  options.smooth = false;
+  const PreparedWeights prep = PrepareWeights(w, MatrixF(), options);
   EXPECT_EQ(prep.packed.regs.size(), 0u);
   EXPECT_EQ(prep.weights.n, 60u);  // linear weights still built
 }

@@ -60,7 +60,8 @@ TEST(DequantTest, LqqSwarMatchesScalarExhaustively) {
         // reachable combinations; skip unreachable ones.
         if (q * s + a > 255) continue;
         const std::array<std::uint8_t, 8> w{
-            static_cast<std::uint8_t>(q), 0, 15 % (q + 1), 1,
+            static_cast<std::uint8_t>(q), 0,
+            static_cast<std::uint8_t>(15 % (q + 1)), 1,
             static_cast<std::uint8_t>(q), 7, 2, 3};
         // Only lanes with the same reachability constraint:
         bool reachable = true;

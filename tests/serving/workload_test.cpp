@@ -16,7 +16,9 @@ TEST(WorkloadTest, TraceIsDeterministicAndOrdered) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
     EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
-    if (i > 0) EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    }
   }
 }
 
