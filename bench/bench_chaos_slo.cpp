@@ -1,0 +1,118 @@
+// Chaos/SLO study, two sweeps:
+//
+//  (1) Admission-control shootout under a 2x-overload trace with one mid-run
+//      replica kill: unbounded queueing vs. a sweep of TTFT budgets.  The
+//      claim to verify: shedding load bounds p99 TTFT (the backlog no longer
+//      compounds after the kill), trading completed requests for latency.
+//
+//  (2) Autoscale-signal shootout on the same chaotic trace: instantaneous
+//      queue depth vs. windowed p99 TTFT as the scale trigger.
+//
+// Exit status is nonzero if SLO admission control fails to bound p99 TTFT
+// versus unbounded queueing, so the bench doubles as a regression check.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace liquid;
+using namespace liquid::cluster;
+
+namespace {
+
+ReplicaSpec Replica() {
+  ReplicaSpec spec;
+  spec.hw = simgpu::HardwareSpec::H800();
+  spec.preset = serving::SystemPreset::LiquidServe();
+  spec.model = serving::LlmConfig::Llama2_7B();
+  spec.kv_pool_blocks = 512;
+  spec.block_tokens = 16;
+  spec.max_batch = 16;
+  return spec;
+}
+
+std::vector<serving::TimedRequest> OverloadTrace(std::size_t count,
+                                                 std::uint64_t seed) {
+  serving::TraceConfig config;
+  config.arrival_rate_per_s = 110.0;  // ~2x what 3 replicas retire
+  config.count = count;
+  config.prompt_min = 256;
+  config.prompt_max = 2048;
+  config.output_min = 64;
+  config.output_max = 256;
+  config.sessions = 24;
+  return serving::GenerateTrace(config, seed);
+}
+
+FleetStats RunChaos(const std::vector<serving::TimedRequest>& trace,
+                    SloConfig slo, AutoscaleConfig autoscale = {}) {
+  ClusterSimulator sim(RoutePolicy::kLeastOutstanding, autoscale, slo);
+  for (int i = 0; i < 3; ++i) sim.AddReplica(Replica());
+  sim.ScheduleKill({trace[trace.size() / 2].arrival_seconds, /*replica=*/1});
+  return sim.Run(trace);
+}
+
+void AddChaosRow(Table& table, const char* label, const FleetStats& s) {
+  table.AddRow({label, HumanTime(s.ttft.p50), HumanTime(s.ttft.p99),
+                HumanTime(s.e2e.p99), std::to_string(s.completed),
+                std::to_string(s.rejected_requests),
+                std::to_string(s.lost_requests),
+                WithCommas(static_cast<long long>(s.wasted_tokens))});
+}
+
+}  // namespace
+
+int main() {
+  const auto trace = OverloadTrace(/*count=*/300, /*seed=*/99);
+
+  Table shootout(
+      "SLO admission control, 3 replicas, 2x overload, 1 mid-run kill");
+  shootout.SetHeader({"admission", "p50 TTFT", "p99 TTFT", "p99 e2e",
+                      "completed", "rejected", "lost", "wasted tok"});
+  const FleetStats open = RunChaos(trace, SloConfig{});
+  AddChaosRow(shootout, "unbounded", open);
+  FleetStats best_slo;
+  const double budgets[] = {4.0, 2.0, 1.0};
+  for (const double budget : budgets) {
+    const FleetStats s = RunChaos(trace, SloConfig{budget, 1.0});
+    if (budget == 2.0) best_slo = s;
+    static char label[32];
+    std::snprintf(label, sizeof label, "budget %.0fs", budget);
+    AddChaosRow(shootout, label, s);
+  }
+  shootout.Print();
+  std::printf("\n");
+
+  Table signals("Autoscale signal under the same chaos (max 6 replicas)");
+  signals.SetHeader({"signal", "p50 TTFT", "p99 TTFT", "p99 e2e", "completed",
+                     "rejected", "lost", "wasted tok"});
+  AutoscaleConfig queue;
+  queue.enabled = true;
+  queue.signal = AutoscaleSignal::kQueueDepth;
+  queue.queue_high = 6.0;
+  queue.queue_low = 0.25;
+  queue.max_replicas = 6;
+  queue.cooldown_seconds = 0.5;
+  AutoscaleConfig tail = queue;
+  tail.signal = AutoscaleSignal::kTailTtft;
+  tail.ttft_p99_high = 1.0;
+  tail.ttft_p99_low = 0.02;
+  tail.window_seconds = 5.0;
+  AddChaosRow(signals, "none", open);
+  const FleetStats by_queue = RunChaos(trace, SloConfig{}, queue);
+  AddChaosRow(signals, "queue depth", by_queue);
+  const FleetStats by_tail = RunChaos(trace, SloConfig{}, tail);
+  AddChaosRow(signals, "p99 TTFT window", by_tail);
+  signals.Print();
+  std::printf("scale-ups: queue=%zu tail=%zu\n", by_queue.scale_ups,
+              by_tail.scale_ups);
+
+  const bool bounded = best_slo.ttft.p99 < open.ttft.p99;
+  std::printf("\nSLO (2s budget) p99 TTFT %s vs unbounded %s: %s\n",
+              HumanTime(best_slo.ttft.p99).c_str(),
+              HumanTime(open.ttft.p99).c_str(), bounded ? "WIN" : "LOSS");
+  return bounded ? 0 : 1;
+}

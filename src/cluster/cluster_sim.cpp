@@ -1,12 +1,15 @@
 #include "cluster/cluster_sim.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace liquid::cluster {
 
 ClusterSimulator::ClusterSimulator(RoutePolicy policy,
-                                   AutoscaleConfig autoscale)
-    : router_(policy), autoscale_(autoscale) {}
+                                   AutoscaleConfig autoscale, SloConfig slo)
+    : router_(policy, slo),
+      autoscale_(autoscale),
+      ttft_window_(autoscale.window_seconds) {}
 
 std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
   Replica r;
@@ -47,13 +50,75 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
   return true;
 }
 
+bool ClusterSimulator::KillReplica(std::size_t id, double now) {
+  if (id >= replicas_.size() || !replicas_[id].active) return false;
+  Replica& victim = replicas_[id];
+  // Catch the victim up to the fleet clock first so work it would have
+  // finished before the failure counts as completed, not lost.
+  victim.scheduler->StepUntil(now);
+  HarvestCompletions();
+  victim.active = false;
+  victim.killed = true;
+  router_.ForgetReplica(id);
+  ++tally_.killed_replicas;
+
+  const serving::ContinuousBatchScheduler::ForfeitedWork forfeit =
+      victim.scheduler->Forfeit();
+  tally_.lost_requests += forfeit.requests.size();
+  tally_.wasted_tokens += forfeit.wasted_tokens;
+
+  // Re-route storm: every lost request is re-submitted from scratch.  The
+  // original TimedRequest (session/tenant intact) is replayed with its
+  // original arrival time, so a retry's TTFT charges the failed attempt;
+  // attempt counts the failures it survived.
+  for (const serving::Request& lost : forfeit.requests) {
+    serving::TimedRequest retry;
+    const auto meta = inflight_.find(lost.id);
+    if (meta != inflight_.end()) {
+      retry = meta->second;
+    } else {
+      retry.id = lost.id;
+      retry.arrival_seconds = lost.arrival;
+      retry.prompt_tokens = lost.prompt_tokens;
+      retry.max_new_tokens = lost.max_new_tokens;
+    }
+    ++retry.attempt;
+    tally_.max_retry_attempts =
+        std::max(tally_.max_retry_attempts, retry.attempt);
+    ++tally_.retried_requests;
+    RouteOne(retry);
+  }
+  return true;
+}
+
 void ClusterSimulator::AdvanceTo(double deadline) {
   for (Replica& r : replicas_) {
     if (r.active) r.scheduler->StepUntil(deadline);
   }
+  HarvestCompletions();
 }
 
-std::vector<ReplicaView> ClusterSimulator::Views() const {
+void ClusterSimulator::HarvestCompletions() {
+  for (Replica& r : replicas_) {
+    const std::vector<serving::RequestTiming>& done =
+        r.scheduler->completions();
+    for (; r.harvested < done.size(); ++r.harvested) {
+      const serving::RequestTiming& t = done[r.harvested];
+      ttft_window_.Add(t.finish, t.Ttft());
+      inflight_.erase(t.id);
+    }
+    const std::vector<serving::SeqId>& dropped = r.scheduler->dropped_ids();
+    for (; r.drops_harvested < dropped.size(); ++r.drops_harvested) {
+      inflight_.erase(dropped[r.drops_harvested]);
+    }
+  }
+}
+
+std::vector<ReplicaView> ClusterSimulator::Views(
+    std::size_t prompt_tokens) const {
+  // PredictTtft walks each replica's waiting queue; only pay for it when
+  // admission control actually reads the estimate.
+  const bool want_estimate = router_.slo().ttft_budget > 0;
   std::vector<ReplicaView> views(replicas_.size());
   for (const Replica& r : replicas_) {
     ReplicaView& v = views[r.id];
@@ -61,21 +126,40 @@ std::vector<ReplicaView> ClusterSimulator::Views() const {
     v.outstanding = r.scheduler->outstanding();
     v.free_kv_blocks = r.scheduler->pool().free_blocks();
     v.total_kv_blocks = r.scheduler->pool().total_blocks();
+    if (r.active && want_estimate) {
+      v.est_ttft_seconds = r.scheduler->PredictTtft(prompt_tokens);
+    }
   }
   return views;
+}
+
+std::optional<std::size_t> ClusterSimulator::RouteOne(
+    const serving::TimedRequest& request) {
+  const RouteDecision decision =
+      router_.Decide(request, Views(request.prompt_tokens));
+  switch (decision.outcome) {
+    case RouteOutcome::kNoReplica:
+      ++tally_.dropped;  // no alive replica; folded into FleetStats.dropped
+      inflight_.erase(request.id);
+      return std::nullopt;
+    case RouteOutcome::kRejected:
+      ++tally_.rejected_requests;
+      inflight_.erase(request.id);
+      return std::nullopt;
+    case RouteOutcome::kRouted:
+      break;
+  }
+  const std::size_t dest = *decision.replica;
+  replicas_[dest].scheduler->SubmitTimed(request);
+  ++replicas_[dest].submitted;
+  inflight_[request.id] = request;
+  return dest;
 }
 
 std::optional<std::size_t> ClusterSimulator::SubmitAndRoute(
     const serving::TimedRequest& request) {
   ++tally_.submitted;
-  const std::optional<std::size_t> dest = router_.Route(request, Views());
-  if (!dest) {
-    ++tally_.dropped;  // no alive replica; folded into FleetStats.dropped
-    return std::nullopt;
-  }
-  replicas_[*dest].scheduler->SubmitTimed(request);
-  ++replicas_[*dest].submitted;
-  return dest;
+  return RouteOne(request);
 }
 
 std::size_t ClusterSimulator::ActiveReplicas() const {
@@ -97,15 +181,26 @@ void ClusterSimulator::MaybeAutoscale(double now) {
   if (now - last_scale_event_ < autoscale_.cooldown_seconds) return;
   const std::size_t active = ActiveReplicas();
   if (active == 0) return;
-  const double mean_queue = static_cast<double>(TotalOutstanding()) /
-                            static_cast<double>(active);
-  if (mean_queue > autoscale_.queue_high && active < autoscale_.max_replicas) {
+
+  bool scale_up = false, scale_down = false;
+  if (autoscale_.signal == AutoscaleSignal::kQueueDepth) {
+    const double mean_queue = static_cast<double>(TotalOutstanding()) /
+                              static_cast<double>(active);
+    scale_up = mean_queue > autoscale_.queue_high;
+    scale_down = mean_queue < autoscale_.queue_low;
+  } else {  // kTailTtft: windowed p99 of observed TTFTs
+    if (ttft_window_.Count(now) < autoscale_.min_window_samples) return;
+    const double p99 = ttft_window_.Percentile(now, 99);
+    scale_up = p99 > autoscale_.ttft_p99_high;
+    scale_down = p99 < autoscale_.ttft_p99_low;
+  }
+
+  if (scale_up && active < autoscale_.max_replicas) {
     const std::size_t id = AddReplica(*autoscale_spec_);
     replicas_[id].scheduler->StepUntil(now);  // join the shared clock
     ++tally_.scale_ups;
     last_scale_event_ = now;
-  } else if (mean_queue < autoscale_.queue_low &&
-             active > autoscale_.min_replicas) {
+  } else if (scale_down && active > autoscale_.min_replicas) {
     // Retire the least-loaded replica.
     std::size_t victim = replicas_.size();
     for (const Replica& r : replicas_) {
@@ -123,6 +218,27 @@ void ClusterSimulator::MaybeAutoscale(double now) {
   }
 }
 
+void ClusterSimulator::FireKillsThrough(double deadline) {
+  // Fire pending kills in time order up to the deadline.  The schedule is
+  // small; a scan per call keeps ScheduleKill order-insensitive.
+  for (;;) {
+    std::size_t next = kill_schedule_.size();
+    for (std::size_t i = 0; i < kill_schedule_.size(); ++i) {
+      if (kill_schedule_[i].time > deadline) continue;
+      if (next == kill_schedule_.size() ||
+          kill_schedule_[i].time < kill_schedule_[next].time) {
+        next = i;
+      }
+    }
+    if (next == kill_schedule_.size()) return;
+    const KillEvent kill = kill_schedule_[next];
+    kill_schedule_.erase(kill_schedule_.begin() +
+                         static_cast<std::ptrdiff_t>(next));
+    AdvanceTo(kill.time);
+    KillReplica(kill.replica, kill.time);
+  }
+}
+
 FleetStats ClusterSimulator::Run(
     const std::vector<serving::TimedRequest>& trace) {
   std::vector<serving::TimedRequest> sorted = trace;
@@ -134,16 +250,21 @@ FleetStats ClusterSimulator::Run(
             });
 
   for (const serving::TimedRequest& request : sorted) {
+    FireKillsThrough(request.arrival_seconds);
     AdvanceTo(request.arrival_seconds);
     MaybeAutoscale(request.arrival_seconds);
     SubmitAndRoute(request);
   }
+  // Kills scheduled past the last arrival still fire (the fleet keeps
+  // working off its backlog, so there is work to lose).
+  FireKillsThrough(std::numeric_limits<double>::infinity());
 
   // Arrivals are done: no further routing decisions, so each replica can run
   // its residual work to completion independently.
   for (Replica& r : replicas_) {
     if (r.active) r.scheduler->RunToCompletion();
   }
+  HarvestCompletions();
 
   FleetStats stats = tally_;
   stats.replicas_final = ActiveReplicas();
@@ -153,6 +274,7 @@ FleetStats ClusterSimulator::Run(
     report.id = r.id;
     report.label = r.spec.Label();
     report.active = r.active;
+    report.killed = r.killed;
     report.stats = r.scheduler->stats();
     report.submitted = r.submitted;
     stats.replicas.push_back(report);

@@ -4,15 +4,21 @@
 // own paged-KV pool, optionally heterogeneous (A100 next to the paper's
 // target GPU, different presets/models) — advance on a shared simulated
 // clock while a Router places Poisson-trace arrivals.  Replicas can be added
-// or removed mid-run (an autoscaling hook keyed on mean queue depth does
-// both automatically); removing a replica drains its unfinished requests and
-// re-routes them, so conservation (completed + dropped == submitted) holds
-// across scale events.  Per-request timings from every replica pool into
-// FleetStats.
+// or removed mid-run (an autoscaling hook keyed on mean queue depth or on
+// windowed p99 TTFT does both automatically); removing a replica drains its
+// unfinished requests and re-routes them.  Replicas can also be KILLED —
+// abrupt failure, no drain: in-flight work is lost and re-submitted from
+// scratch, and SLO admission control at the router sheds requests whose
+// predicted TTFT busts the budget.  Conservation generalizes to
+//   completed + dropped + rejected + lost == submitted + retried
+// across every scale/kill/shed event.  Per-request timings from every
+// replica pool into FleetStats.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/fleet_stats.hpp"
@@ -20,6 +26,7 @@
 #include "serving/engine.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/workload.hpp"
+#include "util/sliding_window.hpp"
 
 namespace liquid::cluster {
 
@@ -36,22 +43,43 @@ struct ReplicaSpec {
   [[nodiscard]] std::string Label() const { return hw.name + "/" + preset.name; }
 };
 
-/// Queue-depth autoscaler: when the mean outstanding requests per active
-/// replica crosses `queue_high`, a replica (cloned from the first spec) is
-/// added; below `queue_low` the least-loaded replica is drained and removed.
+/// What the autoscaler keys on.
+enum class AutoscaleSignal {
+  kQueueDepth,  ///< mean outstanding requests per active replica
+  kTailTtft,    ///< p99 TTFT over a sliding window of completions
+};
+
+/// Autoscaler: when the chosen signal crosses its high threshold, a replica
+/// (cloned from the first spec) is added; below the low threshold the
+/// least-loaded replica is drained and removed.
 struct AutoscaleConfig {
   bool enabled = false;
+  AutoscaleSignal signal = AutoscaleSignal::kQueueDepth;
   double queue_high = 8.0;
   double queue_low = 0.5;
   std::size_t min_replicas = 1;
   std::size_t max_replicas = 16;
   double cooldown_seconds = 2.0;  ///< minimum time between scale events
+
+  // kTailTtft knobs: windowed p99 of observed TTFTs, in seconds.  The signal
+  // abstains (no scaling either way) until the window holds enough samples.
+  double ttft_p99_high = 2.0;
+  double ttft_p99_low = 0.25;
+  double window_seconds = 10.0;
+  std::size_t min_window_samples = 8;
+};
+
+/// A scheduled abrupt failure for ClusterSimulator::Run: at `time`, replica
+/// `replica` dies without draining.
+struct KillEvent {
+  double time = 0;
+  std::size_t replica = 0;
 };
 
 class ClusterSimulator {
  public:
   explicit ClusterSimulator(RoutePolicy policy = RoutePolicy::kLeastOutstanding,
-                            AutoscaleConfig autoscale = {});
+                            AutoscaleConfig autoscale = {}, SloConfig slo = {});
 
   /// Adds a replica (usable mid-run: its clock joins the fleet clock).
   /// Returns the replica id, which is stable for the simulator's lifetime.
@@ -63,17 +91,30 @@ class ClusterSimulator {
   /// it is the last active replica.
   bool RemoveReplica(std::size_t id);
 
-  /// Advances every active replica to `deadline` on the shared clock.
+  /// Abrupt failure at time `now`: the replica dies WITHOUT draining.  All
+  /// in-flight work is lost (tokens already generated are wasted) and each
+  /// lost request is re-submitted from scratch through the router — which may
+  /// reject or drop it like any arrival.  Unlike RemoveReplica, killing the
+  /// last alive replica is allowed (failures don't ask permission); its lost
+  /// requests then drop.  Returns false for an unknown/already-dead id.
+  bool KillReplica(std::size_t id, double now);
+
+  /// Queues a kill for Run() to fire when the shared clock reaches it.
+  void ScheduleKill(const KillEvent& kill) { kill_schedule_.push_back(kill); }
+
+  /// Advances every active replica to `deadline` on the shared clock and
+  /// harvests new completions into the TTFT window.
   void AdvanceTo(double deadline);
 
-  /// Routes one request at its arrival time.  Returns the chosen replica id,
-  /// or nullopt (counted as a fleet drop) when no replica is alive.
+  /// Routes one request at its arrival time.  Returns the chosen replica id;
+  /// nullopt when no replica is alive (fleet drop) or the SLO admission
+  /// control shed it (rejected).
   std::optional<std::size_t> SubmitAndRoute(
       const serving::TimedRequest& request);
 
   /// Full episode: sorts the trace by arrival, interleaves advancing the
-  /// shared clock, autoscaling, and routing, then runs all replicas to
-  /// completion and aggregates FleetStats.
+  /// shared clock, scheduled kills, autoscaling, and routing, then runs all
+  /// replicas to completion and aggregates FleetStats.
   FleetStats Run(const std::vector<serving::TimedRequest>& trace);
 
   [[nodiscard]] std::size_t ActiveReplicas() const;
@@ -87,11 +128,20 @@ class ClusterSimulator {
     std::unique_ptr<serving::ServingEngine> engine;
     std::unique_ptr<serving::ContinuousBatchScheduler> scheduler;
     bool active = true;
+    bool killed = false;
     std::size_t submitted = 0;
+    std::size_t harvested = 0;  ///< completions already pulled into the window
+    std::size_t drops_harvested = 0;  ///< scheduler drops already observed
   };
 
-  [[nodiscard]] std::vector<ReplicaView> Views() const;
+  [[nodiscard]] std::vector<ReplicaView> Views(
+      std::size_t prompt_tokens) const;
+  /// Shared routing path for arrivals and kill-retries: counts rejects/drops,
+  /// tracks in-flight metadata, and submits to the chosen scheduler.
+  std::optional<std::size_t> RouteOne(const serving::TimedRequest& request);
+  void HarvestCompletions();
   void MaybeAutoscale(double now);
+  void FireKillsThrough(double deadline);
 
   Router router_;
   AutoscaleConfig autoscale_;
@@ -99,6 +149,11 @@ class ClusterSimulator {
   std::optional<ReplicaSpec> autoscale_spec_;  ///< first added spec
   FleetStats tally_;  ///< counters accumulated during the run
   double last_scale_event_ = -1e300;
+  std::vector<KillEvent> kill_schedule_;  ///< pending, consumed by Run
+  /// Original routed request by id, so a kill can re-submit the original
+  /// (session/tenant intact) rather than the scheduler's mutated view.
+  std::unordered_map<std::uint64_t, serving::TimedRequest> inflight_;
+  SlidingWindowStats ttft_window_;
 };
 
 }  // namespace liquid::cluster

@@ -67,7 +67,16 @@ void PrintFleetStats(const FleetStats& stats) {
   totals.AddRow({"completed", std::to_string(stats.completed)});
   totals.AddRow({"dropped", std::to_string(stats.dropped)});
   totals.AddRow({"preemptions", std::to_string(stats.preemptions)});
+  totals.AddRow({"rejected (SLO 429)", std::to_string(stats.rejected_requests)});
   totals.AddRow({"rerouted (scale-down)", std::to_string(stats.rerouted)});
+  totals.AddRow({"killed replicas", std::to_string(stats.killed_replicas)});
+  totals.AddRow({"lost in-flight / retried",
+                 Format("%zu / %zu", stats.lost_requests,
+                        stats.retried_requests)});
+  totals.AddRow({"max retry attempts",
+                 std::to_string(stats.max_retry_attempts)});
+  totals.AddRow({"wasted tokens (kills)",
+                 WithCommas(static_cast<long long>(stats.wasted_tokens))});
   totals.AddRow({"scale-ups / scale-downs",
                  Format("%zu / %zu", stats.scale_ups, stats.scale_downs)});
   totals.AddRow({"final active replicas", std::to_string(stats.replicas_final)});
@@ -82,7 +91,7 @@ void PrintFleetStats(const FleetStats& stats) {
                          "preempt", "util"});
   for (const ReplicaReport& r : stats.replicas) {
     per_replica.AddRow({std::to_string(r.id), r.label,
-                        r.active ? "active" : "removed",
+                        r.killed ? "killed" : (r.active ? "active" : "removed"),
                         std::to_string(r.submitted),
                         std::to_string(r.stats.completed),
                         std::to_string(r.stats.preemptions),

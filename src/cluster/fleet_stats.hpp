@@ -6,6 +6,7 @@
 // assert on.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@ struct ReplicaReport {
   std::size_t id = 0;
   std::string label;        ///< e.g. "H800/LiquidServe"
   bool active = true;       ///< false if scaled down before the run ended
+  bool killed = false;      ///< true if it died abruptly (no drain)
   serving::SchedulerStats stats;
   std::size_t submitted = 0;  ///< requests routed here (incl. re-routes)
   double utilization = 0;     ///< busy_seconds / fleet span
@@ -41,6 +43,20 @@ struct FleetStats {
   std::size_t scale_ups = 0;
   std::size_t scale_downs = 0;
   std::size_t replicas_final = 0;  ///< active replicas at end of run
+
+  // Fault / SLO counters.  Conservation across every chaos scenario:
+  //   completed + dropped + rejected + lost == submitted + retried
+  // (each lost in-flight request spawns exactly one retry, which then lands
+  // in one of the left-hand buckets — or is lost again, re-entering both
+  // sides symmetrically).
+  std::size_t killed_replicas = 0;
+  std::size_t lost_requests = 0;     ///< in flight on a replica when it died
+  std::size_t retried_requests = 0;  ///< re-submissions spawned by kills
+  std::size_t rejected_requests = 0; ///< shed by SLO admission control (429)
+  /// Highest TimedRequest::attempt any retry reached — 2+ means some request
+  /// survived multiple kills before landing in a terminal bucket.
+  std::uint32_t max_retry_attempts = 0;
+  double wasted_tokens = 0;  ///< tokens generated then lost with a replica
 
   double span_seconds = 0;  ///< first arrival to last completion
   double generated_tokens = 0;

@@ -35,6 +35,9 @@ std::optional<std::size_t> Router::LeastOutstanding(
 std::optional<std::size_t> Router::Route(
     const serving::TimedRequest& request,
     const std::vector<ReplicaView>& replicas) {
+  // The cursor can be stale relative to this call's view vector (replicas
+  // removed since the last decision); re-anchor it before probing.
+  if (!replicas.empty()) rr_cursor_ %= replicas.size();
   switch (policy_) {
     case RoutePolicy::kRoundRobin: {
       for (std::size_t probe = 0; probe < replicas.size(); ++probe) {
@@ -73,10 +76,49 @@ std::optional<std::size_t> Router::Route(
   return std::nullopt;
 }
 
+RouteDecision Router::Decide(const serving::TimedRequest& request,
+                             const std::vector<ReplicaView>& replicas) {
+  RouteDecision decision;
+  const std::optional<std::size_t> placed = Route(request, replicas);
+  if (!placed) return decision;  // kNoReplica
+  decision.outcome = RouteOutcome::kRouted;
+  decision.replica = placed;
+  decision.predicted_ttft = replicas[*placed].est_ttft_seconds;
+  if (slo_.ttft_budget <= 0) return decision;
+
+  const double ceiling = slo_.ttft_budget * slo_.reject_above;
+  if (decision.predicted_ttft <= ceiling) return decision;
+
+  // The policy's pick busts the budget — maybe it optimized for something
+  // else (affinity, KV headroom).  Fall back to the lowest-predicted-TTFT
+  // replica before giving up on the request.
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (!replicas[i].alive) continue;
+    if (!best ||
+        replicas[i].est_ttft_seconds < replicas[*best].est_ttft_seconds) {
+      best = i;
+    }
+  }
+  if (best && replicas[*best].est_ttft_seconds <= ceiling) {
+    decision.replica = best;
+    decision.predicted_ttft = replicas[*best].est_ttft_seconds;
+    return decision;
+  }
+  decision.outcome = RouteOutcome::kRejected;
+  decision.replica = std::nullopt;
+  if (best) decision.predicted_ttft = replicas[*best].est_ttft_seconds;
+  return decision;
+}
+
 void Router::ForgetReplica(std::size_t replica) {
   for (auto it = affinity_.begin(); it != affinity_.end();) {
     it = it->second == replica ? affinity_.erase(it) : std::next(it);
   }
+  // Replica indices are stable (dead replicas stay in the view vector,
+  // marked !alive), so the round-robin cursor needs no shifting here; the
+  // modulo re-anchor in Route guards callers that do hand in a shorter
+  // view vector later.
 }
 
 }  // namespace liquid::cluster

@@ -44,30 +44,67 @@ struct ReplicaView {
   std::size_t outstanding = 0;     ///< waiting + running requests
   std::size_t free_kv_blocks = 0;
   std::size_t total_kv_blocks = 0;
+  /// Predicted TTFT for the request being routed, were it placed here
+  /// (simulator-computed, optimistic lower bound).  Admission control keys
+  /// on this; 0 means "no estimate" and never trips the SLO check.
+  double est_ttft_seconds = 0;
+};
+
+/// SLO-aware admission control: rather than queue unboundedly, the router
+/// rejects (429-style) a request whose predicted TTFT busts the budget on
+/// every alive replica.  Disabled when ttft_budget <= 0.
+struct SloConfig {
+  double ttft_budget = 0;     ///< seconds; <= 0 disables admission control
+  double reject_above = 1.0;  ///< reject when predicted > budget * this
+};
+
+/// Outcome of one routing decision under admission control.
+enum class RouteOutcome {
+  kRouted,     ///< placed on `replica`
+  kNoReplica,  ///< no alive replica (fleet-level drop)
+  kRejected,   ///< predicted TTFT busts the SLO everywhere (shed load)
+};
+
+struct RouteDecision {
+  RouteOutcome outcome = RouteOutcome::kNoReplica;
+  std::optional<std::size_t> replica;
+  double predicted_ttft = 0;  ///< estimate for the chosen (or best) replica
 };
 
 class Router {
  public:
-  explicit Router(RoutePolicy policy) : policy_(policy) {}
+  explicit Router(RoutePolicy policy, SloConfig slo = {})
+      : policy_(policy), slo_(slo) {}
 
   /// Picks a destination among alive replicas; ties break toward the lowest
   /// index so routing stays deterministic.  Returns nullopt when no replica
-  /// is alive.
+  /// is alive.  Placement only — no admission control (see Decide).
   [[nodiscard]] std::optional<std::size_t> Route(
       const serving::TimedRequest& request,
       const std::vector<ReplicaView>& replicas);
 
-  /// Drops affinity pins onto `replica` (called on scale-down); its sessions
-  /// will be re-placed on their next request.
+  /// Route + SLO admission control.  If the policy's choice busts the TTFT
+  /// budget, falls back to the alive replica with the lowest predicted TTFT;
+  /// if even that busts it, the request is rejected instead of queued.
+  [[nodiscard]] RouteDecision Decide(const serving::TimedRequest& request,
+                                     const std::vector<ReplicaView>& replicas);
+
+  /// Drops affinity pins onto `replica` (called on scale-down or kill); its
+  /// sessions will be re-placed on their next request.  Replica indices stay
+  /// stable across removals (dead replicas remain in the view vector with
+  /// alive=false), so round-robin rotation continues fairly.
   void ForgetReplica(std::size_t replica);
 
   [[nodiscard]] RoutePolicy policy() const { return policy_; }
+  [[nodiscard]] const SloConfig& slo() const { return slo_; }
+  void set_slo(SloConfig slo) { slo_ = slo; }
 
  private:
   [[nodiscard]] std::optional<std::size_t> LeastOutstanding(
       const std::vector<ReplicaView>& replicas) const;
 
   RoutePolicy policy_;
+  SloConfig slo_;
   std::size_t rr_cursor_ = 0;
   std::unordered_map<std::uint64_t, std::size_t> affinity_;
 };

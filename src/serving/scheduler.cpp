@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace liquid::serving {
 
@@ -79,6 +80,7 @@ bool ContinuousBatchScheduler::Step() {
     if (waiting_.empty()) return false;
     // Nothing is running, so no blocks will ever be freed: the head request
     // cannot fit even a drained pool.  Drop it rather than livelock.
+    dropped_ids_.push_back(waiting_.front().id);
     waiting_.pop_front();
     ++stats_.dropped;
     return true;
@@ -157,6 +159,69 @@ std::vector<Request> ContinuousBatchScheduler::Drain() {
   out.insert(out.end(), waiting_.begin(), waiting_.end());
   waiting_.clear();
   return out;
+}
+
+ContinuousBatchScheduler::ForfeitedWork ContinuousBatchScheduler::Forfeit() {
+  ForfeitedWork out;
+  out.requests.reserve(running_.size() + waiting_.size());
+  // A request's original shape is recoverable from the preemption bookkeeping:
+  // `progress` tokens were folded into prompt_tokens (and out of
+  // max_new_tokens) at each preemption, and a running residency has
+  // `generated` more tokens not yet folded.
+  const auto reset = [&](const Request& req, std::size_t generated) {
+    Request fresh;
+    fresh.id = req.id;
+    fresh.prompt_tokens = req.prompt_tokens - req.progress;
+    fresh.max_new_tokens = req.max_new_tokens + req.progress;
+    fresh.arrival = req.arrival;
+    out.wasted_tokens += static_cast<double>(req.progress + generated);
+    out.requests.push_back(fresh);
+  };
+  for (const Running& r : running_) {
+    pool_.Free(r.request.id);
+    reset(r.request, r.generated);
+  }
+  running_.clear();
+  for (const Request& w : waiting_) reset(w, 0);
+  waiting_.clear();
+  return out;
+}
+
+double ContinuousBatchScheduler::PredictTtft(std::size_t prompt_tokens) const {
+  if (pool_.BlocksNeeded(prompt_tokens) + 1 > pool_.total_blocks()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Own prefill, plus the prefills queued ahead of us (each admission charges
+  // its prefill on the shared clock, FIFO order).
+  double eta = engine_.PrefillSeconds(1, prompt_tokens);
+  for (const Request& w : waiting_) {
+    eta += engine_.PrefillSeconds(1, w.prompt_tokens);
+  }
+  if (running_.empty()) return eta;
+  // Service-rate model for the admission wait: a saturated batch frees one
+  // slot per retirement, and retirements happen every (remaining tokens /
+  // batch) decode steps on average — so each FIFO position ahead of us costs
+  // mean_remaining * step / batch seconds.  First token then lands one step
+  // after admission (folded into the same term).
+  const bool batch_full = running_.size() >= max_batch_;
+  const bool kv_full =
+      !pool_.CanAllocate(pool_.BlocksNeeded(prompt_tokens) + 1);
+  if (batch_full || kv_full || !waiting_.empty()) {
+    double mean_len = 0, mean_remaining = 0;
+    for (const Running& r : running_) {
+      mean_len += static_cast<double>(r.request.prompt_tokens + r.generated);
+      mean_remaining +=
+          static_cast<double>(r.request.max_new_tokens - r.generated);
+    }
+    mean_len /= static_cast<double>(running_.size());
+    mean_remaining /= static_cast<double>(running_.size());
+    const double step = engine_.DecodeStepSeconds(
+        running_.size(), static_cast<std::size_t>(mean_len));
+    const double per_slot =
+        mean_remaining * step / static_cast<double>(running_.size());
+    eta += per_slot * static_cast<double>(waiting_.size() + 1);
+  }
+  return eta;
 }
 
 SchedulerStats ContinuousBatchScheduler::RunToCompletion() {

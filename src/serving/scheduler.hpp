@@ -75,9 +75,35 @@ class ContinuousBatchScheduler {
   /// cluster layer to re-route work off a replica being scaled down.
   std::vector<Request> Drain();
 
+  /// What an abrupt replica kill leaves behind: every unfinished request,
+  /// reset to its ORIGINAL form (unlike Drain, no timing or generation state
+  /// survives — the tokens already generated are wasted work, tallied in
+  /// `wasted_tokens`).  Original arrival times are kept so a retry's TTFT
+  /// charges the failed attempt.
+  struct ForfeitedWork {
+    std::vector<Request> requests;
+    double wasted_tokens = 0;  ///< tokens generated then lost with the replica
+  };
+
+  /// Aborts all in-flight work (kill semantics) and frees the KV pool.
+  ForfeitedWork Forfeit();
+
+  /// TTFT estimate for a request of `prompt_tokens` arriving now: its own
+  /// prefill, the prefills queued ahead of it, and — when the batch or pool
+  /// is saturated — a service-rate admission wait (one slot frees every
+  /// mean-remaining-tokens / batch decode steps, so each FIFO position ahead
+  /// costs that much).  Infinity when the prompt can never fit the pool.
+  /// The admission-control signal behind SloConfig.
+  [[nodiscard]] double PredictTtft(std::size_t prompt_tokens) const;
+
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<RequestTiming>& completions() const {
     return completions_;
+  }
+  /// Ids of requests dropped because they can never fit the KV pool, in drop
+  /// order (the cluster layer uses this to retire in-flight bookkeeping).
+  [[nodiscard]] const std::vector<SeqId>& dropped_ids() const {
+    return dropped_ids_;
   }
   [[nodiscard]] std::size_t running() const { return running_.size(); }
   [[nodiscard]] std::size_t waiting() const { return waiting_.size(); }
@@ -109,6 +135,7 @@ class ContinuousBatchScheduler {
   std::vector<Running> running_;
   SchedulerStats stats_;
   std::vector<RequestTiming> completions_;
+  std::vector<SeqId> dropped_ids_;
 };
 
 }  // namespace liquid::serving

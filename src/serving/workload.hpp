@@ -21,6 +21,10 @@ struct TimedRequest {
   std::size_t max_new_tokens = 0;
   std::uint32_t tenant = 0;    ///< which arrival mix produced this request
   std::uint64_t session = 0;   ///< conversation key for affinity routing
+  /// Retry metadata: 0 for the original submission; a request re-submitted
+  /// after its replica was killed carries attempt+1 (it restarts from the
+  /// original prompt — generated-but-undelivered tokens are wasted work).
+  std::uint32_t attempt = 0;
 };
 
 struct TraceConfig {

@@ -226,5 +226,107 @@ TEST(ClusterSimTest, AffinityKeepsSessionsTogetherEndToEnd) {
   }
 }
 
+// The simulated engine retires small requests in milliseconds, so chaos
+// scenarios need real work per request to keep replicas busy: long prompts,
+// long outputs, and a scheduler batch small enough that queues form.
+ReplicaSpec HeavyReplica() {
+  ReplicaSpec spec = SmallReplica(/*pool_blocks=*/512);
+  spec.max_batch = 16;
+  return spec;
+}
+
+std::vector<TimedRequest> HeavyTrace(std::size_t count, std::uint64_t seed,
+                                     double rate) {
+  TraceConfig config;
+  config.arrival_rate_per_s = rate;
+  config.count = count;
+  config.prompt_min = 256;
+  config.prompt_max = 2048;
+  config.output_min = 64;
+  config.output_max = 256;
+  return serving::GenerateTrace(config, seed);
+}
+
+TEST(ClusterSimTest, KillReplicaLosesInFlightAndRetries) {
+  ClusterSimulator sim(RoutePolicy::kLeastOutstanding);
+  for (int i = 0; i < 3; ++i) sim.AddReplica(HeavyReplica());
+  const std::vector<TimedRequest> trace =
+      HeavyTrace(120, /*seed=*/19, /*rate=*/100.0);
+  sim.ScheduleKill({trace[trace.size() / 2].arrival_seconds, 0});
+  const FleetStats stats = sim.Run(trace);
+  EXPECT_EQ(stats.killed_replicas, 1u);
+  EXPECT_GT(stats.lost_requests, 0u);
+  EXPECT_EQ(stats.lost_requests, stats.retried_requests);
+  EXPECT_GE(stats.max_retry_attempts, 1u);  // retries carry their attempt count
+  EXPECT_GT(stats.wasted_tokens, 0.0);
+  EXPECT_EQ(stats.completed + stats.dropped + stats.rejected_requests +
+                stats.lost_requests,
+            stats.submitted + stats.retried_requests);
+  EXPECT_TRUE(stats.replicas[0].killed);
+  EXPECT_EQ(stats.replicas_final, 2u);
+}
+
+TEST(ClusterSimTest, KillInvalidOrDeadReplicaRefused) {
+  ClusterSimulator sim(RoutePolicy::kRoundRobin);
+  const std::size_t id = sim.AddReplica(SmallReplica());
+  sim.AddReplica(SmallReplica());
+  EXPECT_FALSE(sim.KillReplica(99, 0.0));
+  EXPECT_TRUE(sim.KillReplica(id, 0.0));
+  EXPECT_FALSE(sim.KillReplica(id, 0.0));  // already dead
+  EXPECT_EQ(sim.ActiveReplicas(), 1u);
+}
+
+TEST(ClusterSimTest, KillingLastReplicaAllowedUnlikeRemove) {
+  // Failures don't ask permission: the last replica can die, after which
+  // arrivals (and the kill's own retries) drop.
+  ClusterSimulator sim(RoutePolicy::kLeastOutstanding);
+  const std::size_t id = sim.AddReplica(SmallReplica());
+  EXPECT_FALSE(sim.RemoveReplica(id));
+  EXPECT_TRUE(sim.KillReplica(id, 0.0));
+  EXPECT_EQ(sim.ActiveReplicas(), 0u);
+  TimedRequest req;
+  req.id = 1;
+  req.prompt_tokens = 64;
+  req.max_new_tokens = 8;
+  EXPECT_FALSE(sim.SubmitAndRoute(req).has_value());
+}
+
+TEST(ClusterSimTest, SloAdmissionControlShedsOverload) {
+  // A single small replica against a hard burst: with a tight TTFT budget the
+  // router sheds most of the backlog instead of queueing it.
+  SloConfig slo;
+  slo.ttft_budget = 0.5;
+  ClusterSimulator sim(RoutePolicy::kLeastOutstanding, AutoscaleConfig{}, slo);
+  sim.AddReplica(HeavyReplica());
+  const FleetStats stats =
+      sim.Run(HeavyTrace(120, /*seed=*/29, /*rate=*/150.0));
+  EXPECT_GT(stats.rejected_requests, 0u);
+  EXPECT_EQ(stats.completed + stats.dropped + stats.rejected_requests,
+            stats.submitted);
+  // Everything the fleet did accept finished reasonably close to the budget
+  // (the predictor is an optimistic lower bound, not an oracle).
+  EXPECT_LT(stats.completed, stats.submitted);
+}
+
+TEST(ClusterSimTest, TailTtftAutoscaleAddsReplicasUnderBurst) {
+  AutoscaleConfig autoscale;
+  autoscale.enabled = true;
+  autoscale.signal = AutoscaleSignal::kTailTtft;
+  autoscale.ttft_p99_high = 0.2;
+  autoscale.ttft_p99_low = -1.0;  // never scale down in this test
+  autoscale.window_seconds = 30.0;
+  autoscale.min_window_samples = 2;
+  autoscale.max_replicas = 6;
+  autoscale.cooldown_seconds = 0.01;
+  ClusterSimulator sim(RoutePolicy::kLeastOutstanding, autoscale);
+  sim.AddReplica(HeavyReplica());
+  // Sustained overload: TTFTs climb as the queue builds, completions keep
+  // flowing into the window so the signal can observe the pain.
+  const FleetStats stats = sim.Run(HeavyTrace(120, /*seed=*/5, /*rate=*/80.0));
+  EXPECT_GT(stats.scale_ups, 0u);
+  EXPECT_GT(stats.replicas_final, 1u);
+  EXPECT_EQ(stats.completed + stats.dropped, stats.submitted);
+}
+
 }  // namespace
 }  // namespace liquid::cluster

@@ -94,5 +94,118 @@ TEST(RouterTest, AffinityRepinsWhenReplicaForgotten) {
   EXPECT_EQ(router.Route(Req(1, 7), views), 1u);
 }
 
+TEST(RouterTest, RoundRobinRotationFairAfterForgettingRemovedReplica) {
+  // Regression: the cluster keeps replica indices stable after a kill or
+  // scale-down (the dead replica stays in the view vector, alive=false).
+  // ForgetReplica must NOT shift the cursor in that convention, or the
+  // rotation re-serves the replica just served and starves another.
+  Router router(RoutePolicy::kRoundRobin);
+  std::vector<ReplicaView> views(3);
+  EXPECT_EQ(router.Route(Req(0), views), 0u);
+  EXPECT_EQ(router.Route(Req(1), views), 1u);  // cursor now 2
+  // Replica 0 dies; indices stay stable.
+  router.ForgetReplica(0);
+  views[0].alive = false;
+  // Rotation continues with replica 2, then alternates 1/2 — no double-serve
+  // of replica 1 and no starvation of replica 2.
+  EXPECT_EQ(router.Route(Req(2), views), 2u);
+  EXPECT_EQ(router.Route(Req(3), views), 1u);
+  EXPECT_EQ(router.Route(Req(4), views), 2u);
+}
+
+TEST(RouterTest, RoundRobinStaleCursorClampedToShrunkenViews) {
+  Router router(RoutePolicy::kRoundRobin);
+  std::vector<ReplicaView> views(4);
+  for (int i = 0; i < 4; ++i) {
+    (void)router.Route(Req(static_cast<unsigned>(i)), views);
+  }
+  // The fleet shrinks behind the router's back (no ForgetReplica call): a
+  // stale cursor must still produce a valid, cycling rotation.
+  views.resize(2);
+  const auto a = router.Route(Req(10), views);
+  const auto b = router.Route(Req(11), views);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LT(*a, 2u);
+  EXPECT_LT(*b, 2u);
+  EXPECT_NE(*a, *b);
+}
+
+TEST(RouterTest, ForgetKilledReplicaDropsPinsAndRepins) {
+  // Kill semantics: the replica is forgotten while still present in the view
+  // vector (marked dead, never drained).  Its sessions must re-place.
+  Router router(RoutePolicy::kSessionAffinity);
+  std::vector<ReplicaView> views(3);
+  views[0].outstanding = 1;
+  views[1].outstanding = 0;
+  views[2].outstanding = 5;
+  ASSERT_EQ(router.Route(Req(0, /*session=*/9), views), 1u);
+  // Replica 1 is killed: forgotten, marked dead, still in the vector.
+  router.ForgetReplica(1);
+  views[1].alive = false;
+  // The session re-places by least-outstanding among survivors...
+  EXPECT_EQ(router.Route(Req(1, 9), views), 0u);
+  // ...and the new pin is sticky even when load shifts.
+  views[0].outstanding = 50;
+  EXPECT_EQ(router.Route(Req(2, 9), views), 0u);
+}
+
+TEST(RouterTest, AffinityReplacementAfterKillWithoutForget) {
+  // Even if ForgetReplica were missed, a dead pinned replica must not be
+  // routed to; the session re-pins to an alive one.
+  Router router(RoutePolicy::kSessionAffinity);
+  std::vector<ReplicaView> views(2);
+  ASSERT_EQ(router.Route(Req(0, 5), views), 0u);
+  views[0].alive = false;
+  views[1].outstanding = 7;
+  EXPECT_EQ(router.Route(Req(1, 5), views), 1u);
+}
+
+TEST(RouterTest, DecideRejectsWhenAllReplicasBustBudget) {
+  Router router(RoutePolicy::kLeastOutstanding,
+                SloConfig{/*ttft_budget=*/1.0, /*reject_above=*/1.0});
+  std::vector<ReplicaView> views(3);
+  for (ReplicaView& v : views) v.est_ttft_seconds = 5.0;
+  const RouteDecision d = router.Decide(Req(0), views);
+  EXPECT_EQ(d.outcome, RouteOutcome::kRejected);
+  EXPECT_FALSE(d.replica.has_value());
+  EXPECT_DOUBLE_EQ(d.predicted_ttft, 5.0);
+}
+
+TEST(RouterTest, DecideFallsBackToFastestReplicaUnderSlo) {
+  // The policy's pick (affinity pin) busts the budget, but another replica
+  // can still serve inside it: route there instead of rejecting.
+  Router router(RoutePolicy::kSessionAffinity,
+                SloConfig{/*ttft_budget=*/1.0, /*reject_above=*/1.0});
+  std::vector<ReplicaView> views(2);
+  views[0].outstanding = 0;
+  ASSERT_EQ(router.Decide(Req(0, /*session=*/3), views).replica, 0u);
+  views[0].est_ttft_seconds = 4.0;  // pinned replica now overloaded
+  views[1].est_ttft_seconds = 0.5;
+  views[1].outstanding = 1;
+  const RouteDecision d = router.Decide(Req(1, 3), views);
+  EXPECT_EQ(d.outcome, RouteOutcome::kRouted);
+  EXPECT_EQ(d.replica, 1u);
+  EXPECT_DOUBLE_EQ(d.predicted_ttft, 0.5);
+}
+
+TEST(RouterTest, DecideWithSloDisabledNeverRejects) {
+  Router router(RoutePolicy::kRoundRobin);  // default SloConfig: disabled
+  std::vector<ReplicaView> views(2);
+  for (ReplicaView& v : views) v.est_ttft_seconds = 1e9;
+  const RouteDecision d = router.Decide(Req(0), views);
+  EXPECT_EQ(d.outcome, RouteOutcome::kRouted);
+}
+
+TEST(RouterTest, DecideNoAliveReplicaIsDropNotReject) {
+  Router router(RoutePolicy::kLeastOutstanding,
+                SloConfig{/*ttft_budget=*/1.0, /*reject_above=*/1.0});
+  std::vector<ReplicaView> views(2);
+  views[0].alive = views[1].alive = false;
+  const RouteDecision d = router.Decide(Req(0), views);
+  EXPECT_EQ(d.outcome, RouteOutcome::kNoReplica);
+  EXPECT_FALSE(d.replica.has_value());
+}
+
 }  // namespace
 }  // namespace liquid::cluster
