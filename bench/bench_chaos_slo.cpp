@@ -31,6 +31,7 @@ ReplicaSpec Replica() {
   spec.kv_pool_blocks = 512;
   spec.block_tokens = 16;
   spec.max_batch = 16;
+  spec.dollars_per_hour = 2.5;  // priced so shedding shows up in $/1M tokens
   return spec;
 }
 
@@ -60,7 +61,8 @@ void AddChaosRow(Table& table, const char* label, const FleetStats& s) {
                 HumanTime(s.e2e.p99), std::to_string(s.completed),
                 std::to_string(s.rejected_requests),
                 std::to_string(s.lost_requests),
-                WithCommas(static_cast<long long>(s.wasted_tokens))});
+                WithCommas(static_cast<long long>(s.wasted_tokens)),
+                Format("$%.2f", s.dollars_per_m_tokens)});
 }
 
 }  // namespace
@@ -71,7 +73,7 @@ int main() {
   Table shootout(
       "SLO admission control, 3 replicas, 2x overload, 1 mid-run kill");
   shootout.SetHeader({"admission", "p50 TTFT", "p99 TTFT", "p99 e2e",
-                      "completed", "rejected", "lost", "wasted tok"});
+                      "completed", "rejected", "lost", "wasted tok", "$/1Mtok"});
   const FleetStats open = RunChaos(trace, SloConfig{});
   AddChaosRow(shootout, "unbounded", open);
   FleetStats best_slo;
@@ -88,7 +90,7 @@ int main() {
 
   Table signals("Autoscale signal under the same chaos (max 6 replicas)");
   signals.SetHeader({"signal", "p50 TTFT", "p99 TTFT", "p99 e2e", "completed",
-                     "rejected", "lost", "wasted tok"});
+                     "rejected", "lost", "wasted tok", "$/1Mtok"});
   AutoscaleConfig queue;
   queue.enabled = true;
   queue.signal = AutoscaleSignal::kQueueDepth;

@@ -4,11 +4,19 @@
 #include <limits>
 
 namespace liquid::cluster {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
 
 ClusterSimulator::ClusterSimulator(RoutePolicy policy,
-                                   AutoscaleConfig autoscale, SloConfig slo)
+                                   AutoscaleConfig autoscale, SloConfig slo,
+                                   RetryPolicy retry, DisaggConfig disagg)
     : router_(policy, slo),
       autoscale_(autoscale),
+      retry_(retry),
+      coordinator_(disagg),
       ttft_window_(autoscale.window_seconds) {}
 
 std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
@@ -20,6 +28,12 @@ std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
   r.scheduler = std::make_unique<serving::ContinuousBatchScheduler>(
       *r.engine, spec.kv_pool_blocks, spec.block_tokens, spec.max_batch);
   if (!autoscale_spec_) autoscale_spec_ = spec;
+  // A specialized replica arms role-aware routing — but only when the
+  // interconnect can actually move KV; with an unusable link the fleet
+  // serves unified no matter what the specs say (graceful degradation).
+  if (spec.role != ReplicaRole::kUnified && coordinator_.model().Usable()) {
+    router_.set_role_aware(true);
+  }
   replicas_.push_back(std::move(r));
   return replicas_.back().id;
 }
@@ -30,22 +44,69 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
   Replica& victim = replicas_[id];
   victim.active = false;
   router_.ForgetReplica(id);
+  const double now = victim.scheduler->Now();
   // Unfinished work (with carried TTFT/progress state) moves to the least
-  // loaded survivor; its scheduler clock is already on the shared clock.
+  // loaded ROLE-COMPATIBLE survivor (a decode replica must not inherit
+  // prefill work, nor a prefill replica decode work, while a better home is
+  // alive); its scheduler clock is already on the shared clock.
   std::vector<serving::Request> orphans = victim.scheduler->Drain();
   for (const serving::Request& req : orphans) {
+    const ReplicaRole wanted =
+        req.prefill_only ? ReplicaRole::kPrefill : ReplicaRole::kDecode;
     std::size_t best = replicas_.size();
+    bool best_compatible = false;
     for (const Replica& r : replicas_) {
       if (!r.active) continue;
-      if (best == replicas_.size() ||
-          r.scheduler->outstanding() <
-              replicas_[best].scheduler->outstanding()) {
+      const bool compatible = !router_.role_aware() ||
+                              r.spec.role == ReplicaRole::kUnified ||
+                              r.spec.role == wanted;
+      if (best == replicas_.size() || (compatible && !best_compatible) ||
+          (compatible == best_compatible &&
+           r.scheduler->outstanding() <
+               replicas_[best].scheduler->outstanding())) {
         best = r.id;
+        best_compatible = compatible;
       }
     }
     replicas_[best].scheduler->Submit(req);
     ++replicas_[best].submitted;
     ++tally_.rerouted;
+  }
+  // Graceful removal loses nothing: in-flight migrations headed here are
+  // re-planned onto a live decode home (or decode locally at the source)
+  // instead of landing on a corpse and burning the retry budget.
+  for (const DisaggCoordinator::Migration& m :
+       coordinator_.TakeInboundFor(id)) {
+    std::uint64_t session = 0;
+    const auto meta = inflight_.find(m.continuation.id);
+    if (meta != inflight_.end()) session = meta->second.session;
+    const std::optional<std::size_t> dst =
+        router_.RouteDecode(session, Views(0), m.kv.blocks + 1);
+    if (dst && replicas_[*dst].active) {
+      coordinator_.Reroute(m, *dst, std::max(now, m.start));
+      ++tally_.rerouted;
+      continue;
+    }
+    Replica& src = replicas_[m.src];
+    if (src.active) {
+      DeliverContinuation(src, m.continuation, m.kv, std::max(now, m.start));
+      ++tally_.disagg.local_decode_fallbacks;
+      ++tally_.rerouted;
+      continue;
+    }
+    // Source gone too: the transfer has nowhere to land — genuine loss.
+    ++tally_.lost_requests;
+    tally_.wasted_tokens += static_cast<double>(m.continuation.progress);
+    serving::TimedRequest retry;
+    if (meta != inflight_.end()) {
+      retry = meta->second;
+    } else {
+      retry.id = m.continuation.id;
+      retry.arrival_seconds = m.continuation.arrival;
+      retry.prompt_tokens = m.continuation.prompt_tokens - m.continuation.progress;
+      retry.max_new_tokens = m.continuation.max_new_tokens + m.continuation.progress;
+    }
+    RetryLost(retry, now);
   }
   return true;
 }
@@ -54,9 +115,12 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
   if (id >= replicas_.size() || !replicas_[id].active) return false;
   Replica& victim = replicas_[id];
   // Catch the victim up to the fleet clock first so work it would have
-  // finished before the failure counts as completed, not lost.
+  // finished before the failure counts as completed, not lost — and so
+  // prefills it already handed off migrate normally (their KV is staged on
+  // the wire, not in the dying pool).
   victim.scheduler->StepUntil(now);
   HarvestCompletions();
+  HarvestHandoffs();
   victim.active = false;
   victim.killed = true;
   router_.ForgetReplica(id);
@@ -70,7 +134,8 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
   // Re-route storm: every lost request is re-submitted from scratch.  The
   // original TimedRequest (session/tenant intact) is replayed with its
   // original arrival time, so a retry's TTFT charges the failed attempt;
-  // attempt counts the failures it survived.
+  // attempt counts the failures it survived.  The RetryPolicy meters the
+  // storm: backoff delays the re-route, the budget caps it.
   for (const serving::Request& lost : forfeit.requests) {
     serving::TimedRequest retry;
     const auto meta = inflight_.find(lost.id);
@@ -82,13 +147,29 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
       retry.prompt_tokens = lost.prompt_tokens;
       retry.max_new_tokens = lost.max_new_tokens;
     }
-    ++retry.attempt;
-    tally_.max_retry_attempts =
-        std::max(tally_.max_retry_attempts, retry.attempt);
-    ++tally_.retried_requests;
-    RouteOne(retry);
+    RetryLost(retry, now);
   }
   return true;
+}
+
+void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
+  ++retry.attempt;
+  if (retry_.max_attempts > 0 && retry.attempt > retry_.max_attempts) {
+    ++tally_.retries_exhausted;
+    inflight_.erase(retry.id);
+    return;
+  }
+  tally_.max_retry_attempts =
+      std::max(tally_.max_retry_attempts, retry.attempt);
+  ++tally_.retried_requests;
+  if (retry_.base_backoff_seconds > 0) {
+    const std::uint32_t exponent = std::min(retry.attempt - 1, 20u);
+    const double delay = retry_.base_backoff_seconds *
+                         static_cast<double>(std::uint64_t{1} << exponent);
+    pending_retries_.push_back({now + delay, retry});
+  } else {
+    RouteOne(retry);
+  }
 }
 
 void ClusterSimulator::AdvanceTo(double deadline) {
@@ -96,6 +177,7 @@ void ClusterSimulator::AdvanceTo(double deadline) {
     if (r.active) r.scheduler->StepUntil(deadline);
   }
   HarvestCompletions();
+  HarvestHandoffs();
 }
 
 void ClusterSimulator::HarvestCompletions() {
@@ -114,6 +196,120 @@ void ClusterSimulator::HarvestCompletions() {
   }
 }
 
+void ClusterSimulator::HarvestHandoffs() {
+  for (Replica& r : replicas_) {
+    const std::vector<serving::PrefillHandoff>& handoffs =
+        r.scheduler->handoffs();
+    for (; r.handoffs_harvested < handoffs.size(); ++r.handoffs_harvested) {
+      PlanHandoff(r, handoffs[r.handoffs_harvested]);
+    }
+  }
+}
+
+void ClusterSimulator::PlanHandoff(Replica& src,
+                                   const serving::PrefillHandoff& handoff) {
+  std::uint64_t session = 0;
+  const auto meta = inflight_.find(handoff.request.id);
+  if (meta != inflight_.end()) session = meta->second.session;
+
+  std::optional<std::size_t> dst;
+  if (coordinator_.model().Usable()) {
+    dst = router_.RouteDecode(session, Views(0), handoff.kv.blocks + 1);
+  }
+  if (dst && *dst == src.id) {
+    // The best decode home is this very replica (it can happen when a
+    // unified replica hosts a handed-off prefill): plain local delivery,
+    // nothing crosses the interconnect.
+    DeliverContinuation(src, handoff.request, handoff.kv, handoff.ready);
+    return;
+  }
+  if (dst) {
+    const double bytes = KvMigrationModel::KvBytes(
+        src.spec.model, src.spec.preset.kv_bits, handoff.kv.tokens);
+    if (coordinator_.Begin(handoff, src.id, *dst, bytes)) return;
+  }
+  // No live decode-capable target, unusable interconnect, or a stall over
+  // the migration budget: decode locally on the prefill replica — this
+  // request is served unified.
+  ++tally_.disagg.local_decode_fallbacks;
+  DeliverContinuation(src, handoff.request, handoff.kv, handoff.ready);
+}
+
+void ClusterSimulator::LandMigrationsThrough(double deadline) {
+  for (const DisaggCoordinator::Migration& m :
+       coordinator_.TakeArrivalsThrough(deadline)) {
+    Replica& dst = replicas_[m.dst];
+    if (!dst.active) {
+      // The target died mid-transfer: the continuation is lost exactly like
+      // in-flight work on a killed replica, and re-enters the same retry
+      // path (its generated-so-far token is wasted work).
+      ++tally_.disagg.target_deaths;
+      ++tally_.lost_requests;
+      tally_.wasted_tokens += static_cast<double>(m.continuation.progress);
+      serving::TimedRequest retry;
+      const auto meta = inflight_.find(m.continuation.id);
+      if (meta != inflight_.end()) {
+        retry = meta->second;
+      } else {
+        retry.id = m.continuation.id;
+        retry.arrival_seconds = m.continuation.arrival;
+        retry.prompt_tokens =
+            m.continuation.prompt_tokens - m.continuation.progress;
+        retry.max_new_tokens =
+            m.continuation.max_new_tokens + m.continuation.progress;
+      }
+      RetryLost(retry, m.arrive);
+      continue;
+    }
+    ++dst.submitted;
+    ++tally_.disagg.migrated_requests;
+    tally_.disagg.migrated_kv_bytes += m.bytes;
+    migration_seconds_.push_back(m.arrive - m.start);
+    migrated_ids_.insert(m.continuation.id);
+    DeliverContinuation(dst, m.continuation, m.kv, m.arrive);
+  }
+}
+
+void ClusterSimulator::DeliverContinuation(Replica& dst,
+                                           serving::Request continuation,
+                                           const serving::KvExport& kv,
+                                           double ready) {
+  continuation.ready = ready;
+  if (dst.scheduler->AcceptMigrated(continuation, kv)) return;
+  // The pool cannot hold the imported KV right now: reset to the original
+  // request and recompute the prefill on `dst` — the already-generated first
+  // token is wasted work.
+  ++tally_.disagg.import_ooms;
+  tally_.wasted_tokens += static_cast<double>(continuation.progress);
+  serving::Request fresh;
+  fresh.id = continuation.id;
+  fresh.prompt_tokens = continuation.prompt_tokens - continuation.progress;
+  fresh.max_new_tokens = continuation.max_new_tokens + continuation.progress;
+  fresh.arrival = continuation.arrival;
+  fresh.ready = ready;
+  dst.scheduler->Submit(fresh);
+}
+
+void ClusterSimulator::ReleaseRetriesThrough(double deadline) {
+  for (;;) {
+    std::size_t next = pending_retries_.size();
+    for (std::size_t i = 0; i < pending_retries_.size(); ++i) {
+      if (pending_retries_[i].due > deadline) continue;
+      if (next == pending_retries_.size() ||
+          pending_retries_[i].due < pending_retries_[next].due ||
+          (pending_retries_[i].due == pending_retries_[next].due &&
+           pending_retries_[i].request.id < pending_retries_[next].request.id)) {
+        next = i;
+      }
+    }
+    if (next == pending_retries_.size()) return;
+    const PendingRetry retry = pending_retries_[next];
+    pending_retries_.erase(pending_retries_.begin() +
+                           static_cast<std::ptrdiff_t>(next));
+    RouteOne(retry.request);
+  }
+}
+
 std::vector<ReplicaView> ClusterSimulator::Views(
     std::size_t prompt_tokens) const {
   // PredictTtft walks each replica's waiting queue; only pay for it when
@@ -123,6 +319,7 @@ std::vector<ReplicaView> ClusterSimulator::Views(
   for (const Replica& r : replicas_) {
     ReplicaView& v = views[r.id];
     v.alive = r.active;
+    v.role = r.spec.role;
     v.outstanding = r.scheduler->outstanding();
     v.free_kv_blocks = r.scheduler->pool().free_blocks();
     v.total_kv_blocks = r.scheduler->pool().total_blocks();
@@ -150,7 +347,15 @@ std::optional<std::size_t> ClusterSimulator::RouteOne(
       break;
   }
   const std::size_t dest = *decision.replica;
-  replicas_[dest].scheduler->SubmitTimed(request);
+  serving::Request req{request.id, request.prompt_tokens,
+                       request.max_new_tokens, request.arrival_seconds};
+  // A prompt landing on a prefill-specialized replica runs to its first
+  // token only; the DisaggCoordinator moves its KV to a decode replica.
+  if (router_.role_aware() &&
+      replicas_[dest].spec.role == ReplicaRole::kPrefill) {
+    req.prefill_only = true;
+  }
+  replicas_[dest].scheduler->Submit(req);
   ++replicas_[dest].submitted;
   inflight_[request.id] = request;
   return dest;
@@ -218,24 +423,79 @@ void ClusterSimulator::MaybeAutoscale(double now) {
   }
 }
 
-void ClusterSimulator::FireKillsThrough(double deadline) {
-  // Fire pending kills in time order up to the deadline.  The schedule is
-  // small; a scan per call keeps ScheduleKill order-insensitive.
+void ClusterSimulator::ProcessEventsThrough(double deadline) {
+  // Fire kills, migration landings and backoff retries in time order up to
+  // the deadline.  The schedules are small; a scan per event keeps insertion
+  // order-insensitive.
   for (;;) {
-    std::size_t next = kill_schedule_.size();
+    double t_kill = kInf;
+    std::size_t kill_idx = kill_schedule_.size();
     for (std::size_t i = 0; i < kill_schedule_.size(); ++i) {
       if (kill_schedule_[i].time > deadline) continue;
-      if (next == kill_schedule_.size() ||
-          kill_schedule_[i].time < kill_schedule_[next].time) {
-        next = i;
+      if (kill_schedule_[i].time < t_kill) {
+        t_kill = kill_schedule_[i].time;
+        kill_idx = i;
       }
     }
-    if (next == kill_schedule_.size()) return;
-    const KillEvent kill = kill_schedule_[next];
-    kill_schedule_.erase(kill_schedule_.begin() +
-                         static_cast<std::ptrdiff_t>(next));
-    AdvanceTo(kill.time);
-    KillReplica(kill.replica, kill.time);
+    double t_mig = coordinator_.NextArrival().value_or(kInf);
+    if (t_mig > deadline) t_mig = kInf;
+    double t_retry = kInf;
+    for (const PendingRetry& p : pending_retries_) {
+      if (p.due <= deadline) t_retry = std::min(t_retry, p.due);
+    }
+    const double t = std::min({t_kill, t_mig, t_retry});
+    if (t == kInf) return;
+    AdvanceTo(t);
+    // Harvesting during AdvanceTo can commit fresh transfers whose arrival
+    // is at or before t; land everything due — and release due retries —
+    // BEFORE a same-instant kill, so a delivery that physically preceded
+    // the failure is never misclassified as a target death.
+    LandMigrationsThrough(t);
+    ReleaseRetriesThrough(t);
+    if (t == t_kill) {
+      const KillEvent kill = kill_schedule_[kill_idx];
+      kill_schedule_.erase(kill_schedule_.begin() +
+                           static_cast<std::ptrdiff_t>(kill_idx));
+      KillReplica(kill.replica, kill.time);
+    }
+  }
+}
+
+void ClusterSimulator::DrainToQuiescence() {
+  // Arrivals are done, but completion is no longer local to one replica: a
+  // prefill finishing here spawns a migration landing there.  Iterate until
+  // no replica has work and nothing is on the wire or waiting out a backoff.
+  for (;;) {
+    bool progressed = false;
+    for (Replica& r : replicas_) {
+      if (r.active && r.scheduler->HasWork()) {
+        r.scheduler->RunToCompletion();
+        progressed = true;
+      }
+    }
+    HarvestCompletions();
+    HarvestHandoffs();
+    for (;;) {
+      const double t_mig = coordinator_.NextArrival().value_or(kInf);
+      double t_retry = kInf;
+      for (const PendingRetry& p : pending_retries_) {
+        t_retry = std::min(t_retry, p.due);
+      }
+      if (t_mig == kInf && t_retry == kInf) break;
+      progressed = true;
+      if (t_mig <= t_retry) {
+        LandMigrationsThrough(t_mig);
+      } else {
+        ReleaseRetriesThrough(t_retry);
+      }
+    }
+    if (!progressed) {
+      bool residual = false;
+      for (const Replica& r : replicas_) {
+        residual |= r.active && r.scheduler->HasWork();
+      }
+      if (!residual) return;
+    }
   }
 }
 
@@ -250,38 +510,51 @@ FleetStats ClusterSimulator::Run(
             });
 
   for (const serving::TimedRequest& request : sorted) {
-    FireKillsThrough(request.arrival_seconds);
+    ProcessEventsThrough(request.arrival_seconds);
     AdvanceTo(request.arrival_seconds);
     MaybeAutoscale(request.arrival_seconds);
     SubmitAndRoute(request);
   }
   // Kills scheduled past the last arrival still fire (the fleet keeps
-  // working off its backlog, so there is work to lose).
-  FireKillsThrough(std::numeric_limits<double>::infinity());
-
-  // Arrivals are done: no further routing decisions, so each replica can run
-  // its residual work to completion independently.
-  for (Replica& r : replicas_) {
-    if (r.active) r.scheduler->RunToCompletion();
-  }
-  HarvestCompletions();
+  // working off its backlog, so there is work to lose), as do migrations
+  // and backoff retries already on the calendar.
+  ProcessEventsThrough(kInf);
+  DrainToQuiescence();
 
   FleetStats stats = tally_;
   stats.replicas_final = ActiveReplicas();
+  stats.disagg.in_migration = coordinator_.InFlight();
+  stats.disagg.migration_seconds = SummarizePercentiles(migration_seconds_);
   std::vector<serving::RequestTiming> timings;
+  std::vector<double> migrated_tpot;
   for (const Replica& r : replicas_) {
     ReplicaReport report;
     report.id = r.id;
     report.label = r.spec.Label();
+    report.role = r.spec.role;
     report.active = r.active;
     report.killed = r.killed;
     report.stats = r.scheduler->stats();
     report.submitted = r.submitted;
+    report.dollars_per_hour = r.spec.dollars_per_hour;
     stats.replicas.push_back(report);
+    stats.disagg.prefill_handoffs += report.stats.prefill_handoffs;
+    if (r.active) {
+      stats.disagg.prefill_replicas +=
+          r.spec.role == ReplicaRole::kPrefill ? 1 : 0;
+      stats.disagg.decode_replicas +=
+          r.spec.role == ReplicaRole::kDecode ? 1 : 0;
+    }
     const std::vector<serving::RequestTiming>& done =
         r.scheduler->completions();
     timings.insert(timings.end(), done.begin(), done.end());
+    for (const serving::RequestTiming& t : done) {
+      if (t.generated > 1 && migrated_ids_.contains(t.id)) {
+        migrated_tpot.push_back(t.Tpot());
+      }
+    }
   }
+  stats.disagg.migrated_tpot = SummarizePercentiles(migrated_tpot);
   const std::size_t routing_drops = stats.dropped;  // kept by Finalize rescan
   FinalizeFleetStats(timings, stats);
   stats.dropped += routing_drops;

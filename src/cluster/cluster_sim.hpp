@@ -8,19 +8,32 @@
 // windowed p99 TTFT does both automatically); removing a replica drains its
 // unfinished requests and re-routes them.  Replicas can also be KILLED —
 // abrupt failure, no drain: in-flight work is lost and re-submitted from
-// scratch, and SLO admission control at the router sheds requests whose
-// predicted TTFT busts the budget.  Conservation generalizes to
-//   completed + dropped + rejected + lost == submitted + retried
-// across every scale/kill/shed event.  Per-request timings from every
-// replica pool into FleetStats.
+// scratch (under a RetryPolicy budget with exponential backoff), and SLO
+// admission control at the router sheds requests whose predicted TTFT busts
+// the budget.
+//
+// Replicas can be role-specialized (ReplicaSpec::role): prompts route to the
+// prefill pool, run to their first token, then the DisaggCoordinator
+// migrates the exported KV to a decode replica over a priced interconnect
+// link — decode replicas keep decoding while transfers fly, and any handoff
+// whose stall busts the migration budget (or finds no live decode target)
+// decodes locally on its prefill replica, degrading gracefully to unified
+// serving.  Conservation generalizes to
+//   completed + dropped + rejected + lost == submitted + retried  (+ the
+//   retry budget identity lost == retried + retries_exhausted)
+// across every scale/kill/shed/migration event, with zero requests left in
+// migration at the end of a run.  Per-request timings from every replica
+// pool into FleetStats.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "cluster/disagg/coordinator.hpp"
 #include "cluster/fleet_stats.hpp"
 #include "cluster/router.hpp"
 #include "serving/engine.hpp"
@@ -39,6 +52,10 @@ struct ReplicaSpec {
   std::size_t kv_pool_blocks = 4096;
   std::size_t block_tokens = 16;
   std::size_t max_batch = 64;
+  /// Disaggregated-serving specialization (kUnified = monolithic).
+  ReplicaRole role = ReplicaRole::kUnified;
+  /// What an hour of this replica costs; 0 disables cost accounting for it.
+  double dollars_per_hour = 0;
 
   [[nodiscard]] std::string Label() const { return hw.name + "/" + preset.name; }
 };
@@ -79,10 +96,13 @@ struct KillEvent {
 class ClusterSimulator {
  public:
   explicit ClusterSimulator(RoutePolicy policy = RoutePolicy::kLeastOutstanding,
-                            AutoscaleConfig autoscale = {}, SloConfig slo = {});
+                            AutoscaleConfig autoscale = {}, SloConfig slo = {},
+                            RetryPolicy retry = {}, DisaggConfig disagg = {});
 
   /// Adds a replica (usable mid-run: its clock joins the fleet clock).
   /// Returns the replica id, which is stable for the simulator's lifetime.
+  /// Adding a prefill- or decode-role replica arms the router's role-aware
+  /// stage (when the interconnect is usable).
   std::size_t AddReplica(const ReplicaSpec& spec);
 
   /// Drains the replica's unfinished requests, re-routes them to the
@@ -94,16 +114,18 @@ class ClusterSimulator {
   /// Abrupt failure at time `now`: the replica dies WITHOUT draining.  All
   /// in-flight work is lost (tokens already generated are wasted) and each
   /// lost request is re-submitted from scratch through the router — which may
-  /// reject or drop it like any arrival.  Unlike RemoveReplica, killing the
-  /// last alive replica is allowed (failures don't ask permission); its lost
-  /// requests then drop.  Returns false for an unknown/already-dead id.
+  /// reject or drop it like any arrival, back off per the RetryPolicy, or be
+  /// abandoned once the retry budget is spent.  Unlike RemoveReplica, killing
+  /// the last alive replica is allowed (failures don't ask permission); its
+  /// lost requests then drop.  Returns false for an unknown/already-dead id.
   bool KillReplica(std::size_t id, double now);
 
   /// Queues a kill for Run() to fire when the shared clock reaches it.
   void ScheduleKill(const KillEvent& kill) { kill_schedule_.push_back(kill); }
 
-  /// Advances every active replica to `deadline` on the shared clock and
-  /// harvests new completions into the TTFT window.
+  /// Advances every active replica to `deadline` on the shared clock,
+  /// harvests new completions into the TTFT window, and schedules KV
+  /// migrations for freshly finished prefills.
   void AdvanceTo(double deadline);
 
   /// Routes one request at its arrival time.  Returns the chosen replica id;
@@ -113,13 +135,21 @@ class ClusterSimulator {
       const serving::TimedRequest& request);
 
   /// Full episode: sorts the trace by arrival, interleaves advancing the
-  /// shared clock, scheduled kills, autoscaling, and routing, then runs all
-  /// replicas to completion and aggregates FleetStats.
+  /// shared clock, scheduled kills, migration landings, backoff retries and
+  /// autoscaling with routing, then runs the fleet to quiescence (no work,
+  /// no in-flight migrations, no pending retries) and aggregates FleetStats.
   FleetStats Run(const std::vector<serving::TimedRequest>& trace);
 
   [[nodiscard]] std::size_t ActiveReplicas() const;
   [[nodiscard]] std::size_t TotalOutstanding() const;
+  /// Requests whose KV is currently on the wire between pools.
+  [[nodiscard]] std::size_t InMigration() const {
+    return coordinator_.InFlight();
+  }
   [[nodiscard]] const Router& router() const { return router_; }
+  [[nodiscard]] const DisaggCoordinator& coordinator() const {
+    return coordinator_;
+  }
 
  private:
   struct Replica {
@@ -131,28 +161,64 @@ class ClusterSimulator {
     bool killed = false;
     std::size_t submitted = 0;
     std::size_t harvested = 0;  ///< completions already pulled into the window
-    std::size_t drops_harvested = 0;  ///< scheduler drops already observed
+    std::size_t drops_harvested = 0;    ///< scheduler drops already observed
+    std::size_t handoffs_harvested = 0; ///< prefill handoffs already planned
+  };
+
+  /// A kill/migration-loss re-submission waiting out its backoff.
+  struct PendingRetry {
+    double due = 0;
+    serving::TimedRequest request;
   };
 
   [[nodiscard]] std::vector<ReplicaView> Views(
       std::size_t prompt_tokens) const;
   /// Shared routing path for arrivals and kill-retries: counts rejects/drops,
-  /// tracks in-flight metadata, and submits to the chosen scheduler.
+  /// tracks in-flight metadata, and submits to the chosen scheduler (flagged
+  /// prefill-only when it lands on a prefill-role replica).
   std::optional<std::size_t> RouteOne(const serving::TimedRequest& request);
+  /// One request lost with its host (kill) or transfer (target death):
+  /// spends a retry attempt — scheduling the re-route after backoff — or
+  /// abandons the request when the budget is gone.
+  void RetryLost(serving::TimedRequest retry, double now);
   void HarvestCompletions();
+  /// Plans migrations for freshly harvested prefill handoffs.
+  void HarvestHandoffs();
+  void PlanHandoff(Replica& src, const serving::PrefillHandoff& handoff);
+  /// Delivers a continuation + KV to `dst`'s scheduler; on import OOM the
+  /// request is reset to original form and recomputes there (wasting its
+  /// first token).
+  void DeliverContinuation(Replica& dst, serving::Request continuation,
+                           const serving::KvExport& kv, double ready);
+  /// Lands every due migration: AcceptMigrated on a live target, the retry
+  /// path when the target died mid-transfer.
+  void LandMigrationsThrough(double deadline);
+  void ReleaseRetriesThrough(double deadline);
   void MaybeAutoscale(double now);
-  void FireKillsThrough(double deadline);
+  /// Fires kills, migration landings and backoff retries in time order up
+  /// to `deadline`, advancing the fleet clock to each event.
+  void ProcessEventsThrough(double deadline);
+  /// Post-arrival phase of Run(): repeat (run replicas to completion, land
+  /// events) until no work, migrations or retries remain anywhere.
+  void DrainToQuiescence();
 
   Router router_;
   AutoscaleConfig autoscale_;
+  RetryPolicy retry_;
+  DisaggCoordinator coordinator_;
   std::vector<Replica> replicas_;
   std::optional<ReplicaSpec> autoscale_spec_;  ///< first added spec
   FleetStats tally_;  ///< counters accumulated during the run
   double last_scale_event_ = -1e300;
   std::vector<KillEvent> kill_schedule_;  ///< pending, consumed by Run
+  std::vector<PendingRetry> pending_retries_;
   /// Original routed request by id, so a kill can re-submit the original
   /// (session/tenant intact) rather than the scheduler's mutated view.
   std::unordered_map<std::uint64_t, serving::TimedRequest> inflight_;
+  /// Requests that completed a KV migration (for the interference-free
+  /// decode-TPOT percentile split).
+  std::unordered_set<std::uint64_t> migrated_ids_;
+  std::vector<double> migration_seconds_;  ///< visible stalls, sample pool
   SlidingWindowStats ttft_window_;
 };
 

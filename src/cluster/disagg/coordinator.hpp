@@ -1,0 +1,145 @@
+#pragma once
+// DisaggCoordinator: the migration control plane between the prefill and
+// decode pools.  The ClusterSimulator drives it:
+//
+//   1. A prefill replica finishes a prompt → the scheduler parks a
+//      PrefillHandoff (continuation + exported KV).
+//   2. The simulator picks a decode target (Router::RouteDecode) and calls
+//      Begin(): the coordinator prices the transfer on the (src, dst) link —
+//      honoring the per-link in-flight cap — and either commits it or, when
+//      the visible stall would bust `max_migration_seconds` (or the
+//      interconnect is unusable), tells the caller to decode locally on the
+//      prefill replica: per-request fallback to unified serving.
+//   3. Committed migrations ride the calendar; TakeArrivalsThrough() hands
+//      back the ones that have landed by the given deadline, in arrival
+//      order, for the simulator to deliver (AcceptMigrated on the target —
+//      or the retry path when the target died mid-transfer).
+//
+// Decode replicas keep decoding while transfers are in flight — migration
+// only delays the migrating request, never the pool — which is the overlap
+// that makes disaggregation pay.
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cluster/disagg/kv_migration.hpp"
+#include "serving/kv_cache.hpp"
+#include "serving/scheduler.hpp"
+
+namespace liquid::cluster {
+
+struct DisaggConfig {
+  InterconnectConfig interconnect;
+  /// Above this visible post-prefill stall the coordinator decodes locally
+  /// on the prefill replica instead of migrating (graceful fallback to
+  /// unified serving).  <= 0 disables the cap.
+  double max_migration_seconds = 1.0;
+};
+
+class DisaggCoordinator {
+ public:
+  explicit DisaggCoordinator(DisaggConfig config)
+      : config_(config), model_(config.interconnect) {}
+
+  /// One committed KV transfer.
+  struct Migration {
+    serving::Request continuation;  ///< kv_migrated continuation to deliver
+    serving::KvExport kv;
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    double start = 0;   ///< prefill-finish instant (transfer request time)
+    double arrive = 0;  ///< when the KV lands on dst
+    double bytes = 0;
+  };
+
+  /// Prices the handoff's transfer to `dst` and commits it when the visible
+  /// stall fits the budget; returns the arrival time, or nullopt when the
+  /// caller should decode locally (unusable link or stall over budget).
+  std::optional<double> Begin(const serving::PrefillHandoff& handoff,
+                              std::size_t src, std::size_t dst, double bytes) {
+    if (!model_.Usable()) return std::nullopt;
+    const double eta =
+        model_.EstimateCompletion(src, dst, bytes, handoff.ready);
+    if (config_.max_migration_seconds > 0 &&
+        eta - handoff.ready > config_.max_migration_seconds) {
+      return std::nullopt;
+    }
+    Migration m;
+    m.continuation = handoff.request;
+    m.kv = handoff.kv;
+    m.src = src;
+    m.dst = dst;
+    m.start = handoff.ready;
+    m.arrive = model_.ScheduleTransfer(src, dst, bytes, handoff.ready);
+    m.bytes = bytes;
+    inflight_.push_back(m);
+    return m.arrive;
+  }
+
+  /// Earliest in-flight arrival, if any.
+  [[nodiscard]] std::optional<double> NextArrival() const {
+    std::optional<double> next;
+    for (const Migration& m : inflight_) {
+      if (!next || m.arrive < *next) next = m.arrive;
+    }
+    return next;
+  }
+
+  /// Pops every migration that has landed by `deadline`, ordered by
+  /// (arrival, id) for determinism.
+  std::vector<Migration> TakeArrivalsThrough(double deadline) {
+    return TakeIf([&](const Migration& m) { return m.arrive <= deadline; });
+  }
+
+  /// Pops every in-flight migration headed for `dst` (graceful scale-down:
+  /// the caller re-plans them instead of letting them land on a corpse).
+  std::vector<Migration> TakeInboundFor(std::size_t dst) {
+    return TakeIf([&](const Migration& m) { return m.dst == dst; });
+  }
+
+  /// Re-commits an extracted migration to a new target, restarting the
+  /// transfer from the source at `now` (no stall budget: the KV must land
+  /// somewhere).  Returns the new arrival time.
+  double Reroute(Migration migration, std::size_t new_dst, double now) {
+    migration.dst = new_dst;
+    migration.start = now;
+    migration.arrive =
+        model_.ScheduleTransfer(migration.src, new_dst, migration.bytes, now);
+    inflight_.push_back(migration);
+    return migration.arrive;
+  }
+
+  [[nodiscard]] std::size_t InFlight() const { return inflight_.size(); }
+  [[nodiscard]] const DisaggConfig& config() const { return config_; }
+  [[nodiscard]] const KvMigrationModel& model() const { return model_; }
+
+ private:
+  template <typename Pred>
+  std::vector<Migration> TakeIf(Pred pred) {
+    std::vector<Migration> taken;
+    for (std::size_t i = 0; i < inflight_.size();) {
+      if (pred(inflight_[i])) {
+        taken.push_back(inflight_[i]);
+        inflight_[i] = inflight_.back();
+        inflight_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    std::sort(taken.begin(), taken.end(),
+              [](const Migration& a, const Migration& b) {
+                return a.arrive != b.arrive
+                           ? a.arrive < b.arrive
+                           : a.continuation.id < b.continuation.id;
+              });
+    return taken;
+  }
+
+  DisaggConfig config_;
+  KvMigrationModel model_;
+  std::vector<Migration> inflight_;
+};
+
+}  // namespace liquid::cluster

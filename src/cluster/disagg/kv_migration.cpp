@@ -1,0 +1,56 @@
+#include "cluster/disagg/kv_migration.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace liquid::cluster {
+
+double KvMigrationModel::VisibleSeconds(double bytes) const {
+  if (!Usable()) return std::numeric_limits<double>::infinity();
+  const double exposed =
+      std::clamp(1.0 - config_.prefill_overlap, 0.0, 1.0) * bytes;
+  return config_.latency_seconds + exposed / (config_.bandwidth_gb_per_s * 1e9);
+}
+
+double KvMigrationModel::StartUnderCap(const std::vector<double>& completions,
+                                       double start) const {
+  if (config_.max_inflight_per_link == 0) return start;  // 0 = uncapped
+  double t = start;
+  for (;;) {
+    std::size_t inflight = 0;
+    double earliest_end = std::numeric_limits<double>::infinity();
+    for (const double end : completions) {
+      if (end > t) {
+        ++inflight;
+        earliest_end = std::min(earliest_end, end);
+      }
+    }
+    if (inflight < config_.max_inflight_per_link) return t;
+    t = earliest_end;  // a slot frees exactly when the earliest one lands
+  }
+}
+
+double KvMigrationModel::EstimateCompletion(std::size_t src, std::size_t dst,
+                                            double bytes, double start) const {
+  if (!Usable()) return std::numeric_limits<double>::infinity();
+  const auto it = links_.find({src, dst});
+  const double begin =
+      it == links_.end() ? start : StartUnderCap(it->second, start);
+  return begin + VisibleSeconds(bytes);
+}
+
+double KvMigrationModel::ScheduleTransfer(std::size_t src, std::size_t dst,
+                                          double bytes, double start) {
+  std::vector<double>& calendar = links_[{src, dst}];
+  // Transfers are requested in near-monotone time order (handoffs harvest in
+  // fleet-clock order, skewed at most by one event window), so completions
+  // at or before this request's start can no longer constrain the in-flight
+  // cap — drop them to keep the calendar O(cap) instead of append-only.
+  std::erase_if(calendar, [&](double end) { return end <= start; });
+  const double begin = StartUnderCap(calendar, start);
+  const double done = begin + VisibleSeconds(bytes);
+  calendar.push_back(done);
+  return done;
+}
+
+}  // namespace liquid::cluster

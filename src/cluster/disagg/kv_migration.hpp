@@ -1,0 +1,77 @@
+#pragma once
+// KV migration cost model for disaggregated prefill/decode serving.
+//
+// When a prefill replica finishes a prompt, the sequence's KV cache must
+// move to a decode replica before decoding can continue.  The model charges
+//
+//   visible_stall = link_latency + kv_bytes * (1 - prefill_overlap) / BW
+//
+// per transfer: DistServe/Splitwise-style layer-wise streaming pushes most
+// of the KV while later layers are still prefilling, so only the
+// (1 - overlap) tail is exposed after the prefill finishes.  KV bytes come
+// from the model geometry (2 sides * kv_heads * head_dim * layers * kv_bits
+// per token — LlmConfig::KvBytesPerToken), so quantized-KV presets migrate
+// proportionally cheaper.
+//
+// Each directed (src, dst) link carries at most `max_inflight_per_link`
+// concurrent transfers; an extra transfer queues until the earliest
+// in-flight one completes.  The model is a pure calendar — it never touches
+// engines — so it stays unit-testable and deterministic.
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "serving/model_config.hpp"
+
+namespace liquid::cluster {
+
+struct InterconnectConfig {
+  double bandwidth_gb_per_s = 400.0;  ///< per directed link; <= 0 ⇒ unusable
+  double latency_seconds = 100e-6;    ///< per-transfer setup latency
+  std::size_t max_inflight_per_link = 4;
+  /// Fraction of the KV streamed layer-wise DURING prefill; only the rest
+  /// stalls the request after its prefill finishes.
+  double prefill_overlap = 0.8;
+};
+
+class KvMigrationModel {
+ public:
+  explicit KvMigrationModel(InterconnectConfig config) : config_(config) {}
+
+  [[nodiscard]] bool Usable() const { return config_.bandwidth_gb_per_s > 0; }
+
+  /// KV bytes for `tokens` cached tokens of `model` at `kv_bits` precision.
+  [[nodiscard]] static double KvBytes(const serving::LlmConfig& model,
+                                      double kv_bits, std::size_t tokens) {
+    return model.KvBytesPerToken(kv_bits) * static_cast<double>(tokens);
+  }
+
+  /// Post-prefill stall of one uncontended transfer of `bytes`.
+  [[nodiscard]] double VisibleSeconds(double bytes) const;
+
+  /// Completion time of a transfer of `bytes` over link (src → dst) wanting
+  /// to start at `start`, honoring the per-link in-flight cap — WITHOUT
+  /// recording it.  The caller can compare against a stall budget and fall
+  /// back to local decode before committing.
+  [[nodiscard]] double EstimateCompletion(std::size_t src, std::size_t dst,
+                                          double bytes, double start) const;
+
+  /// Commits the transfer on the link and returns its completion time.
+  double ScheduleTransfer(std::size_t src, std::size_t dst, double bytes,
+                          double start);
+
+  [[nodiscard]] const InterconnectConfig& config() const { return config_; }
+
+ private:
+  using LinkKey = std::pair<std::size_t, std::size_t>;
+  /// First instant at or after `start` when the link is below its cap.
+  [[nodiscard]] double StartUnderCap(const std::vector<double>& completions,
+                                     double start) const;
+
+  InterconnectConfig config_;
+  std::map<LinkKey, std::vector<double>> links_;  ///< completion calendars
+};
+
+}  // namespace liquid::cluster

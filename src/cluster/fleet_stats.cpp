@@ -7,17 +7,14 @@
 #include "util/table.hpp"
 
 namespace liquid::cluster {
-namespace {
 
-PercentileTriple Triple(std::span<const double> values) {
+PercentileTriple SummarizePercentiles(std::span<const double> values) {
   PercentileTriple t;
   t.p50 = Percentile(values, 50);
   t.p95 = Percentile(values, 95);
   t.p99 = Percentile(values, 99);
   return t;
 }
-
-}  // namespace
 
 void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
                         FleetStats& stats) {
@@ -30,9 +27,9 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
   const serving::LatencySamples samples =
       serving::CollectLatencySamples(timings);
   stats.generated_tokens = samples.generated_tokens;
-  stats.ttft = Triple(samples.ttft);
-  stats.tpot = Triple(samples.tpot);
-  stats.e2e = Triple(samples.e2e);
+  stats.ttft = SummarizePercentiles(samples.ttft);
+  stats.tpot = SummarizePercentiles(samples.tpot);
+  stats.e2e = SummarizePercentiles(samples.e2e);
   stats.span_seconds = timings.empty() ? 0 : last_finish - first_arrival;
   stats.throughput_tokens_per_s =
       stats.span_seconds > 0 ? stats.generated_tokens / stats.span_seconds : 0;
@@ -40,6 +37,9 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
   stats.completed = 0;
   stats.dropped = 0;
   stats.preemptions = 0;
+  stats.cost_dollars = 0;
+  stats.prefill_pool_dollars = 0;
+  stats.decode_pool_dollars = 0;
   for (ReplicaReport& r : stats.replicas) {
     stats.completed += r.stats.completed;
     stats.dropped += r.stats.dropped;
@@ -47,7 +47,18 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
     r.utilization = stats.span_seconds > 0
                         ? r.stats.busy_seconds / stats.span_seconds
                         : 0;
+    r.cost_dollars = r.dollars_per_hour * stats.span_seconds / 3600.0;
+    stats.cost_dollars += r.cost_dollars;
+    if (r.role == ReplicaRole::kPrefill) {
+      stats.prefill_pool_dollars += r.cost_dollars;
+    } else {
+      stats.decode_pool_dollars += r.cost_dollars;
+    }
   }
+  stats.dollars_per_m_tokens =
+      stats.generated_tokens > 0
+          ? stats.cost_dollars / (stats.generated_tokens / 1e6)
+          : 0;
 }
 
 void PrintFleetStats(const FleetStats& stats) {
@@ -75,6 +86,10 @@ void PrintFleetStats(const FleetStats& stats) {
                         stats.retried_requests)});
   totals.AddRow({"max retry attempts",
                  std::to_string(stats.max_retry_attempts)});
+  if (stats.retries_exhausted > 0) {
+    totals.AddRow({"retries exhausted",
+                   std::to_string(stats.retries_exhausted)});
+  }
   totals.AddRow({"wasted tokens (kills)",
                  WithCommas(static_cast<long long>(stats.wasted_tokens))});
   totals.AddRow({"scale-ups / scale-downs",
@@ -84,13 +99,45 @@ void PrintFleetStats(const FleetStats& stats) {
   totals.AddRow({"fleet throughput (tok/s)",
                  WithCommas(static_cast<long long>(
                      stats.throughput_tokens_per_s))});
+  if (stats.cost_dollars > 0) {
+    totals.AddRow({"fleet cost (prefill + decode)",
+                   Format("$%.4f ($%.4f + $%.4f)", stats.cost_dollars,
+                          stats.prefill_pool_dollars,
+                          stats.decode_pool_dollars)});
+    totals.AddRow(
+        {"$ / 1M tokens", Format("$%.3f", stats.dollars_per_m_tokens)});
+  }
   totals.Print();
 
+  const DisaggStats& d = stats.disagg;
+  if (d.prefill_handoffs > 0 || d.migrated_requests > 0) {
+    Table disagg("Disaggregated serving");
+    disagg.SetHeader({"metric", "value"});
+    disagg.AddRow({"prefill / decode replicas",
+                   Format("%zu / %zu", d.prefill_replicas,
+                          d.decode_replicas)});
+    disagg.AddRow({"prefill handoffs", std::to_string(d.prefill_handoffs)});
+    disagg.AddRow({"migrated requests", std::to_string(d.migrated_requests)});
+    disagg.AddRow({"migrated KV",
+                   Format("%.1f MB", d.migrated_kv_bytes / 1e6)});
+    disagg.AddRow({"local-decode fallbacks",
+                   std::to_string(d.local_decode_fallbacks)});
+    disagg.AddRow({"import OOMs / target deaths",
+                   Format("%zu / %zu", d.import_ooms, d.target_deaths)});
+    disagg.AddRow({"migration stall p50/p99",
+                   Format("%s / %s", HumanTime(d.migration_seconds.p50).c_str(),
+                          HumanTime(d.migration_seconds.p99).c_str())});
+    disagg.AddRow({"migrated TPOT p50/p99",
+                   Format("%s / %s", HumanTime(d.migrated_tpot.p50).c_str(),
+                          HumanTime(d.migrated_tpot.p99).c_str())});
+    disagg.Print();
+  }
+
   Table per_replica("Per-replica");
-  per_replica.SetHeader({"id", "config", "state", "routed", "completed",
-                         "preempt", "util"});
+  per_replica.SetHeader({"id", "config", "role", "state", "routed",
+                         "completed", "preempt", "util"});
   for (const ReplicaReport& r : stats.replicas) {
-    per_replica.AddRow({std::to_string(r.id), r.label,
+    per_replica.AddRow({std::to_string(r.id), r.label, ToString(r.role),
                         r.killed ? "killed" : (r.active ? "active" : "removed"),
                         std::to_string(r.submitted),
                         std::to_string(r.stats.completed),

@@ -7,9 +7,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "cluster/router.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/workload.hpp"
 
@@ -22,16 +24,50 @@ struct PercentileTriple {
   double p99 = 0;
 };
 
+/// Pools samples into the three-point summary (shared by the fleet latency
+/// report and the disagg migration/TPOT splits).
+[[nodiscard]] PercentileTriple SummarizePercentiles(
+    std::span<const double> values);
+
 /// One replica's contribution, captured when the run finishes (replicas that
 /// were scaled down mid-run keep their entry, marked inactive).
 struct ReplicaReport {
   std::size_t id = 0;
   std::string label;        ///< e.g. "H800/LiquidServe"
+  ReplicaRole role = ReplicaRole::kUnified;
   bool active = true;       ///< false if scaled down before the run ended
   bool killed = false;      ///< true if it died abruptly (no drain)
   serving::SchedulerStats stats;
   std::size_t submitted = 0;  ///< requests routed here (incl. re-routes)
   double utilization = 0;     ///< busy_seconds / fleet span
+  double dollars_per_hour = 0;
+  double cost_dollars = 0;    ///< dollars_per_hour * span (billed full span)
+};
+
+/// Disaggregated-serving outcome counters (all zero for unified fleets).
+struct DisaggStats {
+  std::size_t prefill_replicas = 0;  ///< pool sizes at the end of the run
+  std::size_t decode_replicas = 0;
+  std::size_t prefill_handoffs = 0;  ///< prompts that completed prefill-only
+  std::size_t migrated_requests = 0;
+  double migrated_kv_bytes = 0;
+  /// Handoffs decoded locally on their prefill replica: interconnect
+  /// unusable, stall over budget, or no decode-capable replica alive —
+  /// per-request fallback to unified serving.
+  std::size_t local_decode_fallbacks = 0;
+  /// Migration landed but the decode pool could not hold the KV; the
+  /// request recomputed its prefill on the target instead.
+  std::size_t import_ooms = 0;
+  /// Migration target died mid-transfer; the request re-entered the retry
+  /// path (counted in lost/retried like any kill loss).
+  std::size_t target_deaths = 0;
+  /// In-flight migrations when the run ended — 0 after Run() (the
+  /// conservation invariant extends to in-migration requests).
+  std::size_t in_migration = 0;
+  PercentileTriple migration_seconds;  ///< visible post-prefill stall
+  /// TPOT of migrated requests: their decode steps ran on a pool no prefill
+  /// ever interrupts (the interference-free tail disaggregation buys).
+  PercentileTriple migrated_tpot;
 };
 
 struct FleetStats {
@@ -51,8 +87,11 @@ struct FleetStats {
   // sides symmetrically).
   std::size_t killed_replicas = 0;
   std::size_t lost_requests = 0;     ///< in flight on a replica when it died
-  std::size_t retried_requests = 0;  ///< re-submissions spawned by kills
+  std::size_t retried_requests = 0;  ///< re-submissions spawned by losses
   std::size_t rejected_requests = 0; ///< shed by SLO admission control (429)
+  /// Losses abandoned because the RetryPolicy budget ran out; with a budget,
+  /// lost == retried + retries_exhausted (without one, lost == retried).
+  std::size_t retries_exhausted = 0;
   /// Highest TimedRequest::attempt any retry reached — 2+ means some request
   /// survived multiple kills before landing in a terminal bucket.
   std::uint32_t max_retry_attempts = 0;
@@ -62,10 +101,19 @@ struct FleetStats {
   double generated_tokens = 0;
   double throughput_tokens_per_s = 0;
 
+  // Cost accounting (zero when no ReplicaSpec prices an hour).  Replicas are
+  // billed for the whole span — capacity reserved is capacity paid for, even
+  // after a kill.
+  double cost_dollars = 0;
+  double prefill_pool_dollars = 0;  ///< prefill-role replicas only
+  double decode_pool_dollars = 0;   ///< decode + unified replicas
+  double dollars_per_m_tokens = 0;  ///< cost / (generated tokens / 1e6)
+
   PercentileTriple ttft;
   PercentileTriple tpot;
   PercentileTriple e2e;
 
+  DisaggStats disagg;
   std::vector<ReplicaReport> replicas;
 };
 

@@ -20,6 +20,15 @@ std::optional<RoutePolicy> ParseRoutePolicy(const std::string& name) {
   return std::nullopt;
 }
 
+const char* ToString(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kUnified: return "unified";
+    case ReplicaRole::kPrefill: return "prefill";
+    case ReplicaRole::kDecode: return "decode";
+  }
+  return "?";
+}
+
 std::optional<std::size_t> Router::LeastOutstanding(
     const std::vector<ReplicaView>& replicas) const {
   std::optional<std::size_t> best;
@@ -32,7 +41,32 @@ std::optional<std::size_t> Router::LeastOutstanding(
   return best;
 }
 
-std::optional<std::size_t> Router::Route(
+std::vector<ReplicaView> Router::PromptEligible(
+    const std::vector<ReplicaView>& replicas) const {
+  std::vector<ReplicaView> masked = replicas;
+  if (!role_aware_) return masked;
+  bool any_prefill = false, any_unified = false;
+  for (const ReplicaView& v : replicas) {
+    if (!v.alive) continue;
+    any_prefill |= v.role == ReplicaRole::kPrefill;
+    any_unified |= v.role == ReplicaRole::kUnified;
+  }
+  for (ReplicaView& v : masked) {
+    if (!v.alive) continue;
+    if (any_prefill) {
+      // A live prefill pool owns every fresh prompt.
+      v.alive = v.role == ReplicaRole::kPrefill;
+    } else if (any_unified) {
+      // Prefill pool empty: unified replicas take over; decode replicas
+      // still never see a prompt while a unified one lives.
+      v.alive = v.role != ReplicaRole::kDecode;
+    }
+    // Only decode replicas left: last resort, they serve prompts unified.
+  }
+  return masked;
+}
+
+std::optional<std::size_t> Router::PolicyRoute(
     const serving::TimedRequest& request,
     const std::vector<ReplicaView>& replicas) {
   // The cursor can be stale relative to this call's view vector (replicas
@@ -76,6 +110,24 @@ std::optional<std::size_t> Router::Route(
   return std::nullopt;
 }
 
+std::optional<std::size_t> Router::Route(
+    const serving::TimedRequest& request,
+    const std::vector<ReplicaView>& replicas) {
+  if (role_aware_) {
+    const std::vector<ReplicaView> eligible = PromptEligible(replicas);
+    bool any_prefill = false;
+    for (const ReplicaView& v : eligible) {
+      any_prefill |= v.alive && v.role == ReplicaRole::kPrefill;
+    }
+    // Prompts go to the least-loaded prefill replica regardless of the
+    // configured policy: prefill work is prompt-length bound and leaves
+    // quickly, so queue depth is the right signal there.
+    if (any_prefill) return LeastOutstanding(eligible);
+    return PolicyRoute(request, eligible);
+  }
+  return PolicyRoute(request, replicas);
+}
+
 RouteDecision Router::Decide(const serving::TimedRequest& request,
                              const std::vector<ReplicaView>& replicas) {
   RouteDecision decision;
@@ -91,29 +143,66 @@ RouteDecision Router::Decide(const serving::TimedRequest& request,
 
   // The policy's pick busts the budget — maybe it optimized for something
   // else (affinity, KV headroom).  Fall back to the lowest-predicted-TTFT
-  // replica before giving up on the request.
+  // prompt-eligible replica before giving up on the request.
+  const std::vector<ReplicaView> eligible =
+      role_aware_ ? PromptEligible(replicas) : replicas;
   std::optional<std::size_t> best;
-  for (std::size_t i = 0; i < replicas.size(); ++i) {
-    if (!replicas[i].alive) continue;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (!eligible[i].alive) continue;
     if (!best ||
-        replicas[i].est_ttft_seconds < replicas[*best].est_ttft_seconds) {
+        eligible[i].est_ttft_seconds < eligible[*best].est_ttft_seconds) {
       best = i;
     }
   }
-  if (best && replicas[*best].est_ttft_seconds <= ceiling) {
+  if (best && eligible[*best].est_ttft_seconds <= ceiling) {
     decision.replica = best;
-    decision.predicted_ttft = replicas[*best].est_ttft_seconds;
+    decision.predicted_ttft = eligible[*best].est_ttft_seconds;
     return decision;
   }
   decision.outcome = RouteOutcome::kRejected;
   decision.replica = std::nullopt;
-  if (best) decision.predicted_ttft = replicas[*best].est_ttft_seconds;
+  if (best) decision.predicted_ttft = eligible[*best].est_ttft_seconds;
   return decision;
+}
+
+std::optional<std::size_t> Router::RouteDecode(
+    std::uint64_t session, const std::vector<ReplicaView>& replicas,
+    std::size_t min_free_blocks) {
+  // Sticky decode placement first: the session's previous decode home keeps
+  // its prefix blocks warm.
+  const auto pin = decode_affinity_.find(session);
+  if (pin != decode_affinity_.end() && pin->second < replicas.size()) {
+    const ReplicaView& v = replicas[pin->second];
+    if (v.alive && v.role != ReplicaRole::kPrefill &&
+        v.free_kv_blocks >= min_free_blocks) {
+      return pin->second;
+    }
+  }
+  // Otherwise the decode replica with the most free KV; unified replicas
+  // only when no decode replica is alive.
+  std::optional<std::size_t> best;
+  bool best_is_decode = false;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const ReplicaView& v = replicas[i];
+    if (!v.alive || v.role == ReplicaRole::kPrefill) continue;
+    const bool is_decode = v.role == ReplicaRole::kDecode;
+    if (!best || (is_decode && !best_is_decode) ||
+        (is_decode == best_is_decode &&
+         v.free_kv_blocks > replicas[*best].free_kv_blocks)) {
+      best = i;
+      best_is_decode = is_decode;
+    }
+  }
+  if (best) decode_affinity_[session] = *best;
+  return best;
 }
 
 void Router::ForgetReplica(std::size_t replica) {
   for (auto it = affinity_.begin(); it != affinity_.end();) {
     it = it->second == replica ? affinity_.erase(it) : std::next(it);
+  }
+  for (auto it = decode_affinity_.begin(); it != decode_affinity_.end();) {
+    it = it->second == replica ? decode_affinity_.erase(it) : std::next(it);
   }
   // Replica indices are stable (dead replicas stay in the view vector,
   // marked !alive), so the round-robin cursor needs no shifting here; the

@@ -12,6 +12,16 @@
 //                        session keeps hitting its replica; new sessions are
 //                        placed by least_outstanding.
 //
+// Disaggregated serving adds a role-aware stage AHEAD of the policy: when the
+// fleet has alive prefill-specialized replicas (and the interconnect can
+// actually move KV), fresh prompts go to the least-loaded prefill replica
+// and decode-specialized replicas never see a prompt.  Once a prefill
+// finishes, RouteDecode places the continuation on a decode replica by
+// session affinity first, free KV blocks second.  When the prefill pool is
+// empty (all dead or none configured) the stage falls through to the
+// configured policy over unified replicas — graceful fallback to monolithic
+// serving.
+//
 // The router is deliberately stateless about time: it only sees the views the
 // simulator hands it, so policies stay unit-testable without an engine.
 
@@ -38,9 +48,19 @@ enum class RoutePolicy {
 [[nodiscard]] std::optional<RoutePolicy> ParseRoutePolicy(
     const std::string& name);
 
+/// What a replica is specialized for in a disaggregated fleet.
+enum class ReplicaRole {
+  kUnified,  ///< prefills and decodes (the monolithic default)
+  kPrefill,  ///< runs prompts to first token, then exports KV
+  kDecode,   ///< receives migrated KV and runs decode steps only
+};
+
+[[nodiscard]] const char* ToString(ReplicaRole role);
+
 /// What a policy is allowed to see about one replica at decision time.
 struct ReplicaView {
   bool alive = true;
+  ReplicaRole role = ReplicaRole::kUnified;
   std::size_t outstanding = 0;     ///< waiting + running requests
   std::size_t free_kv_blocks = 0;
   std::size_t total_kv_blocks = 0;
@@ -56,6 +76,15 @@ struct ReplicaView {
 struct SloConfig {
   double ttft_budget = 0;     ///< seconds; <= 0 disables admission control
   double reject_above = 1.0;  ///< reject when predicted > budget * this
+};
+
+/// Retry budget + exponential backoff for kill/migration-loss re-submissions,
+/// so a re-route storm after a failure cannot amplify overload.  Retry k
+/// (1-based) is released base_backoff * 2^(k-1) seconds after the loss;
+/// beyond max_attempts the request is abandoned (retries_exhausted).
+struct RetryPolicy {
+  std::uint32_t max_attempts = 0;   ///< retries per request; 0 = unlimited
+  double base_backoff_seconds = 0;  ///< 0 = immediate re-route (no backoff)
 };
 
 /// Outcome of one routing decision under admission control.
@@ -76,18 +105,32 @@ class Router {
   explicit Router(RoutePolicy policy, SloConfig slo = {})
       : policy_(policy), slo_(slo) {}
 
-  /// Picks a destination among alive replicas; ties break toward the lowest
-  /// index so routing stays deterministic.  Returns nullopt when no replica
-  /// is alive.  Placement only — no admission control (see Decide).
+  /// Picks a destination among alive prompt-eligible replicas; ties break
+  /// toward the lowest index so routing stays deterministic.  Returns
+  /// nullopt when no replica is alive.  Placement only — no admission
+  /// control (see Decide).  With role_aware() on and a live prefill pool,
+  /// this is the least-loaded prefill replica; otherwise the configured
+  /// policy over unified replicas (decode replicas are a last resort).
   [[nodiscard]] std::optional<std::size_t> Route(
       const serving::TimedRequest& request,
       const std::vector<ReplicaView>& replicas);
 
   /// Route + SLO admission control.  If the policy's choice busts the TTFT
-  /// budget, falls back to the alive replica with the lowest predicted TTFT;
-  /// if even that busts it, the request is rejected instead of queued.
+  /// budget, falls back to the prompt-eligible replica with the lowest
+  /// predicted TTFT; if even that busts it, the request is rejected instead
+  /// of queued.
   [[nodiscard]] RouteDecision Decide(const serving::TimedRequest& request,
                                      const std::vector<ReplicaView>& replicas);
+
+  /// Places a post-prefill continuation on a decode replica: the session's
+  /// previous decode home if it is alive and has `min_free_blocks` KV blocks
+  /// free (prefix-cache locality), else the alive decode replica with the
+  /// most free KV.  Unified replicas are used when no decode replica is
+  /// alive; returns nullopt when neither exists (the caller decodes locally
+  /// on the prefill replica — unified fallback).
+  [[nodiscard]] std::optional<std::size_t> RouteDecode(
+      std::uint64_t session, const std::vector<ReplicaView>& replicas,
+      std::size_t min_free_blocks);
 
   /// Drops affinity pins onto `replica` (called on scale-down or kill); its
   /// sessions will be re-placed on their next request.  Replica indices stay
@@ -98,15 +141,30 @@ class Router {
   [[nodiscard]] RoutePolicy policy() const { return policy_; }
   [[nodiscard]] const SloConfig& slo() const { return slo_; }
   void set_slo(SloConfig slo) { slo_ = slo; }
+  /// Enables the role-aware stage (set by the cluster once the fleet has
+  /// specialized replicas and a usable interconnect).
+  void set_role_aware(bool on) { role_aware_ = on; }
+  [[nodiscard]] bool role_aware() const { return role_aware_; }
 
  private:
   [[nodiscard]] std::optional<std::size_t> LeastOutstanding(
       const std::vector<ReplicaView>& replicas) const;
+  /// Masks out replicas a fresh prompt must not land on: with role_aware(),
+  /// decode replicas are ineligible while any unified replica is alive, and
+  /// every non-prefill replica is ineligible while a prefill replica lives.
+  [[nodiscard]] std::vector<ReplicaView> PromptEligible(
+      const std::vector<ReplicaView>& replicas) const;
+  [[nodiscard]] std::optional<std::size_t> PolicyRoute(
+      const serving::TimedRequest& request,
+      const std::vector<ReplicaView>& replicas);
 
   RoutePolicy policy_;
   SloConfig slo_;
+  bool role_aware_ = false;
   std::size_t rr_cursor_ = 0;
   std::unordered_map<std::uint64_t, std::size_t> affinity_;
+  /// Session → decode replica that last hosted it (RouteDecode locality).
+  std::unordered_map<std::uint64_t, std::size_t> decode_affinity_;
 };
 
 }  // namespace liquid::cluster

@@ -89,21 +89,36 @@ double ServingEngine::PrefillSeconds(std::size_t batch,
   std::size_t done = 0;
   while (done < input_len) {
     const std::size_t this_chunk = std::min(chunk, input_len - done);
-    const std::size_t tokens = batch * this_chunk;
-    total += simgpu::SimulateGemmSequence(hw_, kernel_,
-                                          model_.LayerGemms(tokens)) *
-             model_.num_layers;
-    total += PrefillAttentionSeconds(hw_, model_, attn, batch, this_chunk);
-    if (done > 0) {
-      // The chunk's tokens attend to all previously cached tokens: a
-      // compute-bound rectangle pass with a KV re-read bandwidth floor.
-      total += CrossAttentionSeconds(hw_, model_, attn, batch, this_chunk,
-                                     done);
-    }
-    total += OthersPerLayer(tokens) * static_cast<double>(model_.num_layers);
+    total += ChunkCost(batch, this_chunk, done);
     done += this_chunk;
   }
   return total;
+}
+
+double ServingEngine::ChunkCost(std::size_t batch, std::size_t chunk_tokens,
+                                std::size_t prior_tokens) const {
+  AttentionCostConfig attn;
+  attn.kv_bits = preset_.kv_bits;
+  attn.efficiency = preset_.attention_efficiency;
+  attn.fp8_math = preset_.fp8_attention;
+  const std::size_t tokens = batch * chunk_tokens;
+  double total = simgpu::SimulateGemmSequence(hw_, kernel_,
+                                              model_.LayerGemms(tokens)) *
+                 model_.num_layers;
+  total += PrefillAttentionSeconds(hw_, model_, attn, batch, chunk_tokens);
+  if (prior_tokens > 0) {
+    // The chunk's tokens attend to all previously cached tokens: a
+    // compute-bound rectangle pass with a KV re-read bandwidth floor.
+    total += CrossAttentionSeconds(hw_, model_, attn, batch, chunk_tokens,
+                                   prior_tokens);
+  }
+  total += OthersPerLayer(tokens) * static_cast<double>(model_.num_layers);
+  return total;
+}
+
+double ServingEngine::PrefillChunkSeconds(std::size_t chunk_tokens,
+                                          std::size_t prior_tokens) const {
+  return ChunkCost(1, chunk_tokens, prior_tokens);
 }
 
 double ServingEngine::WeightMemoryBytes() const {

@@ -91,6 +91,7 @@ class ServingEngine {
 
   [[nodiscard]] const SystemPreset& preset() const { return preset_; }
   [[nodiscard]] const LlmConfig& model() const { return model_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
 
   /// One decode step's per-layer breakdown at the given batch / KV length.
   [[nodiscard]] LayerBreakdown DecodeLayerBreakdown(std::size_t batch,
@@ -103,8 +104,19 @@ class ServingEngine {
   [[nodiscard]] double PrefillSeconds(std::size_t batch,
                                       std::size_t input_len) const;
 
+  /// Cost of one prefill chunk of a single sequence: `chunk_tokens` fresh
+  /// tokens whose attention also reads the `prior_tokens` already cached by
+  /// earlier chunks.  The scheduler uses this to interleave long prefills
+  /// with decode steps (Sarathi-style) instead of charging the whole prompt
+  /// in one iteration.  Summing chunks reproduces PrefillSeconds(1, len)
+  /// under the same chunking.
+  [[nodiscard]] double PrefillChunkSeconds(std::size_t chunk_tokens,
+                                           std::size_t prior_tokens) const;
+
  private:
   [[nodiscard]] double OthersPerLayer(std::size_t batch) const;
+  [[nodiscard]] double ChunkCost(std::size_t batch, std::size_t chunk_tokens,
+                                 std::size_t prior_tokens) const;
 
   simgpu::HardwareSpec hw_;
   SystemPreset preset_;

@@ -82,6 +82,22 @@ void KvBlockManager::Free(SeqId id) {
   sequences_.erase(it);
 }
 
+KvExport KvBlockManager::Export(SeqId id) {
+  KvExport out;
+  out.id = id;
+  const auto it = sequences_.find(id);
+  if (it == sequences_.end()) return out;
+  out.tokens = it->second.tokens;
+  out.blocks = it->second.blocks.size();
+  Free(id);
+  return out;
+}
+
+bool KvBlockManager::Import(const KvExport& exported) {
+  if (sequences_.contains(exported.id)) return false;
+  return AddSequence(exported.id, exported.tokens);
+}
+
 std::size_t KvBlockManager::SequenceTokens(SeqId id) const {
   const auto it = sequences_.find(id);
   return it == sequences_.end() ? 0 : it->second.tokens;

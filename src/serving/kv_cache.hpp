@@ -15,6 +15,16 @@ namespace liquid::serving {
 
 using SeqId = std::uint64_t;
 
+/// Descriptor of a sequence's KV state detached from any one block manager —
+/// the unit of (simulated) KV migration between replicas.  Blocks are the
+/// logical count a fresh Import() allocates; physical sharing (forked
+/// prefixes) does not survive the wire, so an imported sequence is dense.
+struct KvExport {
+  SeqId id = 0;
+  std::size_t tokens = 0;
+  std::size_t blocks = 0;
+};
+
 class KvBlockManager {
  public:
   /// `total_blocks` physical blocks, each holding `block_tokens` tokens.
@@ -37,6 +47,16 @@ class KvBlockManager {
   /// Releases a sequence; blocks with refcount hitting zero return to the
   /// free list.
   void Free(SeqId id);
+
+  /// Detaches a sequence for migration: captures its descriptor, then frees
+  /// it locally (refcount-aware — blocks shared with a forked sibling only
+  /// drop a reference).  An unknown id exports as {id, 0, 0}.
+  [[nodiscard]] KvExport Export(SeqId id);
+
+  /// Materializes an exported sequence in this pool, allocating fresh blocks
+  /// for every token.  Returns false (allocating nothing) when the id is
+  /// already present or the pool cannot satisfy it.
+  bool Import(const KvExport& exported);
 
   [[nodiscard]] std::size_t total_blocks() const { return ref_counts_.size(); }
   [[nodiscard]] std::size_t free_blocks() const { return free_list_.size(); }

@@ -11,16 +11,34 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(const ServingEngine& engine,
                                                    std::size_t block_tokens,
                                                    std::size_t max_batch)
     : engine_(engine), pool_(kv_pool_blocks, block_tokens),
-      max_batch_(max_batch) {}
+      max_batch_(max_batch),
+      chunk_(engine.options().prefill_chunk_tokens) {}
 
 void ContinuousBatchScheduler::Submit(Request request) {
   waiting_.push_back(request);
 }
 
+bool ContinuousBatchScheduler::AcceptMigrated(Request request,
+                                              const KvExport& kv) {
+  if (!pool_.Import(kv)) return false;
+  request.kv_migrated = true;
+  waiting_.push_back(request);
+  return true;
+}
+
 void ContinuousBatchScheduler::Admit() {
   while (!waiting_.empty() && running_.size() < max_batch_) {
     const Request& next = waiting_.front();
-    if (next.arrival > stats_.simulated_seconds) break;  // not arrived yet
+    if (next.EffectiveArrival() > stats_.simulated_seconds) break;
+    if (next.kv_migrated && pool_.HasSequence(next.id)) {
+      // The KV landed via AcceptMigrated: nothing to allocate, no prefill to
+      // charge.  One free block of generation headroom keeps parity with the
+      // conservative admission below.
+      if (!pool_.CanAllocate(1)) break;
+      running_.push_back({next, 0, 0});
+      waiting_.pop_front();
+      continue;
+    }
     // Conservative admission: require room for the prompt plus one block of
     // generation headroom so a fresh sequence cannot immediately preempt.
     const std::size_t need = pool_.BlocksNeeded(next.prompt_tokens) + 1;
@@ -28,11 +46,18 @@ void ContinuousBatchScheduler::Admit() {
     const bool ok = pool_.AddSequence(next.id, next.prompt_tokens);
     assert(ok);
     (void)ok;
-    // Prefill for the admitted sequence happens in this iteration; charge it.
-    const double prefill = engine_.PrefillSeconds(1, next.prompt_tokens);
-    stats_.simulated_seconds += prefill;
-    stats_.busy_seconds += prefill;
-    running_.push_back({next, 0});
+    if (chunk_ > 0) {
+      // Chunked prefill: the sequence enters the batch immediately and its
+      // prefill advances one chunk per Step, interleaved with decode.
+      running_.push_back({next, 0, next.prompt_tokens});
+    } else {
+      // Prefill for the admitted sequence happens in this iteration; charge
+      // it.
+      const double prefill = engine_.PrefillSeconds(1, next.prompt_tokens);
+      stats_.simulated_seconds += prefill;
+      stats_.busy_seconds += prefill;
+      running_.push_back({next, 0, 0});
+    }
     waiting_.pop_front();
   }
   stats_.peak_running = std::max(stats_.peak_running, running_.size());
@@ -46,11 +71,13 @@ void ContinuousBatchScheduler::Preempt() {
   running_.pop_back();
   pool_.Free(victim.request.id);
   // It restarts with its tokens-so-far as the new prompt; timing state
-  // (first token, cumulative progress) carries over.
+  // (first token, cumulative progress) carries over.  Migrated KV does not
+  // survive eviction: the retry recomputes its prefill like any other.
   Request retry = victim.request;
   retry.prompt_tokens += victim.generated;
   retry.max_new_tokens -= victim.generated;
   retry.progress += victim.generated;
+  retry.kv_migrated = false;
   waiting_.push_front(retry);
   ++stats_.preemptions;
 }
@@ -69,11 +96,26 @@ void ContinuousBatchScheduler::Retire(const Running& done) {
   ++stats_.completed;
 }
 
+void ContinuousBatchScheduler::Handoff(const Running& done) {
+  PrefillHandoff h;
+  h.kv = pool_.Export(done.request.id);
+  Request cont = done.request;
+  cont.prompt_tokens += done.generated;
+  cont.max_new_tokens -= done.generated;
+  cont.progress += done.generated;
+  cont.prefill_only = false;
+  cont.kv_migrated = true;
+  h.request = cont;
+  h.ready = stats_.simulated_seconds;
+  handoffs_.push_back(h);
+  ++stats_.prefill_handoffs;
+}
+
 bool ContinuousBatchScheduler::Step() {
   // If idle and the head request is in the future, fast-forward the clock.
   if (running_.empty() && !waiting_.empty() &&
-      waiting_.front().arrival > stats_.simulated_seconds) {
-    stats_.simulated_seconds = waiting_.front().arrival;
+      waiting_.front().EffectiveArrival() > stats_.simulated_seconds) {
+    stats_.simulated_seconds = waiting_.front().EffectiveArrival();
   }
   Admit();
   if (running_.empty()) {
@@ -86,15 +128,42 @@ bool ContinuousBatchScheduler::Step() {
     return true;
   }
 
-  // KV length for costing: mean sequence length across the running batch.
-  double mean_len = 0;
-  for (const Running& r : running_) {
-    mean_len += static_cast<double>(r.request.prompt_tokens + r.generated);
+  // Chunked prefill: advance the oldest in-progress prefill by one chunk.
+  if (chunk_ > 0) {
+    for (Running& r : running_) {
+      if (r.prefill_remaining == 0) continue;
+      const std::size_t prior = r.request.prompt_tokens - r.prefill_remaining;
+      const std::size_t len = std::min(chunk_, r.prefill_remaining);
+      const double t = engine_.PrefillChunkSeconds(len, prior);
+      stats_.simulated_seconds += t;
+      stats_.busy_seconds += t;
+      r.prefill_remaining -= len;
+      break;
+    }
   }
-  mean_len /= static_cast<double>(running_.size());
 
-  // Append one token to every running sequence, preempting on OOM.
+  // KV length for costing: mean sequence length across the decode-ready
+  // batch (sequences still prefilling sit out the decode step).
+  double mean_len = 0;
+  std::size_t ready = 0;
+  for (const Running& r : running_) {
+    if (r.prefill_remaining > 0) continue;
+    mean_len += static_cast<double>(r.request.prompt_tokens + r.generated);
+    ++ready;
+  }
+  if (ready == 0) {
+    // Chunk-only iteration: the clock advanced, nothing decodes yet.
+    ++stats_.iterations;
+    return true;
+  }
+  mean_len /= static_cast<double>(ready);
+
+  // Append one token to every decode-ready sequence, preempting on OOM.
   for (std::size_t i = 0; i < running_.size();) {
+    if (running_[i].prefill_remaining > 0) {
+      ++i;
+      continue;
+    }
     if (pool_.AppendToken(running_[i].request.id)) {
       ++running_[i].generated;
       ++i;
@@ -106,21 +175,37 @@ bool ContinuousBatchScheduler::Step() {
   }
   if (running_.empty()) return !waiting_.empty();
 
-  const double decode = engine_.DecodeStepSeconds(
-      running_.size(), static_cast<std::size_t>(mean_len));
+  std::size_t batch = 0;
+  for (const Running& r : running_) batch += r.prefill_remaining == 0 ? 1 : 0;
+  if (batch == 0) {
+    ++stats_.iterations;
+    return true;
+  }
+  const double decode =
+      engine_.DecodeStepSeconds(batch, static_cast<std::size_t>(mean_len));
   stats_.simulated_seconds += decode;
   stats_.busy_seconds += decode;
-  stats_.generated_tokens += static_cast<double>(running_.size());
+  stats_.generated_tokens += static_cast<double>(batch);
   ++stats_.iterations;
 
-  // Record first-token times and retire finished sequences.
+  // Record first-token times and retire finished sequences.  A prefill-only
+  // request leaves at its first token: its KV is exported for migration.
   for (std::size_t i = 0; i < running_.size();) {
     Running& r = running_[i];
+    if (r.prefill_remaining > 0) {
+      ++i;
+      continue;
+    }
     if (r.request.first_token_time < 0 && r.generated + r.request.progress > 0) {
       r.request.first_token_time = stats_.simulated_seconds;
     }
     if (r.generated >= r.request.max_new_tokens) {
       Retire(r);
+      running_[i] = running_.back();
+      running_.pop_back();
+    } else if (r.request.prefill_only &&
+               r.generated + r.request.progress > 0) {
+      Handoff(r);
       running_[i] = running_.back();
       running_.pop_back();
     } else {
@@ -136,7 +221,8 @@ void ContinuousBatchScheduler::StepUntil(double deadline) {
     // the deadline instead of fast-forwarding past it, so a request routed
     // here at `deadline` is admitted at its true arrival time.
     if (running_.empty() &&
-        (waiting_.empty() || waiting_.front().arrival > deadline)) {
+        (waiting_.empty() ||
+         waiting_.front().EffectiveArrival() > deadline)) {
       stats_.simulated_seconds = deadline;
       return;
     }
@@ -153,10 +239,16 @@ std::vector<Request> ContinuousBatchScheduler::Drain() {
     req.prompt_tokens += r.generated;
     req.max_new_tokens -= r.generated;
     req.progress += r.generated;
+    req.kv_migrated = false;  // the KV stays behind; the next host recomputes
     out.push_back(req);
   }
   running_.clear();
-  out.insert(out.end(), waiting_.begin(), waiting_.end());
+  for (const Request& w : waiting_) {
+    pool_.Free(w.id);  // no-op unless KV was imported before admission
+    Request req = w;
+    req.kv_migrated = false;
+    out.push_back(req);
+  }
   waiting_.clear();
   return out;
 }
@@ -182,9 +274,26 @@ ContinuousBatchScheduler::ForfeitedWork ContinuousBatchScheduler::Forfeit() {
     reset(r.request, r.generated);
   }
   running_.clear();
-  for (const Request& w : waiting_) reset(w, 0);
+  for (const Request& w : waiting_) {
+    pool_.Free(w.id);  // no-op unless KV was imported before admission
+    reset(w, 0);
+  }
   waiting_.clear();
   return out;
+}
+
+double ContinuousBatchScheduler::RemainingPrefillSeconds(
+    const Running& r) const {
+  double eta = 0;
+  std::size_t prior = r.request.prompt_tokens - r.prefill_remaining;
+  std::size_t remaining = r.prefill_remaining;
+  while (remaining > 0) {
+    const std::size_t len = std::min(chunk_, remaining);
+    eta += engine_.PrefillChunkSeconds(len, prior);
+    prior += len;
+    remaining -= len;
+  }
+  return eta;
 }
 
 double ContinuousBatchScheduler::PredictTtft(std::size_t prompt_tokens) const {
@@ -192,10 +301,20 @@ double ContinuousBatchScheduler::PredictTtft(std::size_t prompt_tokens) const {
     return std::numeric_limits<double>::infinity();
   }
   // Own prefill, plus the prefills queued ahead of us (each admission charges
-  // its prefill on the shared clock, FIFO order).
+  // its prefill on the shared clock, FIFO order).  Queued migrated-in
+  // continuations carry their KV with them — nothing to prefill.
   double eta = engine_.PrefillSeconds(1, prompt_tokens);
   for (const Request& w : waiting_) {
+    if (w.kv_migrated && pool_.HasSequence(w.id)) continue;
     eta += engine_.PrefillSeconds(1, w.prompt_tokens);
+  }
+  if (chunk_ > 0) {
+    // Mid-flight chunked prefills: only their REMAINING chunks are ahead of
+    // us.  Crediting the already-processed chunks keeps the estimate from
+    // over-rejecting a request that arrives halfway through a long prefill.
+    for (const Running& r : running_) {
+      if (r.prefill_remaining > 0) eta += RemainingPrefillSeconds(r);
+    }
   }
   if (running_.empty()) return eta;
   // Service-rate model for the admission wait: a saturated batch frees one

@@ -8,6 +8,22 @@
 // by the ServingEngine), retires finished sequences, and preempts
 // (recompute-style) when an append OOMs.  Per-request timings (TTFT, TPOT,
 // end-to-end) are recorded for the latency experiments.
+//
+// Two extensions serve the disaggregated prefill/decode cluster layer:
+//
+//  * Prefill-only completion: a request flagged `prefill_only` leaves the
+//    scheduler as soon as its first token exists — its KV is exported from
+//    the pool and parked in `handoffs()` for the cluster layer to migrate to
+//    a decode replica.  A request flagged `kv_migrated` is the other end of
+//    that journey: its KV is imported before admission (AcceptMigrated), so
+//    admission skips the prefill charge entirely.
+//
+//  * Scheduler-level chunked prefill: when the engine runs with
+//    prefill_chunk_tokens > 0, admission no longer charges the whole prompt
+//    in one iteration.  The sequence is admitted instantly and its prefill
+//    advances one chunk per Step interleaved with decode steps
+//    (Sarathi-style), so a long prompt cannot stall the decode batch for its
+//    whole prefill.
 
 #include <cstddef>
 #include <deque>
@@ -28,6 +44,29 @@ struct Request {
   // Internal bookkeeping carried across preemptions.
   double first_token_time = -1;
   std::size_t progress = 0;  ///< tokens generated in earlier residencies
+
+  /// Earliest admit time, when later than `arrival` (a migrated continuation
+  /// cannot start decoding before its KV transfer lands).  TTFT still
+  /// charges from `arrival`.
+  double ready = 0;
+  /// Complete at the first token and export KV for migration (prefill pool).
+  bool prefill_only = false;
+  /// KV already imported into this scheduler's pool: admission skips both
+  /// the allocation and the prefill charge (decode pool).
+  bool kv_migrated = false;
+
+  [[nodiscard]] double EffectiveArrival() const {
+    return ready > arrival ? ready : arrival;
+  }
+};
+
+/// What a prefill-only request leaves behind: the continuation (prompt
+/// folded forward, first-token timing carried) plus its exported KV.  The
+/// cluster layer turns this into a migration to a decode replica.
+struct PrefillHandoff {
+  Request request;
+  KvExport kv;
+  double ready = 0;  ///< scheduler clock when the prefill (+1 token) finished
 };
 
 struct SchedulerStats {
@@ -35,6 +74,7 @@ struct SchedulerStats {
   std::size_t completed = 0;
   std::size_t preemptions = 0;
   std::size_t dropped = 0;  ///< requests that can never fit the KV pool
+  std::size_t prefill_handoffs = 0;  ///< prefill-only requests handed off
   double simulated_seconds = 0;
   double busy_seconds = 0;  ///< clock time spent in prefill/decode compute
   double generated_tokens = 0;
@@ -56,6 +96,12 @@ class ContinuousBatchScheduler {
     Submit(Request{request.id, request.prompt_tokens, request.max_new_tokens,
                    request.arrival_seconds});
   }
+
+  /// Lands a migrated-in continuation: imports its KV into this pool and
+  /// queues the request with the import already paid for.  Returns false
+  /// (importing nothing) when the pool cannot hold the KV — the caller must
+  /// fall back to recomputing the prefill from scratch.
+  bool AcceptMigrated(Request request, const KvExport& kv);
 
   /// Runs until every submitted request completes; returns aggregate stats.
   SchedulerStats RunToCompletion();
@@ -89,16 +135,24 @@ class ContinuousBatchScheduler {
   ForfeitedWork Forfeit();
 
   /// TTFT estimate for a request of `prompt_tokens` arriving now: its own
-  /// prefill, the prefills queued ahead of it, and — when the batch or pool
-  /// is saturated — a service-rate admission wait (one slot frees every
-  /// mean-remaining-tokens / batch decode steps, so each FIFO position ahead
-  /// costs that much).  Infinity when the prompt can never fit the pool.
-  /// The admission-control signal behind SloConfig.
+  /// prefill, the prefills queued ahead of it, the REMAINING chunks of any
+  /// prefill currently in progress (already-processed chunks are credited,
+  /// so mid-prefill admission predictions do not over-reject), and — when
+  /// the batch or pool is saturated — a service-rate admission wait (one
+  /// slot frees every mean-remaining-tokens / batch decode steps, so each
+  /// FIFO position ahead costs that much).  Infinity when the prompt can
+  /// never fit the pool.  The admission-control signal behind SloConfig.
   [[nodiscard]] double PredictTtft(std::size_t prompt_tokens) const;
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<RequestTiming>& completions() const {
     return completions_;
+  }
+  /// Prefill-only requests that finished their prefill here, with exported
+  /// KV, in handoff order.  The cluster layer harvests these with a cursor
+  /// (like completions) and schedules the migrations.
+  [[nodiscard]] const std::vector<PrefillHandoff>& handoffs() const {
+    return handoffs_;
   }
   /// Ids of requests dropped because they can never fit the KV pool, in drop
   /// order (the cluster layer uses this to retire in-flight bookkeeping).
@@ -122,19 +176,28 @@ class ContinuousBatchScheduler {
   struct Running {
     Request request;
     std::size_t generated = 0;
+    /// Prompt tokens still to prefill (scheduler-level chunked prefill).
+    /// Zero once the sequence is decode-ready; always zero when the engine
+    /// runs unchunked (the whole prefill is charged at admission).
+    std::size_t prefill_remaining = 0;
   };
 
   void Admit();
   void Preempt();
   void Retire(const Running& done);
+  void Handoff(const Running& done);
+  /// Cost of the chunks still ahead of a mid-prefill sequence.
+  [[nodiscard]] double RemainingPrefillSeconds(const Running& r) const;
 
   const ServingEngine& engine_;
   KvBlockManager pool_;
   std::size_t max_batch_;
+  std::size_t chunk_;  ///< engine prefill_chunk_tokens (0 = unchunked)
   std::deque<Request> waiting_;
   std::vector<Running> running_;
   SchedulerStats stats_;
   std::vector<RequestTiming> completions_;
+  std::vector<PrefillHandoff> handoffs_;
   std::vector<SeqId> dropped_ids_;
 };
 

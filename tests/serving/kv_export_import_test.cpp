@@ -1,0 +1,110 @@
+// KV export/import round-trips (the block-manager half of simulated KV
+// migration): exporting must free exactly the blocks the sequence owned —
+// refcount-aware for forked shared prefixes — and importing must rebuild the
+// sequence with identical token count and logical block count on another
+// manager, leaving both pools' accounting exact.
+
+#include <gtest/gtest.h>
+
+#include "serving/kv_cache.hpp"
+
+namespace liquid::serving {
+namespace {
+
+TEST(KvExportImportTest, RoundTripPreservesTokensAndBlocks) {
+  KvBlockManager src(32, 16);
+  ASSERT_TRUE(src.AddSequence(7, 40));  // 3 blocks
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(src.AppendToken(7));
+  ASSERT_EQ(src.SequenceTokens(7), 49u);
+  ASSERT_EQ(src.used_blocks(), 4u);  // ceil(49/16)
+
+  const KvExport moved = src.Export(7);
+  EXPECT_EQ(moved.id, 7u);
+  EXPECT_EQ(moved.tokens, 49u);
+  EXPECT_EQ(moved.blocks, 4u);
+  EXPECT_EQ(src.used_blocks(), 0u);  // everything freed at the source
+  EXPECT_FALSE(src.HasSequence(7));
+
+  KvBlockManager dst(32, 16);
+  ASSERT_TRUE(dst.Import(moved));
+  EXPECT_EQ(dst.SequenceTokens(7), 49u);
+  EXPECT_EQ(dst.used_blocks(), 4u);
+  // The imported sequence behaves like any other: appends keep working.
+  EXPECT_TRUE(dst.AppendToken(7));
+  EXPECT_EQ(dst.SequenceTokens(7), 50u);
+}
+
+TEST(KvExportImportTest, ExportOfForkedChildPreservesParentRefcounts) {
+  KvBlockManager pool(32, 16);
+  ASSERT_TRUE(pool.AddSequence(1, 60));  // 4 blocks, partial tail
+  const std::vector<std::size_t> parent_blocks = pool.BlockTable(1);
+  ASSERT_TRUE(pool.Fork(1, 2));          // shares all 4 blocks
+  EXPECT_EQ(pool.used_blocks(), 4u);
+
+  // Child appends into the shared tail: copy-on-write gives it its own tail.
+  ASSERT_TRUE(pool.AppendToken(2));
+  EXPECT_EQ(pool.cow_count(), 1u);
+  EXPECT_EQ(pool.used_blocks(), 5u);
+
+  // Exporting the child must release only its CoW tail plus its references
+  // on the shared blocks — the parent keeps all four blocks, intact.
+  const KvExport moved = pool.Export(2);
+  EXPECT_EQ(moved.tokens, 61u);
+  EXPECT_EQ(moved.blocks, 4u);
+  EXPECT_EQ(pool.used_blocks(), 4u);
+  EXPECT_TRUE(pool.HasSequence(1));
+  EXPECT_EQ(pool.BlockTable(1), parent_blocks);
+  EXPECT_EQ(pool.SequenceTokens(1), 60u);
+
+  // The parent's tail is exclusively owned again: appending must NOT trigger
+  // another copy-on-write.
+  ASSERT_TRUE(pool.AppendToken(1));
+  EXPECT_EQ(pool.cow_count(), 1u);
+
+  // The child materializes densely elsewhere (sharing never crosses pools).
+  KvBlockManager dst(8, 16);
+  ASSERT_TRUE(dst.Import(moved));
+  EXPECT_EQ(dst.SequenceTokens(2), 61u);
+  EXPECT_EQ(dst.used_blocks(), 4u);
+}
+
+TEST(KvExportImportTest, ExportOfParentLeavesChildAlive) {
+  KvBlockManager pool(16, 16);
+  ASSERT_TRUE(pool.AddSequence(1, 32));
+  ASSERT_TRUE(pool.Fork(1, 2));
+  const KvExport moved = pool.Export(1);
+  EXPECT_EQ(moved.tokens, 32u);
+  // The child still references both blocks; nothing returned to the free
+  // list beyond the parent's dropped references.
+  EXPECT_EQ(pool.used_blocks(), 2u);
+  EXPECT_TRUE(pool.HasSequence(2));
+  EXPECT_EQ(pool.SequenceTokens(2), 32u);
+  EXPECT_TRUE(pool.AppendToken(2));
+}
+
+TEST(KvExportImportTest, ImportFailsCleanlyOnOomAndDuplicate) {
+  KvBlockManager src(8, 16);
+  ASSERT_TRUE(src.AddSequence(3, 100));  // 7 blocks
+  const KvExport moved = src.Export(3);
+
+  KvBlockManager tiny(4, 16);
+  EXPECT_FALSE(tiny.Import(moved));  // 7 > 4 blocks
+  EXPECT_EQ(tiny.used_blocks(), 0u);
+
+  KvBlockManager dst(16, 16);
+  ASSERT_TRUE(dst.Import(moved));
+  EXPECT_FALSE(dst.Import(moved));  // id already present
+  EXPECT_EQ(dst.used_blocks(), 7u);
+}
+
+TEST(KvExportImportTest, ExportOfUnknownSequenceIsEmpty) {
+  KvBlockManager pool(4, 16);
+  const KvExport none = pool.Export(99);
+  EXPECT_EQ(none.id, 99u);
+  EXPECT_EQ(none.tokens, 0u);
+  EXPECT_EQ(none.blocks, 0u);
+  EXPECT_EQ(pool.used_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace liquid::serving
