@@ -44,6 +44,12 @@ ReplicaSpec Replica(ReplicaRole role) {
   spec.block_tokens = 16;
   spec.max_batch = 16;
   spec.role = role;
+  // Chunked prefill is the prefill pool's default: a kilotoken prompt
+  // advances one 2048-token chunk per iteration, so a newly arrived prompt
+  // is never stuck behind a whole competing prefill (Sarathi-style).
+  if (role == ReplicaRole::kPrefill) {
+    spec.options.prefill_chunk_tokens = 2048;
+  }
   spec.dollars_per_hour = role == ReplicaRole::kPrefill
                               ? kPrefillDollarsPerHour
                               : kDecodeDollarsPerHour;

@@ -6,8 +6,8 @@
 // TTFT/TPOT SLO numbers operators watch.
 //
 // Usage: cluster_serving [policy] [replicas] [requests]
-//   policy   round_robin | least_outstanding | least_kv | affinity
-//            (default least_kv)
+//   policy   round_robin | least_outstanding | least_kv | affinity |
+//            prefix_aware (default least_kv)
 //   replicas number of H800/LiquidServe replicas, >= 1 (default 4)
 //   requests total trace size, split 3:1 chat:document (default 240)
 
@@ -26,10 +26,8 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     const auto parsed = ParseRoutePolicy(argv[1]);
     if (!parsed) {
-      std::fprintf(stderr,
-                   "unknown policy '%s' (want round_robin | "
-                   "least_outstanding | least_kv | affinity)\n",
-                   argv[1]);
+      std::fprintf(stderr, "unknown policy '%s' (want %s)\n", argv[1],
+                   RoutePolicyNames().c_str());
       return 1;
     }
     policy = *parsed;

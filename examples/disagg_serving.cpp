@@ -38,6 +38,12 @@ ReplicaSpec DisaggSpec(ReplicaRole role) {
   spec.block_tokens = 16;
   spec.max_batch = 16;
   spec.role = role;
+  // The prefill pool runs chunked by default (2048-token chunks): a fresh
+  // prompt starts within one chunk instead of behind a whole competing
+  // kilotoken prefill.
+  if (role == ReplicaRole::kPrefill) {
+    spec.options.prefill_chunk_tokens = 2048;
+  }
   spec.dollars_per_hour = role == ReplicaRole::kPrefill ? 2.8 : 2.2;
   return spec;
 }

@@ -68,7 +68,15 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
         best_compatible = compatible;
       }
     }
-    replicas_[best].scheduler->Submit(req);
+    serving::Request moved = req;
+    // Drain zeroed the credit (it was against the victim's pool); re-score
+    // it against the new home's resident prefixes.
+    moved.cached_prefix_blocks =
+        replicas_[best]
+            .scheduler->pool()
+            .prefix_index()
+            .SharedPrefixBlocks(moved.prefix.hashes);
+    replicas_[best].scheduler->Submit(moved);
     ++replicas_[best].submitted;
     ++tally_.rerouted;
   }
@@ -81,7 +89,8 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
     const auto meta = inflight_.find(m.continuation.id);
     if (meta != inflight_.end()) session = meta->second.session;
     const std::optional<std::size_t> dst =
-        router_.RouteDecode(session, Views(0), m.kv.blocks + 1);
+        router_.RouteDecode(session, Views(0), m.kv.blocks + 1,
+                            m.kv.prefix_hashes);
     if (dst && replicas_[*dst].active) {
       coordinator_.Reroute(m, *dst, std::max(now, m.start));
       ++tally_.rerouted;
@@ -152,6 +161,19 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
   return true;
 }
 
+bool ClusterSimulator::DegradeReplica(std::size_t id, double slowdown_factor) {
+  if (id >= replicas_.size() || !replicas_[id].active) return false;
+  Replica& victim = replicas_[id];
+  const bool was_degraded = victim.scheduler->slowdown() > 1.0;
+  victim.scheduler->SetSlowdown(slowdown_factor);
+  // Count replicas that ever degraded, not events (a second brown-out on
+  // the same replica is still one degraded replica).
+  if (!was_degraded && victim.scheduler->slowdown() > 1.0) {
+    ++tally_.degraded_replicas;
+  }
+  return true;
+}
+
 void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
   ++retry.attempt;
   if (retry_.max_attempts > 0 && retry.attempt > retry_.max_attempts) {
@@ -214,7 +236,11 @@ void ClusterSimulator::PlanHandoff(Replica& src,
 
   std::optional<std::size_t> dst;
   if (coordinator_.model().Usable()) {
-    dst = router_.RouteDecode(session, Views(0), handoff.kv.blocks + 1);
+    // Decode placement sees the migrating KV's real identity: the hashes
+    // ride the export, so a prefix-aware preset scores shared resident
+    // blocks at each candidate, not just session stickiness.
+    dst = router_.RouteDecode(session, Views(0), handoff.kv.blocks + 1,
+                              handoff.kv.prefix_hashes);
   }
   if (dst && *dst == src.id) {
     // The best decode home is this very replica (it can happen when a
@@ -287,6 +313,10 @@ void ClusterSimulator::DeliverContinuation(Replica& dst,
   fresh.max_new_tokens = continuation.max_new_tokens + continuation.progress;
   fresh.arrival = continuation.arrival;
   fresh.ready = ready;
+  fresh.prefix = continuation.prefix;
+  fresh.cached_prefix_blocks =
+      dst.scheduler->pool().prefix_index().SharedPrefixBlocks(
+          fresh.prefix.hashes);
   dst.scheduler->Submit(fresh);
 }
 
@@ -311,7 +341,8 @@ void ClusterSimulator::ReleaseRetriesThrough(double deadline) {
 }
 
 std::vector<ReplicaView> ClusterSimulator::Views(
-    std::size_t prompt_tokens) const {
+    std::size_t prompt_tokens,
+    const serving::PrefixSignature* signature) const {
   // PredictTtft walks each replica's waiting queue; only pay for it when
   // admission control actually reads the estimate.
   const bool want_estimate = router_.slo().ttft_budget > 0;
@@ -323,8 +354,17 @@ std::vector<ReplicaView> ClusterSimulator::Views(
     v.outstanding = r.scheduler->outstanding();
     v.free_kv_blocks = r.scheduler->pool().free_blocks();
     v.total_kv_blocks = r.scheduler->pool().total_blocks();
+    v.prefix_index = &r.scheduler->pool().prefix_index();
     if (r.active && want_estimate) {
-      v.est_ttft_seconds = r.scheduler->PredictTtft(prompt_tokens);
+      // Convert overlap to tokens with the SIGNATURE's block size (it need
+      // not match this pool's granularity).
+      const std::size_t cached_tokens =
+          signature == nullptr
+              ? 0
+              : v.prefix_index->SharedPrefixBlocks(signature->hashes) *
+                    static_cast<std::size_t>(signature->block_tokens);
+      v.est_ttft_seconds =
+          r.scheduler->PredictTtft(prompt_tokens, cached_tokens);
     }
   }
   return views;
@@ -333,7 +373,7 @@ std::vector<ReplicaView> ClusterSimulator::Views(
 std::optional<std::size_t> ClusterSimulator::RouteOne(
     const serving::TimedRequest& request) {
   const RouteDecision decision =
-      router_.Decide(request, Views(request.prompt_tokens));
+      router_.Decide(request, Views(request.prompt_tokens, &request.prefix));
   switch (decision.outcome) {
     case RouteOutcome::kNoReplica:
       ++tally_.dropped;  // no alive replica; folded into FleetStats.dropped
@@ -347,8 +387,19 @@ std::optional<std::size_t> ClusterSimulator::RouteOne(
       break;
   }
   const std::size_t dest = *decision.replica;
-  serving::Request req{request.id, request.prompt_tokens,
-                       request.max_new_tokens, request.arrival_seconds};
+  serving::Request req;
+  req.id = request.id;
+  req.prompt_tokens = request.prompt_tokens;
+  req.max_new_tokens = request.max_new_tokens;
+  req.arrival = request.arrival_seconds;
+  req.prefix = request.prefix;
+  // Prefix-cache credit: however the destination was chosen, whatever
+  // leading signature blocks its pool already holds skip their prefill
+  // compute there (locality pays even under prefix-blind presets — the
+  // prefix_aware preset just steers toward it).
+  req.cached_prefix_blocks =
+      replicas_[dest].scheduler->pool().prefix_index().SharedPrefixBlocks(
+          request.prefix.hashes);
   // A prompt landing on a prefill-specialized replica runs to its first
   // token only; the DisaggCoordinator moves its KV to a decode replica.
   if (router_.role_aware() &&
@@ -424,9 +475,9 @@ void ClusterSimulator::MaybeAutoscale(double now) {
 }
 
 void ClusterSimulator::ProcessEventsThrough(double deadline) {
-  // Fire kills, migration landings and backoff retries in time order up to
-  // the deadline.  The schedules are small; a scan per event keeps insertion
-  // order-insensitive.
+  // Fire kills, degradations, migration landings and backoff retries in
+  // time order up to the deadline.  The schedules are small; a scan per
+  // event keeps insertion order-insensitive.
   for (;;) {
     double t_kill = kInf;
     std::size_t kill_idx = kill_schedule_.size();
@@ -437,13 +488,22 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
         kill_idx = i;
       }
     }
+    double t_degrade = kInf;
+    std::size_t degrade_idx = degrade_schedule_.size();
+    for (std::size_t i = 0; i < degrade_schedule_.size(); ++i) {
+      if (degrade_schedule_[i].time > deadline) continue;
+      if (degrade_schedule_[i].time < t_degrade) {
+        t_degrade = degrade_schedule_[i].time;
+        degrade_idx = i;
+      }
+    }
     double t_mig = coordinator_.NextArrival().value_or(kInf);
     if (t_mig > deadline) t_mig = kInf;
     double t_retry = kInf;
     for (const PendingRetry& p : pending_retries_) {
       if (p.due <= deadline) t_retry = std::min(t_retry, p.due);
     }
-    const double t = std::min({t_kill, t_mig, t_retry});
+    const double t = std::min({t_kill, t_degrade, t_mig, t_retry});
     if (t == kInf) return;
     AdvanceTo(t);
     // Harvesting during AdvanceTo can commit fresh transfers whose arrival
@@ -452,6 +512,16 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
     // the failure is never misclassified as a target death.
     LandMigrationsThrough(t);
     ReleaseRetriesThrough(t);
+    // A same-instant degrade fires before a kill: slowing a replica that is
+    // about to die is a no-op either way, but the order is pinned for
+    // determinism.
+    if (t == t_degrade) {
+      const DegradeEvent degrade = degrade_schedule_[degrade_idx];
+      degrade_schedule_.erase(degrade_schedule_.begin() +
+                              static_cast<std::ptrdiff_t>(degrade_idx));
+      DegradeReplica(degrade.replica, degrade.slowdown_factor);
+      continue;
+    }
     if (t == t_kill) {
       const KillEvent kill = kill_schedule_[kill_idx];
       kill_schedule_.erase(kill_schedule_.begin() +

@@ -93,6 +93,16 @@ struct KillEvent {
   std::size_t replica = 0;
 };
 
+/// A scheduled partial degradation: at `time`, the replica's compute slows
+/// down by `slowdown_factor` (it keeps serving — nothing is lost — but every
+/// prefill/chunk/decode charge runs that much slower, and PredictTtft quotes
+/// the degraded speed so admission control and TTFT-scoring see it).
+struct DegradeEvent {
+  double time = 0;
+  std::size_t replica = 0;
+  double slowdown_factor = 1.0;
+};
+
 class ClusterSimulator {
  public:
   explicit ClusterSimulator(RoutePolicy policy = RoutePolicy::kLeastOutstanding,
@@ -122,6 +132,18 @@ class ClusterSimulator {
 
   /// Queues a kill for Run() to fire when the shared clock reaches it.
   void ScheduleKill(const KillEvent& kill) { kill_schedule_.push_back(kill); }
+
+  /// Partial degradation (chaos): the replica slows down by `slowdown_factor`
+  /// rather than dying — in-flight work survives, it just finishes late.
+  /// Factors compose with any earlier degradation by replacement (the event
+  /// carries the absolute factor, 1.0 restores full speed).  Returns false
+  /// for an unknown or inactive id.
+  bool DegradeReplica(std::size_t id, double slowdown_factor);
+
+  /// Queues a degradation for Run() to fire on the shared clock.
+  void ScheduleDegrade(const DegradeEvent& degrade) {
+    degrade_schedule_.push_back(degrade);
+  }
 
   /// Advances every active replica to `deadline` on the shared clock,
   /// harvests new completions into the TTFT window, and schedules KV
@@ -171,8 +193,13 @@ class ClusterSimulator {
     serving::TimedRequest request;
   };
 
+  /// Snapshots every replica for a routing decision.  `signature` (when
+  /// given) lets the TTFT estimate price the prefix-cache discount at each
+  /// replica; the views also expose each pool's PrefixIndex for the
+  /// router's overlap term.
   [[nodiscard]] std::vector<ReplicaView> Views(
-      std::size_t prompt_tokens) const;
+      std::size_t prompt_tokens,
+      const serving::PrefixSignature* signature = nullptr) const;
   /// Shared routing path for arrivals and kill-retries: counts rejects/drops,
   /// tracks in-flight metadata, and submits to the chosen scheduler (flagged
   /// prefill-only when it lands on a prefill-role replica).
@@ -211,6 +238,7 @@ class ClusterSimulator {
   FleetStats tally_;  ///< counters accumulated during the run
   double last_scale_event_ = -1e300;
   std::vector<KillEvent> kill_schedule_;  ///< pending, consumed by Run
+  std::vector<DegradeEvent> degrade_schedule_;  ///< pending, consumed by Run
   std::vector<PendingRetry> pending_retries_;
   /// Original routed request by id, so a kill can re-submit the original
   /// (session/tenant intact) rather than the scheduler's mutated view.

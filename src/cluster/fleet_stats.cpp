@@ -40,10 +40,14 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
   stats.cost_dollars = 0;
   stats.prefill_pool_dollars = 0;
   stats.decode_pool_dollars = 0;
+  stats.prefix_hits = 0;
+  stats.prefill_tokens_saved = 0;
   for (ReplicaReport& r : stats.replicas) {
     stats.completed += r.stats.completed;
     stats.dropped += r.stats.dropped;
     stats.preemptions += r.stats.preemptions;
+    stats.prefix_hits += r.stats.prefix_hits;
+    stats.prefill_tokens_saved += r.stats.prefill_tokens_saved;
     r.utilization = stats.span_seconds > 0
                         ? r.stats.busy_seconds / stats.span_seconds
                         : 0;
@@ -59,6 +63,10 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
       stats.generated_tokens > 0
           ? stats.cost_dollars / (stats.generated_tokens / 1e6)
           : 0;
+  stats.prefix_hit_ratio =
+      stats.submitted > 0 ? static_cast<double>(stats.prefix_hits) /
+                                static_cast<double>(stats.submitted)
+                          : 0;
 }
 
 void PrintFleetStats(const FleetStats& stats) {
@@ -92,6 +100,18 @@ void PrintFleetStats(const FleetStats& stats) {
   }
   totals.AddRow({"wasted tokens (kills)",
                  WithCommas(static_cast<long long>(stats.wasted_tokens))});
+  if (stats.degraded_replicas > 0) {
+    totals.AddRow({"degraded replicas",
+                   std::to_string(stats.degraded_replicas)});
+  }
+  if (stats.prefix_hits > 0) {
+    totals.AddRow({"prefix-cache hits",
+                   Format("%zu (%.1f%% of submitted)", stats.prefix_hits,
+                          100.0 * stats.prefix_hit_ratio)});
+    totals.AddRow({"prefill tokens saved",
+                   WithCommas(static_cast<long long>(
+                       stats.prefill_tokens_saved))});
+  }
   totals.AddRow({"scale-ups / scale-downs",
                  Format("%zu / %zu", stats.scale_ups, stats.scale_downs)});
   totals.AddRow({"final active replicas", std::to_string(stats.replicas_final)});

@@ -96,6 +96,16 @@ struct FleetStats {
   /// survived multiple kills before landing in a terminal bucket.
   std::uint32_t max_retry_attempts = 0;
   double wasted_tokens = 0;  ///< tokens generated then lost with a replica
+  /// Replicas that suffered partial degradation (DegradeReplica slowdown)
+  /// at some point in the run — they kept serving, just slower.
+  std::size_t degraded_replicas = 0;
+
+  // Prefix-cache locality (the fleet-wide index).  A hit is an admission
+  // whose leading signature blocks were already resident on its replica;
+  // the saved tokens are prompt tokens whose prefill compute was skipped.
+  std::size_t prefix_hits = 0;
+  double prefill_tokens_saved = 0;
+  double prefix_hit_ratio = 0;  ///< prefix_hits / submitted
 
   double span_seconds = 0;  ///< first arrival to last completion
   double generated_tokens = 0;

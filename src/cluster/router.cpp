@@ -1,6 +1,23 @@
 #include "cluster/router.hpp"
 
 namespace liquid::cluster {
+namespace {
+
+// Tier separators for lexicographic-by-weight presets.  A term weighted
+// kTierMajor cannot be outbid by a full-strength term at kTierMinor, and so
+// on down to kTierSmall and the unit-weight free-KV tiebreak.  kTierPin is
+// reserved for terms that are nonzero on AT MOST ONE replica (a session's
+// pin): near 1e18 a double's ulp is 128, which would quantize away free-KV
+// differences between replicas scoring in the same tier — harmless for a
+// unique pin, fatal for a shared term like decode-role preference.  Every
+// shared tier therefore stays at or below 1e12, where tier + count sums of
+// integers below 2^53 are exact.
+constexpr double kTierPin = 1e18;
+constexpr double kTierMajor = 1e12;
+constexpr double kTierMinor = 1e9;
+constexpr double kTierSmall = 1e6;
+
+}  // namespace
 
 const char* ToString(RoutePolicy policy) {
   switch (policy) {
@@ -8,6 +25,7 @@ const char* ToString(RoutePolicy policy) {
     case RoutePolicy::kLeastOutstanding: return "least_outstanding";
     case RoutePolicy::kLeastKvLoad: return "least_kv";
     case RoutePolicy::kSessionAffinity: return "affinity";
+    case RoutePolicy::kPrefixAware: return "prefix_aware";
   }
   return "?";
 }
@@ -17,7 +35,74 @@ std::optional<RoutePolicy> ParseRoutePolicy(const std::string& name) {
   if (name == "least_outstanding") return RoutePolicy::kLeastOutstanding;
   if (name == "least_kv") return RoutePolicy::kLeastKvLoad;
   if (name == "affinity") return RoutePolicy::kSessionAffinity;
+  if (name == "prefix_aware") return RoutePolicy::kPrefixAware;
   return std::nullopt;
+}
+
+std::string RoutePolicyNames() {
+  return "round_robin|least_outstanding|least_kv|affinity|prefix_aware";
+}
+
+const char* ToString(ScoreTerm term) {
+  switch (term) {
+    case ScoreTerm::kRotation: return "rotation";
+    case ScoreTerm::kLoad: return "load";
+    case ScoreTerm::kFreeKv: return "free_kv";
+    case ScoreTerm::kAffinity: return "affinity";
+    case ScoreTerm::kPrefixOverlap: return "prefix_overlap";
+    case ScoreTerm::kPredictedTtft: return "predicted_ttft";
+    case ScoreTerm::kRolePreference: return "role_preference";
+  }
+  return "?";
+}
+
+ScorerPipeline PromptPipeline(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return {{ScoreTerm::kRotation, 1.0}};
+    case RoutePolicy::kLeastOutstanding:
+      return {{ScoreTerm::kLoad, 1.0}};
+    case RoutePolicy::kLeastKvLoad:
+      return {{ScoreTerm::kFreeKv, 1.0}};
+    case RoutePolicy::kSessionAffinity:
+      // An overwhelming pin term reproduces strict stickiness; unpinned
+      // sessions fall through to pure load.
+      return {{ScoreTerm::kAffinity, kTierPin}, {ScoreTerm::kLoad, 1.0}};
+    case RoutePolicy::kPrefixAware:
+      // Overlap is normalized to [0, 1], so the weights read in "fully
+      // shared prompts": a full overlap is worth a 4-deep queue advantage
+      // and 4 sessions' stickiness.  The load counterweight is what keeps
+      // packing from minting hotspots — beyond a few queued requests, the
+      // wait outgrows the prefill any shared prefix could save.  Free KV
+      // only splits exact ties.
+      return {{ScoreTerm::kPrefixOverlap, 2.0},
+              {ScoreTerm::kAffinity, 0.5},
+              {ScoreTerm::kLoad, 0.5},
+              {ScoreTerm::kFreeKv, 1e-6}};
+  }
+  return {{ScoreTerm::kLoad, 1.0}};
+}
+
+ScorerPipeline DecodePipeline(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kPrefixAware:
+      // Decode-role preference stays absolute, but the target holding the
+      // migrating KV's shared blocks outranks session stickiness — real
+      // resident prefixes beat the memory of where a session used to live.
+      // Role preference is a SHARED term (every decode replica scores it),
+      // so it sits at kTierMajor, not kTierPin: the whole sum stays exact
+      // and the free-KV tiebreak survives.
+      return {{ScoreTerm::kRolePreference, kTierMajor},
+              {ScoreTerm::kPrefixOverlap, kTierMinor},
+              {ScoreTerm::kAffinity, kTierSmall},
+              {ScoreTerm::kFreeKv, 1.0}};
+    default:
+      // Legacy decode placement: sticky decode home first (with KV
+      // headroom), then decode replicas over unified, then most free KV.
+      return {{ScoreTerm::kAffinity, kTierPin},
+              {ScoreTerm::kRolePreference, kTierMajor},
+              {ScoreTerm::kFreeKv, 1.0}};
+  }
 }
 
 const char* ToString(ReplicaRole role) {
@@ -27,18 +112,6 @@ const char* ToString(ReplicaRole role) {
     case ReplicaRole::kDecode: return "decode";
   }
   return "?";
-}
-
-std::optional<std::size_t> Router::LeastOutstanding(
-    const std::vector<ReplicaView>& replicas) const {
-  std::optional<std::size_t> best;
-  for (std::size_t i = 0; i < replicas.size(); ++i) {
-    if (!replicas[i].alive) continue;
-    if (!best || replicas[i].outstanding < replicas[*best].outstanding) {
-      best = i;
-    }
-  }
-  return best;
 }
 
 std::vector<ReplicaView> Router::PromptEligible(
@@ -66,53 +139,91 @@ std::vector<ReplicaView> Router::PromptEligible(
   return masked;
 }
 
-std::optional<std::size_t> Router::PolicyRoute(
-    const serving::TimedRequest& request,
-    const std::vector<ReplicaView>& replicas) {
+double Router::TermValue(ScoreTerm term, const ScoreInput& input,
+                         const std::vector<ReplicaView>& replicas,
+                         std::size_t i, std::size_t cursor) const {
+  const ReplicaView& v = replicas[i];
+  switch (term) {
+    case ScoreTerm::kRotation:
+      // Distance past the cursor: the first alive replica at or after it
+      // scores highest, reproducing the classic rotation scan.
+      return -static_cast<double>((i + replicas.size() - cursor) %
+                                  replicas.size());
+    case ScoreTerm::kLoad:
+      return -static_cast<double>(v.outstanding);
+    case ScoreTerm::kFreeKv:
+      return static_cast<double>(v.free_kv_blocks);
+    case ScoreTerm::kAffinity: {
+      const auto& pins = input.decode_mode ? decode_affinity_ : affinity_;
+      const auto pin = pins.find(input.session);
+      if (pin == pins.end() || pin->second != i) return 0;
+      // A decode pin only counts while its replica has KV headroom for the
+      // incoming continuation.
+      if (input.decode_mode && v.free_kv_blocks < input.min_free_blocks) {
+        return 0;
+      }
+      return 1;
+    }
+    case ScoreTerm::kPrefixOverlap: {
+      if (input.prefix_hashes.empty() || v.prefix_index == nullptr) return 0;
+      const std::size_t shared =
+          v.prefix_index->SharedPrefixBlocks(input.prefix_hashes);
+      return static_cast<double>(shared) /
+             static_cast<double>(input.prefix_hashes.size());
+    }
+    case ScoreTerm::kPredictedTtft:
+      return -v.est_ttft_seconds;
+    case ScoreTerm::kRolePreference:
+      return v.role == ReplicaRole::kDecode ? 1 : 0;
+  }
+  return 0;
+}
+
+std::optional<std::size_t> Router::ScoreRoute(
+    const ScoreInput& input, const std::vector<ReplicaView>& replicas,
+    const ScorerPipeline& pipeline) {
+  if (replicas.empty()) return std::nullopt;
+  bool rotates = false, pins = false;
+  for (const ScorerSpec& spec : pipeline) {
+    rotates |= spec.term == ScoreTerm::kRotation && spec.weight > 0;
+    pins |= spec.term == ScoreTerm::kAffinity && spec.weight > 0;
+  }
   // The cursor can be stale relative to this call's view vector (replicas
-  // removed since the last decision); re-anchor it before probing.
-  if (!replicas.empty()) rr_cursor_ %= replicas.size();
-  switch (policy_) {
-    case RoutePolicy::kRoundRobin: {
-      for (std::size_t probe = 0; probe < replicas.size(); ++probe) {
-        const std::size_t i = (rr_cursor_ + probe) % replicas.size();
-        if (replicas[i].alive) {
-          rr_cursor_ = (i + 1) % replicas.size();
-          return i;
-        }
-      }
-      return std::nullopt;
+  // removed since the last decision); re-anchor it before scoring.
+  if (rotates) rr_cursor_ %= replicas.size();
+  const std::size_t cursor = rr_cursor_;
+
+  std::optional<std::size_t> best;
+  double best_score = 0;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const ReplicaView& v = replicas[i];
+    if (!v.alive) continue;
+    if (input.decode_mode && v.role == ReplicaRole::kPrefill) continue;
+    double score = 0;
+    for (const ScorerSpec& spec : pipeline) {
+      score += spec.weight * TermValue(spec.term, input, replicas, i, cursor);
     }
-    case RoutePolicy::kLeastOutstanding:
-      return LeastOutstanding(replicas);
-    case RoutePolicy::kLeastKvLoad: {
-      std::optional<std::size_t> best;
-      for (std::size_t i = 0; i < replicas.size(); ++i) {
-        if (!replicas[i].alive) continue;
-        if (!best ||
-            replicas[i].free_kv_blocks > replicas[*best].free_kv_blocks) {
-          best = i;
-        }
-      }
-      return best;
-    }
-    case RoutePolicy::kSessionAffinity: {
-      const auto pin = affinity_.find(request.session);
-      if (pin != affinity_.end() && pin->second < replicas.size() &&
-          replicas[pin->second].alive) {
-        return pin->second;
-      }
-      const std::optional<std::size_t> placed = LeastOutstanding(replicas);
-      if (placed) affinity_[request.session] = *placed;
-      return placed;
+    if (!best || score > best_score) {
+      best = i;
+      best_score = score;
     }
   }
-  return std::nullopt;
+  if (!best) return std::nullopt;
+  // Post-decision updates belong to the terms that participated: rotation
+  // advances its cursor, affinity (re)pins the session.
+  if (rotates) rr_cursor_ = (*best + 1) % replicas.size();
+  if (pins) {
+    (input.decode_mode ? decode_affinity_ : affinity_)[input.session] = *best;
+  }
+  return best;
 }
 
 std::optional<std::size_t> Router::Route(
     const serving::TimedRequest& request,
     const std::vector<ReplicaView>& replicas) {
+  ScoreInput input;
+  input.session = request.session;
+  input.prefix_hashes = request.prefix.hashes;
   if (role_aware_) {
     const std::vector<ReplicaView> eligible = PromptEligible(replicas);
     bool any_prefill = false;
@@ -120,12 +231,15 @@ std::optional<std::size_t> Router::Route(
       any_prefill |= v.alive && v.role == ReplicaRole::kPrefill;
     }
     // Prompts go to the least-loaded prefill replica regardless of the
-    // configured policy: prefill work is prompt-length bound and leaves
+    // configured pipeline: prefill work is prompt-length bound and leaves
     // quickly, so queue depth is the right signal there.
-    if (any_prefill) return LeastOutstanding(eligible);
-    return PolicyRoute(request, eligible);
+    if (any_prefill) {
+      static const ScorerPipeline kPrefillPool = {{ScoreTerm::kLoad, 1.0}};
+      return ScoreRoute(input, eligible, kPrefillPool);
+    }
+    return ScoreRoute(input, eligible, pipeline_);
   }
-  return PolicyRoute(request, replicas);
+  return ScoreRoute(input, replicas, pipeline_);
 }
 
 RouteDecision Router::Decide(const serving::TimedRequest& request,
@@ -141,9 +255,9 @@ RouteDecision Router::Decide(const serving::TimedRequest& request,
   const double ceiling = slo_.ttft_budget * slo_.reject_above;
   if (decision.predicted_ttft <= ceiling) return decision;
 
-  // The policy's pick busts the budget — maybe it optimized for something
-  // else (affinity, KV headroom).  Fall back to the lowest-predicted-TTFT
-  // prompt-eligible replica before giving up on the request.
+  // The pipeline's pick busts the budget — maybe it optimized for something
+  // else (affinity, KV headroom, prefix reuse).  Fall back to the lowest-
+  // predicted-TTFT prompt-eligible replica before giving up on the request.
   const std::vector<ReplicaView> eligible =
       role_aware_ ? PromptEligible(replicas) : replicas;
   std::optional<std::size_t> best;
@@ -167,34 +281,14 @@ RouteDecision Router::Decide(const serving::TimedRequest& request,
 
 std::optional<std::size_t> Router::RouteDecode(
     std::uint64_t session, const std::vector<ReplicaView>& replicas,
-    std::size_t min_free_blocks) {
-  // Sticky decode placement first: the session's previous decode home keeps
-  // its prefix blocks warm.
-  const auto pin = decode_affinity_.find(session);
-  if (pin != decode_affinity_.end() && pin->second < replicas.size()) {
-    const ReplicaView& v = replicas[pin->second];
-    if (v.alive && v.role != ReplicaRole::kPrefill &&
-        v.free_kv_blocks >= min_free_blocks) {
-      return pin->second;
-    }
-  }
-  // Otherwise the decode replica with the most free KV; unified replicas
-  // only when no decode replica is alive.
-  std::optional<std::size_t> best;
-  bool best_is_decode = false;
-  for (std::size_t i = 0; i < replicas.size(); ++i) {
-    const ReplicaView& v = replicas[i];
-    if (!v.alive || v.role == ReplicaRole::kPrefill) continue;
-    const bool is_decode = v.role == ReplicaRole::kDecode;
-    if (!best || (is_decode && !best_is_decode) ||
-        (is_decode == best_is_decode &&
-         v.free_kv_blocks > replicas[*best].free_kv_blocks)) {
-      best = i;
-      best_is_decode = is_decode;
-    }
-  }
-  if (best) decode_affinity_[session] = *best;
-  return best;
+    std::size_t min_free_blocks,
+    std::span<const std::uint64_t> prefix_hashes) {
+  ScoreInput input;
+  input.session = session;
+  input.prefix_hashes = prefix_hashes;
+  input.decode_mode = true;
+  input.min_free_blocks = min_free_blocks;
+  return ScoreRoute(input, replicas, decode_pipeline_);
 }
 
 void Router::ForgetReplica(std::size_t replica) {
@@ -206,7 +300,7 @@ void Router::ForgetReplica(std::size_t replica) {
   }
   // Replica indices are stable (dead replicas stay in the view vector,
   // marked !alive), so the round-robin cursor needs no shifting here; the
-  // modulo re-anchor in Route guards callers that do hand in a shorter
+  // modulo re-anchor in ScoreRoute guards callers that do hand in a shorter
   // view vector later.
 }
 

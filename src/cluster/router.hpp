@@ -1,37 +1,55 @@
 #pragma once
 // Request router for the multi-replica serving cluster.  At each arrival the
 // ClusterSimulator snapshots every replica's load into ReplicaView and asks
-// the router for a destination.  Policies:
+// the router for a destination.
 //
-//   round_robin        — rotate over alive replicas, ignoring load.
-//   least_outstanding  — fewest queued+running requests (classic LOR LB).
-//   least_kv           — most free paged-KV blocks; long-prompt aware, since
-//                        a replica's queue can be short while its KV pool is
-//                        pinned by a few huge prompts.
-//   affinity           — sticky session routing (prefix-cache locality): a
-//                        session keeps hitting its replica; new sessions are
-//                        placed by least_outstanding.
+// Placement is a SCORING PIPELINE: a weighted sum of orthogonal terms
+// (rotation fairness, queue depth, free KV, session affinity, shared
+// prefix-cache blocks, predicted TTFT), evaluated per alive eligible replica;
+// the highest score wins, ties break toward the lowest index so routing
+// stays deterministic.  The historical policies survive as weight PRESETS
+// over that pipeline — each reproduces the pre-pipeline decisions exactly:
 //
-// Disaggregated serving adds a role-aware stage AHEAD of the policy: when the
-// fleet has alive prefill-specialized replicas (and the interconnect can
+//   round_robin        — rotation only: rotate over alive replicas.
+//   least_outstanding  — load only: fewest queued+running (classic LOR LB).
+//   least_kv           — free-KV only; long-prompt aware, since a replica's
+//                        queue can be short while its KV pool is pinned by a
+//                        few huge prompts.
+//   affinity           — sticky session routing: an overwhelming affinity
+//                        term pins a session to its replica; new sessions
+//                        place by the load term.
+//   prefix_aware       — prefix-cache locality: scores the shared leading
+//                        blocks between the request's prompt signature and
+//                        each replica's resident PrefixIndex, with session
+//                        stickiness and load as lower-order terms.  Routes
+//                        shared-prefix work (few-shot preambles, forked
+//                        conversations) to the replica that can skip the
+//                        most prefill compute.
+//
+// Disaggregated serving adds a role-aware stage AHEAD of the pipeline: when
+// the fleet has alive prefill-specialized replicas (and the interconnect can
 // actually move KV), fresh prompts go to the least-loaded prefill replica
-// and decode-specialized replicas never see a prompt.  Once a prefill
-// finishes, RouteDecode places the continuation on a decode replica by
-// session affinity first, free KV blocks second.  When the prefill pool is
-// empty (all dead or none configured) the stage falls through to the
-// configured policy over unified replicas — graceful fallback to monolithic
-// serving.
+// and decode-specialized replicas never see a prompt.  Role eligibility is a
+// hard mask, not a weighted term: a weight could be outbid, and a prompt on
+// a decode replica is a correctness bug, not a bad trade.  Once a prefill
+// finishes, RouteDecode places the continuation through a decode-side
+// pipeline (decode-pin, decode-role preference, shared prefix under the
+// prefix_aware preset, free KV).  When the prefill pool is empty the stage
+// falls through to the configured preset over unified replicas — graceful
+// fallback to monolithic serving.
 //
-// The router is deliberately stateless about time: it only sees the views the
-// simulator hands it, so policies stay unit-testable without an engine.
+// The router is deliberately stateless about time: it only sees the views
+// the simulator hands it, so pipelines stay unit-testable without an engine.
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "serving/kv_cache.hpp"
 #include "serving/workload.hpp"
 
 namespace liquid::cluster {
@@ -41,12 +59,45 @@ enum class RoutePolicy {
   kLeastOutstanding,
   kLeastKvLoad,
   kSessionAffinity,
+  kPrefixAware,
 };
 
 [[nodiscard]] const char* ToString(RoutePolicy policy);
-/// Parses "round_robin" | "least_outstanding" | "least_kv" | "affinity".
+/// Parses "round_robin" | "least_outstanding" | "least_kv" | "affinity" |
+/// "prefix_aware"; nullopt on anything else (error paths should echo
+/// RoutePolicyNames()).
 [[nodiscard]] std::optional<RoutePolicy> ParseRoutePolicy(
     const std::string& name);
+/// The accepted preset names, "|"-separated — for usage/error messages.
+[[nodiscard]] std::string RoutePolicyNames();
+
+/// One weighted term of the placement score.
+enum class ScoreTerm {
+  kRotation,       ///< -(distance past the round-robin cursor)
+  kLoad,           ///< -outstanding (queued + running requests)
+  kFreeKv,         ///< +free KV blocks (raw count)
+  kAffinity,       ///< 1 when the session is pinned here, else 0 (decode
+                   ///  mode additionally requires min_free_blocks headroom)
+  kPrefixOverlap,  ///< shared leading signature blocks resident here,
+                   ///  normalized by the request's total blocks (0..1)
+  kPredictedTtft,  ///< -est_ttft_seconds (0 when no estimate was computed)
+  kRolePreference, ///< decode placement: 1 for decode-role replicas, else 0
+};
+
+[[nodiscard]] const char* ToString(ScoreTerm term);
+
+struct ScorerSpec {
+  ScoreTerm term;
+  double weight;
+};
+
+/// A placement policy as data: the weighted terms summed per replica.
+using ScorerPipeline = std::vector<ScorerSpec>;
+
+/// The prompt-side weight preset for a policy.
+[[nodiscard]] ScorerPipeline PromptPipeline(RoutePolicy policy);
+/// The decode-side weight preset (post-prefill continuation placement).
+[[nodiscard]] ScorerPipeline DecodePipeline(RoutePolicy policy);
 
 /// What a replica is specialized for in a disaggregated fleet.
 enum class ReplicaRole {
@@ -68,6 +119,9 @@ struct ReplicaView {
   /// (simulator-computed, optimistic lower bound).  Admission control keys
   /// on this; 0 means "no estimate" and never trips the SLO check.
   double est_ttft_seconds = 0;
+  /// The replica's resident prefix-block index (kPrefixOverlap scores the
+  /// request's signature against it); nullptr scores as zero overlap.
+  const serving::PrefixIndex* prefix_index = nullptr;
 };
 
 /// SLO-aware admission control: rather than queue unboundedly, the router
@@ -103,34 +157,40 @@ struct RouteDecision {
 class Router {
  public:
   explicit Router(RoutePolicy policy, SloConfig slo = {})
-      : policy_(policy), slo_(slo) {}
+      : policy_(policy),
+        slo_(slo),
+        pipeline_(PromptPipeline(policy)),
+        decode_pipeline_(DecodePipeline(policy)) {}
 
   /// Picks a destination among alive prompt-eligible replicas; ties break
   /// toward the lowest index so routing stays deterministic.  Returns
   /// nullopt when no replica is alive.  Placement only — no admission
   /// control (see Decide).  With role_aware() on and a live prefill pool,
   /// this is the least-loaded prefill replica; otherwise the configured
-  /// policy over unified replicas (decode replicas are a last resort).
+  /// pipeline over unified replicas (decode replicas are a last resort).
   [[nodiscard]] std::optional<std::size_t> Route(
       const serving::TimedRequest& request,
       const std::vector<ReplicaView>& replicas);
 
-  /// Route + SLO admission control.  If the policy's choice busts the TTFT
+  /// Route + SLO admission control.  If the pipeline's choice busts the TTFT
   /// budget, falls back to the prompt-eligible replica with the lowest
   /// predicted TTFT; if even that busts it, the request is rejected instead
   /// of queued.
   [[nodiscard]] RouteDecision Decide(const serving::TimedRequest& request,
                                      const std::vector<ReplicaView>& replicas);
 
-  /// Places a post-prefill continuation on a decode replica: the session's
-  /// previous decode home if it is alive and has `min_free_blocks` KV blocks
-  /// free (prefix-cache locality), else the alive decode replica with the
-  /// most free KV.  Unified replicas are used when no decode replica is
-  /// alive; returns nullopt when neither exists (the caller decodes locally
-  /// on the prefill replica — unified fallback).
+  /// Places a post-prefill continuation through the decode pipeline.  Under
+  /// the legacy presets: the session's previous decode home if it is alive
+  /// and has `min_free_blocks` KV blocks free, else the alive decode replica
+  /// with the most free KV.  Under prefix_aware, shared resident prefix
+  /// blocks (the migrating KV's hashes are scored against each target's
+  /// index) outrank stickiness.  Unified replicas are used when no decode
+  /// replica is alive; returns nullopt when neither exists (the caller
+  /// decodes locally on the prefill replica — unified fallback).
   [[nodiscard]] std::optional<std::size_t> RouteDecode(
       std::uint64_t session, const std::vector<ReplicaView>& replicas,
-      std::size_t min_free_blocks);
+      std::size_t min_free_blocks,
+      std::span<const std::uint64_t> prefix_hashes = {});
 
   /// Drops affinity pins onto `replica` (called on scale-down or kill); its
   /// sessions will be re-placed on their next request.  Replica indices stay
@@ -146,20 +206,48 @@ class Router {
   void set_role_aware(bool on) { role_aware_ = on; }
   [[nodiscard]] bool role_aware() const { return role_aware_; }
 
+  /// The pipelines actually scoring placements — replace them to run a
+  /// custom weighting (the preset enum is just a constructor convenience).
+  [[nodiscard]] const ScorerPipeline& pipeline() const { return pipeline_; }
+  void set_pipeline(ScorerPipeline pipeline) {
+    pipeline_ = std::move(pipeline);
+  }
+  [[nodiscard]] const ScorerPipeline& decode_pipeline() const {
+    return decode_pipeline_;
+  }
+  void set_decode_pipeline(ScorerPipeline pipeline) {
+    decode_pipeline_ = std::move(pipeline);
+  }
+
  private:
-  [[nodiscard]] std::optional<std::size_t> LeastOutstanding(
-      const std::vector<ReplicaView>& replicas) const;
+  /// Everything a scoring pass needs beyond the views.
+  struct ScoreInput {
+    std::uint64_t session = 0;
+    std::span<const std::uint64_t> prefix_hashes;
+    bool decode_mode = false;  ///< decode pin map + role-preference semantics
+    std::size_t min_free_blocks = 0;  ///< decode pin headroom gate
+  };
+
+  /// Runs one pipeline over the views: argmax of the weighted term sum over
+  /// eligible replicas (ties toward the lowest index), then applies the
+  /// post-decision state updates owned by the participating terms (rotation
+  /// cursor, affinity pins).
+  [[nodiscard]] std::optional<std::size_t> ScoreRoute(
+      const ScoreInput& input, const std::vector<ReplicaView>& replicas,
+      const ScorerPipeline& pipeline);
+  [[nodiscard]] double TermValue(ScoreTerm term, const ScoreInput& input,
+                                 const std::vector<ReplicaView>& replicas,
+                                 std::size_t i, std::size_t cursor) const;
   /// Masks out replicas a fresh prompt must not land on: with role_aware(),
   /// decode replicas are ineligible while any unified replica is alive, and
   /// every non-prefill replica is ineligible while a prefill replica lives.
   [[nodiscard]] std::vector<ReplicaView> PromptEligible(
       const std::vector<ReplicaView>& replicas) const;
-  [[nodiscard]] std::optional<std::size_t> PolicyRoute(
-      const serving::TimedRequest& request,
-      const std::vector<ReplicaView>& replicas);
 
   RoutePolicy policy_;
   SloConfig slo_;
+  ScorerPipeline pipeline_;
+  ScorerPipeline decode_pipeline_;
   bool role_aware_ = false;
   std::size_t rr_cursor_ = 0;
   std::unordered_map<std::uint64_t, std::size_t> affinity_;

@@ -71,6 +71,10 @@ bool KvBlockManager::Fork(SeqId parent, SeqId child) {
   if (it == sequences_.end() || sequences_.contains(child)) return false;
   Sequence copy = it->second;
   for (const std::size_t block : copy.blocks) ++ref_counts_[block];
+  // The child holds its own references to the shared prefix blocks, so the
+  // index counts them once per holder (the parent freeing alone must not
+  // evict the hashes).
+  for (const std::uint64_t h : copy.prefix_hashes) prefix_index_.Add(h);
   sequences_.emplace(child, std::move(copy));
   return true;
 }
@@ -79,6 +83,7 @@ void KvBlockManager::Free(SeqId id) {
   auto it = sequences_.find(id);
   if (it == sequences_.end()) return;
   for (const std::size_t block : it->second.blocks) ReleaseBlock(block);
+  UnregisterPrefix(it->second);
   sequences_.erase(it);
 }
 
@@ -89,13 +94,37 @@ KvExport KvBlockManager::Export(SeqId id) {
   if (it == sequences_.end()) return out;
   out.tokens = it->second.tokens;
   out.blocks = it->second.blocks.size();
+  out.prefix_hashes = it->second.prefix_hashes;
   Free(id);
   return out;
 }
 
 bool KvBlockManager::Import(const KvExport& exported) {
   if (sequences_.contains(exported.id)) return false;
-  return AddSequence(exported.id, exported.tokens);
+  if (!AddSequence(exported.id, exported.tokens)) return false;
+  RegisterPrefix(exported.id, exported.prefix_hashes);
+  return true;
+}
+
+void KvBlockManager::RegisterPrefix(SeqId id,
+                                    std::span<const std::uint64_t> hashes) {
+  const auto it = sequences_.find(id);
+  if (it == sequences_.end()) return;
+  UnregisterPrefix(it->second);
+  it->second.prefix_hashes.assign(hashes.begin(), hashes.end());
+  for (const std::uint64_t h : it->second.prefix_hashes) prefix_index_.Add(h);
+}
+
+std::span<const std::uint64_t> KvBlockManager::RegisteredPrefix(
+    SeqId id) const {
+  const auto it = sequences_.find(id);
+  if (it == sequences_.end()) return {};
+  return it->second.prefix_hashes;
+}
+
+void KvBlockManager::UnregisterPrefix(Sequence& seq) {
+  for (const std::uint64_t h : seq.prefix_hashes) prefix_index_.Remove(h);
+  seq.prefix_hashes.clear();
 }
 
 std::size_t KvBlockManager::SequenceTokens(SeqId id) const {

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -15,14 +16,54 @@ namespace liquid::serving {
 
 using SeqId = std::uint64_t;
 
+/// Multiset of prefix-block hashes resident in one replica's KV pool — the
+/// per-replica half of the fleet-wide prefix-cache index.  The router scores
+/// placement by the longest leading run of a request's signature found here;
+/// the scheduler skips that run's prefill compute.  Counts are references
+/// (several sequences can hold the same preamble), so a block's hash leaves
+/// the index only when its last holder frees.
+class PrefixIndex {
+ public:
+  void Add(std::uint64_t hash) { ++counts_[hash]; }
+  void Remove(std::uint64_t hash) {
+    const auto it = counts_.find(hash);
+    if (it == counts_.end()) return;
+    if (--it->second == 0) counts_.erase(it);
+  }
+  [[nodiscard]] bool Contains(std::uint64_t hash) const {
+    return counts_.contains(hash);
+  }
+  /// Longest leading run of `hashes` resident here — the contiguous prefix a
+  /// prefill on this replica could reuse.  Stops at the first miss: rolling
+  /// hashes are chained, so a later isolated match cannot be the same
+  /// content anyway.
+  [[nodiscard]] std::size_t SharedPrefixBlocks(
+      std::span<const std::uint64_t> hashes) const {
+    std::size_t run = 0;
+    for (const std::uint64_t h : hashes) {
+      if (!counts_.contains(h)) break;
+      ++run;
+    }
+    return run;
+  }
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint32_t> counts_;
+};
+
 /// Descriptor of a sequence's KV state detached from any one block manager —
 /// the unit of (simulated) KV migration between replicas.  Blocks are the
 /// logical count a fresh Import() allocates; physical sharing (forked
 /// prefixes) does not survive the wire, so an imported sequence is dense.
+/// The prefix hashes DO survive it: migrated KV carries its identity, so the
+/// destination's index immediately advertises the moved blocks.
 struct KvExport {
   SeqId id = 0;
   std::size_t tokens = 0;
   std::size_t blocks = 0;
+  std::vector<std::uint64_t> prefix_hashes;  ///< hashes registered at export
 };
 
 class KvBlockManager {
@@ -54,9 +95,23 @@ class KvBlockManager {
   [[nodiscard]] KvExport Export(SeqId id);
 
   /// Materializes an exported sequence in this pool, allocating fresh blocks
-  /// for every token.  Returns false (allocating nothing) when the id is
-  /// already present or the pool cannot satisfy it.
+  /// for every token and re-registering the carried prefix hashes.  Returns
+  /// false (allocating nothing) when the id is already present or the pool
+  /// cannot satisfy it.
   bool Import(const KvExport& exported);
+
+  /// Publishes a sequence's prefix-block hashes in this pool's index (call
+  /// once its KV actually holds them — at prefill completion or import).
+  /// Free/Export/Fork maintain the registration automatically from then on;
+  /// re-registering an id replaces its previous registration.
+  void RegisterPrefix(SeqId id, std::span<const std::uint64_t> hashes);
+  /// Hashes currently registered for a sequence (empty if none).
+  [[nodiscard]] std::span<const std::uint64_t> RegisteredPrefix(
+      SeqId id) const;
+  /// The replica-wide resident-prefix index (routing reads this).
+  [[nodiscard]] const PrefixIndex& prefix_index() const {
+    return prefix_index_;
+  }
 
   [[nodiscard]] std::size_t total_blocks() const { return ref_counts_.size(); }
   [[nodiscard]] std::size_t free_blocks() const { return free_list_.size(); }
@@ -83,16 +138,21 @@ class KvBlockManager {
   struct Sequence {
     std::vector<std::size_t> blocks;
     std::size_t tokens = 0;
+    /// Prefix hashes this sequence has published in the index (subset of the
+    /// prompt's signature; empty until RegisterPrefix).
+    std::vector<std::uint64_t> prefix_hashes;
   };
 
   std::optional<std::size_t> AllocBlock();
   void ReleaseBlock(std::size_t block);
+  void UnregisterPrefix(Sequence& seq);
 
   std::size_t block_tokens_;
   std::vector<std::uint32_t> ref_counts_;
   std::vector<std::size_t> free_list_;
   std::unordered_map<SeqId, Sequence> sequences_;
   std::size_t cow_count_ = 0;
+  PrefixIndex prefix_index_;
 };
 
 }  // namespace liquid::serving

@@ -26,6 +26,43 @@ bool ContinuousBatchScheduler::AcceptMigrated(Request request,
   return true;
 }
 
+std::size_t ContinuousBatchScheduler::CachedPrefixTokens(
+    const Request& request) const {
+  if (request.prefix.empty() || request.prefix.block_tokens == 0) return 0;
+  // The Submit credit is the placement layer's promise, computed at routing
+  // time; residency can move BOTH ways before admission (a same-prefix
+  // request queued ahead registers its blocks when its prefill runs — or
+  // the holder retires and frees them).  The live index is ground truth:
+  // the credit is only honored as far as the blocks are still resident, and
+  // overlap that materialized after routing counts for free.
+  const std::size_t blocks = std::min(
+      pool_.prefix_index().SharedPrefixBlocks(request.prefix.hashes),
+      request.prefix.hashes.size());
+  if (blocks == 0) return 0;
+  std::size_t cached =
+      blocks * static_cast<std::size_t>(request.prefix.block_tokens);
+  // The signature's final block can be partial; never credit tokens it does
+  // not attest (a preempted retry's prompt grows past the signed prompt).
+  if (request.prefix.covered_tokens > 0) {
+    cached = std::min(cached, request.prefix.covered_tokens);
+  }
+  // A fully cached prompt still recomputes its last token for logits.
+  return std::min(cached,
+                  request.prompt_tokens > 0 ? request.prompt_tokens - 1 : 0);
+}
+
+double ContinuousBatchScheduler::PrefillCharge(const Request& request) const {
+  const std::size_t cached = CachedPrefixTokens(request);
+  // With a cached prefix, only the suffix is computed; its attention still
+  // reads the cached tokens (same shape as a later chunk of a chunked
+  // prefill, so it is priced the same way).
+  const double t =
+      cached > 0
+          ? engine_.PrefillChunkSeconds(request.prompt_tokens - cached, cached)
+          : engine_.PrefillSeconds(1, request.prompt_tokens);
+  return t * slowdown_;
+}
+
 void ContinuousBatchScheduler::Admit() {
   while (!waiting_.empty() && running_.size() < max_batch_) {
     const Request& next = waiting_.front();
@@ -46,16 +83,26 @@ void ContinuousBatchScheduler::Admit() {
     const bool ok = pool_.AddSequence(next.id, next.prompt_tokens);
     assert(ok);
     (void)ok;
+    const std::size_t cached = CachedPrefixTokens(next);
+    if (cached > 0) {
+      ++stats_.prefix_hits;
+      stats_.prefill_tokens_saved += static_cast<double>(cached);
+    }
     if (chunk_ > 0) {
       // Chunked prefill: the sequence enters the batch immediately and its
-      // prefill advances one chunk per Step, interleaved with decode.
-      running_.push_back({next, 0, next.prompt_tokens});
+      // prefill advances one chunk per Step, interleaved with decode.  The
+      // cached prefix never enters the chunk queue (prefill_remaining starts
+      // at the uncached suffix, so `prior` accounting sees it as done).
+      running_.push_back({next, 0, next.prompt_tokens - cached});
     } else {
       // Prefill for the admitted sequence happens in this iteration; charge
-      // it.
-      const double prefill = engine_.PrefillSeconds(1, next.prompt_tokens);
+      // it (minus the cached-prefix discount).
+      const double prefill = PrefillCharge(next);
       stats_.simulated_seconds += prefill;
       stats_.busy_seconds += prefill;
+      if (!next.prefix.empty()) {
+        pool_.RegisterPrefix(next.id, next.prefix.hashes);
+      }
       running_.push_back({next, 0, 0});
     }
     waiting_.pop_front();
@@ -78,6 +125,9 @@ void ContinuousBatchScheduler::Preempt() {
   retry.max_new_tokens -= victim.generated;
   retry.progress += victim.generated;
   retry.kv_migrated = false;
+  // The credit's backing blocks may have left the pool by re-admission time;
+  // the retry recomputes its full prefill (and re-registers its hashes then).
+  retry.cached_prefix_blocks = 0;
   waiting_.push_front(retry);
   ++stats_.preemptions;
 }
@@ -129,16 +179,34 @@ bool ContinuousBatchScheduler::Step() {
   }
 
   // Chunked prefill: advance the oldest in-progress prefill by one chunk.
+  // "Oldest" is by (arrival, id), not batch slot — retirements swap slots
+  // around, and letting the chunk rotate among prefills makes concurrent
+  // prompts all finish in a cluster (a burst of simultaneous handoffs the
+  // decode pool pays for in its TPOT tail).  True FIFO keeps completions
+  // serialized, like unchunked admission, while still bounding how long any
+  // one prompt monopolizes an iteration.
   if (chunk_ > 0) {
+    Running* oldest = nullptr;
     for (Running& r : running_) {
       if (r.prefill_remaining == 0) continue;
+      if (oldest == nullptr || r.request.arrival < oldest->request.arrival ||
+          (r.request.arrival == oldest->request.arrival &&
+           r.request.id < oldest->request.id)) {
+        oldest = &r;
+      }
+    }
+    if (oldest != nullptr) {
+      Running& r = *oldest;
       const std::size_t prior = r.request.prompt_tokens - r.prefill_remaining;
       const std::size_t len = std::min(chunk_, r.prefill_remaining);
-      const double t = engine_.PrefillChunkSeconds(len, prior);
+      const double t = engine_.PrefillChunkSeconds(len, prior) * slowdown_;
       stats_.simulated_seconds += t;
       stats_.busy_seconds += t;
       r.prefill_remaining -= len;
-      break;
+      if (r.prefill_remaining == 0 && !r.request.prefix.empty()) {
+        // The whole prompt is now resident: publish its blocks.
+        pool_.RegisterPrefix(r.request.id, r.request.prefix.hashes);
+      }
     }
   }
 
@@ -182,7 +250,8 @@ bool ContinuousBatchScheduler::Step() {
     return true;
   }
   const double decode =
-      engine_.DecodeStepSeconds(batch, static_cast<std::size_t>(mean_len));
+      engine_.DecodeStepSeconds(batch, static_cast<std::size_t>(mean_len)) *
+      slowdown_;
   stats_.simulated_seconds += decode;
   stats_.busy_seconds += decode;
   stats_.generated_tokens += static_cast<double>(batch);
@@ -240,6 +309,7 @@ std::vector<Request> ContinuousBatchScheduler::Drain() {
     req.max_new_tokens -= r.generated;
     req.progress += r.generated;
     req.kv_migrated = false;  // the KV stays behind; the next host recomputes
+    req.cached_prefix_blocks = 0;  // the credit was against THIS pool's index
     out.push_back(req);
   }
   running_.clear();
@@ -247,6 +317,7 @@ std::vector<Request> ContinuousBatchScheduler::Drain() {
     pool_.Free(w.id);  // no-op unless KV was imported before admission
     Request req = w;
     req.kv_migrated = false;
+    req.cached_prefix_blocks = 0;
     out.push_back(req);
   }
   waiting_.clear();
@@ -266,6 +337,7 @@ ContinuousBatchScheduler::ForfeitedWork ContinuousBatchScheduler::Forfeit() {
     fresh.prompt_tokens = req.prompt_tokens - req.progress;
     fresh.max_new_tokens = req.max_new_tokens + req.progress;
     fresh.arrival = req.arrival;
+    fresh.prefix = req.prefix;  // content identity survives the failure
     out.wasted_tokens += static_cast<double>(req.progress + generated);
     out.requests.push_back(fresh);
   };
@@ -293,20 +365,38 @@ double ContinuousBatchScheduler::RemainingPrefillSeconds(
     prior += len;
     remaining -= len;
   }
-  return eta;
+  return eta * slowdown_;
 }
 
-double ContinuousBatchScheduler::PredictTtft(std::size_t prompt_tokens) const {
+double ContinuousBatchScheduler::PredictTtft(
+    std::size_t prompt_tokens, std::size_t cached_prefix_tokens) const {
   if (pool_.BlocksNeeded(prompt_tokens) + 1 > pool_.total_blocks()) {
     return std::numeric_limits<double>::infinity();
   }
-  // Own prefill, plus the prefills queued ahead of us (each admission charges
-  // its prefill on the shared clock, FIFO order).  Queued migrated-in
-  // continuations carry their KV with them — nothing to prefill.
-  double eta = engine_.PrefillSeconds(1, prompt_tokens);
+  // Own prefill — discounted by the resident cached prefix so placement and
+  // admission control both price locality — plus the prefills queued ahead
+  // of us (each admission charges its prefill on the shared clock, FIFO
+  // order; a queued request's own live-index overlap shrinks its charge the
+  // same way).  The discount arrives in TOKENS (the caller converts from
+  // signature blocks with the signature's own block size, which need not
+  // match this pool's).  Queued migrated-in continuations carry their KV —
+  // nothing to prefill.
+  const std::size_t cached_tokens =
+      prompt_tokens > 0 ? std::min(cached_prefix_tokens, prompt_tokens - 1)
+                        : 0;
+  double eta =
+      cached_tokens > 0
+          ? engine_.PrefillChunkSeconds(prompt_tokens - cached_tokens,
+                                        cached_tokens) *
+                slowdown_
+          : engine_.PrefillSeconds(1, prompt_tokens) * slowdown_;
   for (const Request& w : waiting_) {
     if (w.kv_migrated && pool_.HasSequence(w.id)) continue;
-    eta += engine_.PrefillSeconds(1, w.prompt_tokens);
+    const std::size_t w_cached = CachedPrefixTokens(w);
+    eta += (w_cached > 0 ? engine_.PrefillChunkSeconds(
+                               w.prompt_tokens - w_cached, w_cached)
+                         : engine_.PrefillSeconds(1, w.prompt_tokens)) *
+           slowdown_;
   }
   if (chunk_ > 0) {
     // Mid-flight chunked prefills: only their REMAINING chunks are ahead of
@@ -334,8 +424,10 @@ double ContinuousBatchScheduler::PredictTtft(std::size_t prompt_tokens) const {
     }
     mean_len /= static_cast<double>(running_.size());
     mean_remaining /= static_cast<double>(running_.size());
-    const double step = engine_.DecodeStepSeconds(
-        running_.size(), static_cast<std::size_t>(mean_len));
+    const double step =
+        engine_.DecodeStepSeconds(running_.size(),
+                                  static_cast<std::size_t>(mean_len)) *
+        slowdown_;
     const double per_slot =
         mean_remaining * step / static_cast<double>(running_.size());
     eta += per_slot * static_cast<double>(waiting_.size() + 1);

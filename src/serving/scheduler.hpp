@@ -55,6 +55,18 @@ struct Request {
   /// the allocation and the prefill charge (decode pool).
   bool kv_migrated = false;
 
+  /// Block-hash signature of the prompt; published in the pool's
+  /// PrefixIndex once the prefill (or import) makes the blocks resident.
+  PrefixSignature prefix = {};
+  /// Prefix-cache credit from the placement layer: at routing time, this
+  /// many leading signature blocks were resident on this replica.  The
+  /// credit is a PROMISE, not a charge ticket — admission re-validates
+  /// against the live index and skips prefill compute only for blocks still
+  /// resident then (overlap that materialized after routing counts too).
+  /// The blocks are still allocated — the discount is compute, not memory —
+  /// and a full-prompt hit still recomputes the last token for logits.
+  std::size_t cached_prefix_blocks = 0;
+
   [[nodiscard]] double EffectiveArrival() const {
     return ready > arrival ? ready : arrival;
   }
@@ -75,6 +87,8 @@ struct SchedulerStats {
   std::size_t preemptions = 0;
   std::size_t dropped = 0;  ///< requests that can never fit the KV pool
   std::size_t prefill_handoffs = 0;  ///< prefill-only requests handed off
+  std::size_t prefix_hits = 0;  ///< admissions with a cached-prefix credit
+  double prefill_tokens_saved = 0;  ///< prompt tokens whose prefill was skipped
   double simulated_seconds = 0;
   double busy_seconds = 0;  ///< clock time spent in prefill/decode compute
   double generated_tokens = 0;
@@ -93,8 +107,13 @@ class ContinuousBatchScheduler {
 
   void Submit(Request request);
   void SubmitTimed(const TimedRequest& request) {
-    Submit(Request{request.id, request.prompt_tokens, request.max_new_tokens,
-                   request.arrival_seconds});
+    Request r;
+    r.id = request.id;
+    r.prompt_tokens = request.prompt_tokens;
+    r.max_new_tokens = request.max_new_tokens;
+    r.arrival = request.arrival_seconds;
+    r.prefix = request.prefix;
+    Submit(r);
   }
 
   /// Lands a migrated-in continuation: imports its KV into this pool and
@@ -142,7 +161,21 @@ class ContinuousBatchScheduler {
   /// slot frees every mean-remaining-tokens / batch decode steps, so each
   /// FIFO position ahead costs that much).  Infinity when the prompt can
   /// never fit the pool.  The admission-control signal behind SloConfig.
-  [[nodiscard]] double PredictTtft(std::size_t prompt_tokens) const;
+  /// `cached_prefix_tokens` prices the prefix-cache discount (the request's
+  /// own prefill shrinks to the uncached suffix), so admission control and
+  /// TTFT-scoring placement both see locality; it is in TOKENS because the
+  /// signature's block size need not match this pool's.
+  [[nodiscard]] double PredictTtft(
+      std::size_t prompt_tokens, std::size_t cached_prefix_tokens = 0) const;
+
+  /// Partial degradation (chaos): every subsequent compute charge — prefill,
+  /// chunk, decode — runs `factor`× slower (clamped to >= 1).  Unlike a
+  /// kill, nothing is lost; the replica just stops pulling its weight, and
+  /// PredictTtft quotes the degraded speed so admission control sees it.
+  void SetSlowdown(double factor) {
+    slowdown_ = factor < 1.0 ? 1.0 : factor;
+  }
+  [[nodiscard]] double slowdown() const { return slowdown_; }
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<RequestTiming>& completions() const {
@@ -188,11 +221,18 @@ class ContinuousBatchScheduler {
   void Handoff(const Running& done);
   /// Cost of the chunks still ahead of a mid-prefill sequence.
   [[nodiscard]] double RemainingPrefillSeconds(const Running& r) const;
+  /// Prompt tokens the request's prefill can skip: the better of the Submit
+  /// credit and the live index overlap at admission time (capped so a full
+  /// hit still recomputes the last token for logits).
+  [[nodiscard]] std::size_t CachedPrefixTokens(const Request& request) const;
+  /// Prefill charge for a request, honoring its cached-prefix credit.
+  [[nodiscard]] double PrefillCharge(const Request& request) const;
 
   const ServingEngine& engine_;
   KvBlockManager pool_;
   std::size_t max_batch_;
   std::size_t chunk_;  ///< engine prefill_chunk_tokens (0 = unchunked)
+  double slowdown_ = 1.0;  ///< degradation factor on every compute charge
   std::deque<Request> waiting_;
   std::vector<Running> running_;
   SchedulerStats stats_;

@@ -15,7 +15,69 @@ std::size_t LogUniform(Rng& rng, std::size_t lo, std::size_t hi) {
   return std::clamp(static_cast<std::size_t>(std::exp(x)), lo, hi);
 }
 
+/// SplitMix64 finalizer: the avalanche behind every signature hash.  Pure
+/// function of its input — signature derivation must never touch the trace
+/// RNG, or adding prefixes would perturb arrival times and lengths.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Simulated token at position `t` of a content stream keyed by `key`.
+std::uint64_t ContentWord(std::uint64_t key, std::size_t t) {
+  return Mix64(key ^ Mix64(static_cast<std::uint64_t>(t)));
+}
+
+/// Preamble content key for a trace request (tenant-scoped prefix group).
+std::uint64_t SharedContentKey(std::uint32_t tenant, std::uint64_t group) {
+  return Mix64(0x5eedf00dull ^ Mix64(tenant) ^ Mix64(group * 0x10001ull));
+}
+
+/// Fills in the request's signature from the trace's sharing knobs.
+void AttachSignature(TimedRequest& r, const TraceConfig& config) {
+  if (config.prefix_block_tokens == 0) return;
+  const std::size_t groups = std::max<std::size_t>(1, config.prefix_groups);
+  const double fraction =
+      std::clamp(config.shared_prefix_fraction, 0.0, 1.0);
+  const std::size_t shared = static_cast<std::size_t>(
+      fraction * static_cast<double>(r.prompt_tokens));
+  r.prefix = MakePrefixSignature(
+      SharedContentKey(r.tenant, r.session % groups),
+      Mix64(0x00b1a5ull ^ Mix64(r.id)), shared, r.prompt_tokens,
+      config.prefix_block_tokens);
+}
+
 }  // namespace
+
+PrefixSignature MakePrefixSignature(std::uint64_t content_key,
+                                    std::uint64_t unique_key,
+                                    std::size_t shared_tokens,
+                                    std::size_t prompt_tokens,
+                                    std::size_t block_tokens) {
+  PrefixSignature sig;
+  if (block_tokens == 0 || prompt_tokens == 0) return sig;
+  sig.block_tokens = static_cast<std::uint32_t>(block_tokens);
+  sig.covered_tokens = prompt_tokens;
+  sig.hashes.reserve((prompt_tokens + block_tokens - 1) / block_tokens);
+  shared_tokens = std::min(shared_tokens, prompt_tokens);
+  // Rolling hash chained across blocks: h_i commits to tokens [0, end_i), so
+  // two prompts agree on hash i iff they agree on every token through block
+  // i — divergence anywhere poisons all later hashes, exactly the semantics
+  // a contiguous-prefix cache needs.
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::size_t t = 0; t < prompt_tokens; ++t) {
+    const std::uint64_t word = t < shared_tokens
+                                   ? ContentWord(content_key, t)
+                                   : ContentWord(unique_key, t);
+    h = Mix64(h ^ word);
+    if ((t + 1) % block_tokens == 0 || t + 1 == prompt_tokens) {
+      sig.hashes.push_back(h);
+    }
+  }
+  return sig;
+}
 
 std::vector<TimedRequest> GenerateTrace(const TraceConfig& config,
                                         std::uint64_t seed) {
@@ -34,6 +96,7 @@ std::vector<TimedRequest> GenerateTrace(const TraceConfig& config,
     r.prompt_tokens = LogUniform(rng, config.prompt_min, config.prompt_max);
     r.max_new_tokens = LogUniform(rng, config.output_min, config.output_max);
     r.session = config.sessions > 0 ? i % config.sessions : i;
+    AttachSignature(r, config);
     trace.push_back(r);
   }
   return trace;
@@ -56,6 +119,10 @@ std::vector<TimedRequest> GenerateMultiTenantTrace(
       r.session = (static_cast<std::uint64_t>(tenant.tenant) << 32) |
                   static_cast<std::uint64_t>(
                       session_rng.Int(0, static_cast<std::int64_t>(sessions) - 1));
+      // Re-derive the signature: id/tenant/session changed, and preamble
+      // sharing is tenant-scoped (one tenant's few-shot block never matches
+      // another's).
+      AttachSignature(r, tenant.trace);
       merged.push_back(r);
     }
   }

@@ -8,11 +8,42 @@
 // (time per output token), and end-to-end latency percentiles.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace liquid::serving {
+
+/// Token-block signature of a prompt: one rolling hash per fixed-size block
+/// of `block_tokens` simulated tokens, chained across blocks so hash i
+/// commits to every token through block i.  Two prompts share leading hashes
+/// exactly as far as their token content agrees — the fleet-wide currency of
+/// prefix-cache locality (routing scores shared blocks, schedulers skip
+/// their prefill compute).
+struct PrefixSignature {
+  std::uint32_t block_tokens = 0;     ///< tokens hashed per block (0 = none)
+  /// Prompt tokens the hashes attest (the final block can be partial).
+  /// Stays fixed when bookkeeping later inflates a request's prompt
+  /// (preemption folds generated tokens in); 0 = unknown, treat every
+  /// block as full.
+  std::size_t covered_tokens = 0;
+  std::vector<std::uint64_t> hashes;  ///< rolling hash per prompt block
+
+  [[nodiscard]] bool empty() const { return hashes.empty(); }
+  [[nodiscard]] std::size_t blocks() const { return hashes.size(); }
+};
+
+/// Builds the signature of a prompt whose first `shared_tokens` tokens come
+/// from a shared content stream (keyed by `content_key` — a system preamble
+/// or few-shot prefix) and whose remainder is unique (keyed by `unique_key`).
+/// Deterministic: the same keys and lengths produce the same hashes on every
+/// replica, which is what makes the fleet-wide index meaningful.
+[[nodiscard]] PrefixSignature MakePrefixSignature(std::uint64_t content_key,
+                                                  std::uint64_t unique_key,
+                                                  std::size_t shared_tokens,
+                                                  std::size_t prompt_tokens,
+                                                  std::size_t block_tokens);
 
 struct TimedRequest {
   std::uint64_t id = 0;
@@ -25,6 +56,8 @@ struct TimedRequest {
   /// after its replica was killed carries attempt+1 (it restarts from the
   /// original prompt — generated-but-undelivered tokens are wasted work).
   std::uint32_t attempt = 0;
+  /// Block-hash signature of the prompt (prefix-cache-aware placement).
+  PrefixSignature prefix = {};
 };
 
 struct TraceConfig {
@@ -37,6 +70,18 @@ struct TraceConfig {
   /// Requests are spread round-robin over this many session keys so
   /// affinity routing has spread to work with (0 = one session per request).
   std::size_t sessions = 16;
+  /// Fraction of each prompt covered by a shared prefix (system preamble /
+  /// few-shot block).  0 disables sharing: every prompt is unique content
+  /// and prefix overlap between distinct requests is exactly zero.
+  double shared_prefix_fraction = 0;
+  /// Distinct shared preambles in the trace; a request's preamble is keyed
+  /// by session % prefix_groups, so sharing crosses session boundaries
+  /// (the case pure session stickiness cannot exploit).
+  std::size_t prefix_groups = 1;
+  /// Tokens per signature block.  Keep equal to the replicas' KV
+  /// block_tokens so one shared signature block equals one skippable
+  /// KV block of prefill.
+  std::size_t prefix_block_tokens = 16;
 };
 
 /// Generates a deterministic Poisson-arrival trace (exponential gaps, log-

@@ -1,0 +1,225 @@
+// Chaos under prefix-aware placement: for 40 seeds, build a random fleet
+// (sometimes disaggregated), a random SHARED-PREFIX trace, random kills AND
+// partial degradations (replicas that slow down rather than die), route with
+// the prefix_aware preset — and assert the conservation law
+//
+//   completed + dropped + rejected + lost == submitted + retried
+//   lost == retried + retries_exhausted
+//   in_migration == 0 at the end of the run
+//
+// still holds.  Prefix credits, degraded clocks and migrating hash sets must
+// never create or lose a request.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "serving/workload.hpp"
+#include "util/rng.hpp"
+
+namespace liquid::cluster {
+namespace {
+
+ReplicaSpec ChaosReplica(ReplicaRole role, std::size_t pool_blocks) {
+  ReplicaSpec spec;
+  spec.hw = simgpu::HardwareSpec::H800();
+  spec.preset = serving::SystemPreset::LiquidServe();
+  spec.model = serving::LlmConfig::Llama2_7B();
+  spec.kv_pool_blocks = pool_blocks;
+  spec.block_tokens = 16;  // matches prefix_block_tokens below
+  spec.max_batch = 16;
+  spec.role = role;
+  spec.dollars_per_hour = 2.5;
+  return spec;
+}
+
+struct Scenario {
+  std::vector<ReplicaRole> roles;
+  std::size_t pool_blocks = 256;
+  SloConfig slo;
+  RetryPolicy retry;
+  DisaggConfig disagg;
+  bool disaggregated = false;
+  std::vector<serving::TimedRequest> trace;
+  std::vector<KillEvent> kills;
+  std::vector<DegradeEvent> degrades;
+};
+
+Scenario RandomScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  // Half the fleets are unified, half split into prefill/decode pools (the
+  // migration path carries prefix hashes across the wire).
+  s.disaggregated = rng.NextDouble() < 0.5;
+  if (s.disaggregated) {
+    const std::size_t prefills = 1 + rng.Below(2);
+    const std::size_t decodes = 1 + rng.Below(2);
+    for (std::size_t i = 0; i < prefills; ++i) {
+      s.roles.push_back(ReplicaRole::kPrefill);
+    }
+    for (std::size_t i = 0; i < decodes; ++i) {
+      s.roles.push_back(ReplicaRole::kDecode);
+    }
+    s.disagg.interconnect.bandwidth_gb_per_s = rng.Uniform(25.0, 900.0);
+    s.disagg.max_migration_seconds = rng.Uniform(0.1, 1.0);
+  } else {
+    const std::size_t replicas = 2 + rng.Below(3);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      s.roles.push_back(ReplicaRole::kUnified);
+    }
+  }
+  s.pool_blocks = 256 + static_cast<std::size_t>(rng.Below(3)) * 128;
+  if (rng.NextDouble() < 0.4) {
+    s.slo.ttft_budget = rng.Uniform(0.5, 3.0);
+    s.slo.reject_above = rng.Uniform(1.0, 2.0);
+  }
+  if (rng.NextDouble() < 0.5) s.retry.max_attempts = 1;
+  if (rng.NextDouble() < 0.5) {
+    s.retry.base_backoff_seconds = rng.Uniform(0.05, 0.3);
+  }
+
+  serving::TraceConfig trace;
+  trace.arrival_rate_per_s = rng.Uniform(15.0, 80.0);
+  trace.count = 50 + static_cast<std::size_t>(rng.Below(60));
+  trace.prompt_min = 256;
+  trace.prompt_max = 1024 + static_cast<std::size_t>(rng.Below(1024));
+  trace.output_min = 32;
+  trace.output_max = 160;
+  trace.sessions = 8;
+  // The point of this suite: real shared prefixes in flight while chaos
+  // fires, so credits and index updates race kills and migrations.
+  trace.shared_prefix_fraction = rng.Uniform(0.25, 0.75);
+  trace.prefix_groups = 2 + rng.Below(6);
+  trace.prefix_block_tokens = 16;
+  s.trace = serving::GenerateTrace(trace, seed ^ 0xF1D0ull);
+
+  const double span =
+      s.trace.empty() ? 1.0 : s.trace.back().arrival_seconds + 1.0;
+  const std::size_t kills = 1 + rng.Below(3);
+  for (std::size_t k = 0; k < kills; ++k) {
+    s.kills.push_back(
+        {rng.Uniform(0.05, span * 1.2), rng.Below(s.roles.size())});
+  }
+  const std::size_t degrades = 1 + rng.Below(3);
+  for (std::size_t d = 0; d < degrades; ++d) {
+    s.degrades.push_back({rng.Uniform(0.05, span),
+                          rng.Below(s.roles.size()),
+                          rng.Uniform(1.5, 6.0)});
+  }
+  return s;
+}
+
+FleetStats RunScenario(const Scenario& s) {
+  ClusterSimulator sim(RoutePolicy::kPrefixAware, {}, s.slo, s.retry,
+                       s.disagg);
+  for (const ReplicaRole role : s.roles) {
+    sim.AddReplica(ChaosReplica(role, s.pool_blocks));
+  }
+  for (const KillEvent& kill : s.kills) sim.ScheduleKill(kill);
+  for (const DegradeEvent& degrade : s.degrades) {
+    sim.ScheduleDegrade(degrade);
+  }
+  return sim.Run(s.trace);
+}
+
+TEST(PrefixChaosTest, ConservationHoldsWithPrefixDegradeAndKills) {
+  std::size_t scenarios_with_hits = 0;
+  std::size_t scenarios_with_losses = 0;
+  std::size_t scenarios_with_degrades = 0;
+  std::size_t scenarios_with_migrations = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Scenario s = RandomScenario(seed);
+    const FleetStats stats = RunScenario(s);
+
+    EXPECT_EQ(stats.submitted, s.trace.size()) << "seed " << seed;
+    EXPECT_EQ(stats.completed + stats.dropped + stats.rejected_requests +
+                  stats.lost_requests,
+              stats.submitted + stats.retried_requests)
+        << "seed " << seed << ": completed=" << stats.completed
+        << " dropped=" << stats.dropped
+        << " rejected=" << stats.rejected_requests
+        << " lost=" << stats.lost_requests
+        << " submitted=" << stats.submitted
+        << " retried=" << stats.retried_requests
+        << " prefix_hits=" << stats.prefix_hits;
+    EXPECT_EQ(stats.lost_requests,
+              stats.retried_requests + stats.retries_exhausted)
+        << "seed " << seed;
+    EXPECT_EQ(stats.disagg.in_migration, 0u) << "seed " << seed;
+    // Degradation alone never wastes tokens — only kills do.
+    if (stats.killed_replicas == 0) {
+      EXPECT_DOUBLE_EQ(stats.wasted_tokens, 0.0) << "seed " << seed;
+    }
+    // Savings are bounded by what was actually prompted.
+    EXPECT_GE(stats.prefill_tokens_saved, 0.0) << "seed " << seed;
+
+    if (stats.prefix_hits > 0) ++scenarios_with_hits;
+    if (stats.lost_requests > 0) ++scenarios_with_losses;
+    if (stats.degraded_replicas > 0) ++scenarios_with_degrades;
+    if (stats.disagg.migrated_requests > 0) ++scenarios_with_migrations;
+  }
+  // Each regime must actually occur or the suite lost its teeth.
+  EXPECT_GT(scenarios_with_hits, 10u);
+  EXPECT_GT(scenarios_with_losses, 5u);
+  EXPECT_GT(scenarios_with_degrades, 20u);
+  EXPECT_GT(scenarios_with_migrations, 5u);
+  std::printf(
+      "prefix chaos: %zu/40 hit prefixes, %zu/40 lost work, %zu/40 "
+      "degraded, %zu/40 migrated\n",
+      scenarios_with_hits, scenarios_with_losses, scenarios_with_degrades,
+      scenarios_with_migrations);
+}
+
+TEST(PrefixChaosTest, DeterministicUnderPrefixDegradeChaos) {
+  const Scenario s = RandomScenario(11);
+  const FleetStats a = RunScenario(s);
+  const FleetStats b = RunScenario(s);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.lost_requests, b.lost_requests);
+  EXPECT_EQ(a.retried_requests, b.retried_requests);
+  EXPECT_EQ(a.prefix_hits, b.prefix_hits);
+  EXPECT_EQ(a.degraded_replicas, b.degraded_replicas);
+  EXPECT_DOUBLE_EQ(a.prefill_tokens_saved, b.prefill_tokens_saved);
+  EXPECT_DOUBLE_EQ(a.wasted_tokens, b.wasted_tokens);
+  EXPECT_DOUBLE_EQ(a.ttft.p99, b.ttft.p99);
+  EXPECT_DOUBLE_EQ(a.span_seconds, b.span_seconds);
+}
+
+TEST(PrefixChaosTest, DegradedReplicaSlowsButLosesNothing) {
+  // One replica, degraded 2x up front: everything completes — later.
+  serving::TraceConfig config;
+  config.arrival_rate_per_s = 20.0;
+  config.count = 30;
+  config.prompt_min = 256;
+  config.prompt_max = 1024;
+  config.output_min = 32;
+  config.output_max = 96;
+  const auto trace = serving::GenerateTrace(config, 5);
+
+  const auto run = [&](double slowdown) {
+    ClusterSimulator sim(RoutePolicy::kLeastOutstanding);
+    sim.AddReplica(ChaosReplica(ReplicaRole::kUnified, 1024));
+    if (slowdown > 1.0) {
+      EXPECT_TRUE(sim.DegradeReplica(0, slowdown));
+    }
+    return sim.Run(trace);
+  };
+  const FleetStats fast = run(1.0);
+  const FleetStats slow = run(2.0);
+  EXPECT_EQ(slow.completed, fast.completed);
+  EXPECT_EQ(slow.completed, trace.size());
+  EXPECT_EQ(slow.degraded_replicas, 1u);
+  EXPECT_EQ(fast.degraded_replicas, 0u);
+  EXPECT_GT(slow.span_seconds, fast.span_seconds);
+  EXPECT_GT(slow.ttft.p99, fast.ttft.p99);
+
+  // Unknown and inactive replicas are rejected.
+  ClusterSimulator sim(RoutePolicy::kLeastOutstanding);
+  sim.AddReplica(ChaosReplica(ReplicaRole::kUnified, 256));
+  EXPECT_FALSE(sim.DegradeReplica(5, 2.0));
+}
+
+}  // namespace
+}  // namespace liquid::cluster

@@ -12,15 +12,35 @@ serving::TimedRequest Req(std::uint64_t id, std::uint64_t session = 0) {
   return r;
 }
 
-TEST(RouterTest, ParseAndPrintPolicies) {
-  for (const RoutePolicy p :
-       {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstanding,
-        RoutePolicy::kLeastKvLoad, RoutePolicy::kSessionAffinity}) {
-    const auto parsed = ParseRoutePolicy(ToString(p));
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, p);
+TEST(RouterTest, ParseAndPrintPoliciesRoundTrip) {
+  // Table-driven: every preset round-trips through its canonical name, and
+  // the advertised accepted-names list covers exactly those names.
+  struct Case {
+    RoutePolicy policy;
+    const char* name;
+  };
+  const Case cases[] = {
+      {RoutePolicy::kRoundRobin, "round_robin"},
+      {RoutePolicy::kLeastOutstanding, "least_outstanding"},
+      {RoutePolicy::kLeastKvLoad, "least_kv"},
+      {RoutePolicy::kSessionAffinity, "affinity"},
+      {RoutePolicy::kPrefixAware, "prefix_aware"},
+  };
+  const std::string names = RoutePolicyNames();
+  for (const Case& c : cases) {
+    EXPECT_STREQ(ToString(c.policy), c.name);
+    const auto parsed = ParseRoutePolicy(c.name);
+    ASSERT_TRUE(parsed.has_value()) << c.name;
+    EXPECT_EQ(*parsed, c.policy) << c.name;
+    EXPECT_NE(names.find(c.name), std::string::npos)
+        << "'" << c.name << "' missing from RoutePolicyNames()";
   }
-  EXPECT_FALSE(ParseRoutePolicy("no_such_policy").has_value());
+  // Unknown, near-miss, and case-mangled names are all rejected — callers
+  // print RoutePolicyNames() on this path.
+  for (const char* bad :
+       {"no_such_policy", "", "prefix", "Affinity", "least_kv "}) {
+    EXPECT_FALSE(ParseRoutePolicy(bad).has_value()) << "'" << bad << "'";
+  }
 }
 
 TEST(RouterTest, RoundRobinCyclesAndSkipsDeadReplicas) {
@@ -205,6 +225,128 @@ TEST(RouterTest, DecideNoAliveReplicaIsDropNotReject) {
   const RouteDecision d = router.Decide(Req(0), views);
   EXPECT_EQ(d.outcome, RouteOutcome::kNoReplica);
   EXPECT_FALSE(d.replica.has_value());
+}
+
+// ---- Scorer-pipeline behavior (the placement refactor) ----------------
+
+serving::TimedRequest SignedReq(std::uint64_t id, std::uint64_t session,
+                                std::vector<std::uint64_t> hashes) {
+  serving::TimedRequest r;
+  r.id = id;
+  r.session = session;
+  r.prompt_tokens = hashes.size() * 16;
+  r.prefix.block_tokens = 16;
+  r.prefix.hashes = std::move(hashes);
+  return r;
+}
+
+TEST(RouterScorerTest, PresetPipelinesExposeTheirTerms) {
+  // The legacy presets are data now: single-term pipelines (affinity adds
+  // its load fallback).  Guards against a preset silently changing shape.
+  EXPECT_EQ(PromptPipeline(RoutePolicy::kRoundRobin).size(), 1u);
+  EXPECT_EQ(PromptPipeline(RoutePolicy::kRoundRobin)[0].term,
+            ScoreTerm::kRotation);
+  EXPECT_EQ(PromptPipeline(RoutePolicy::kLeastOutstanding)[0].term,
+            ScoreTerm::kLoad);
+  EXPECT_EQ(PromptPipeline(RoutePolicy::kLeastKvLoad)[0].term,
+            ScoreTerm::kFreeKv);
+  EXPECT_EQ(PromptPipeline(RoutePolicy::kSessionAffinity)[0].term,
+            ScoreTerm::kAffinity);
+  const ScorerPipeline prefix = PromptPipeline(RoutePolicy::kPrefixAware);
+  EXPECT_EQ(prefix[0].term, ScoreTerm::kPrefixOverlap);
+  EXPECT_STREQ(ToString(ScoreTerm::kPrefixOverlap), "prefix_overlap");
+}
+
+TEST(RouterScorerTest, PrefixAwareRoutesToSharedBlocks) {
+  Router router(RoutePolicy::kPrefixAware);
+  serving::PrefixIndex warm;
+  for (std::uint64_t h : {1ull, 2ull, 3ull, 4ull}) warm.Add(h);
+  serving::PrefixIndex cold;
+  std::vector<ReplicaView> views(3);
+  views[0].prefix_index = &cold;
+  views[1].prefix_index = &warm;  // holds the request's whole signature
+  views[2].prefix_index = &cold;
+  views[1].outstanding = 2;  // mild load must not scare the overlap away
+  EXPECT_EQ(router.Route(SignedReq(0, 5, {1, 2, 3, 4}), views), 1u);
+}
+
+TEST(RouterScorerTest, PrefixAwareLoadTermSpillsHotspots) {
+  // Overlap weight 2.0 vs load weight 0.5: a full overlap is worth a 4-deep
+  // queue, not a 40-deep one — a hotspot spills to an idle replica.
+  Router router(RoutePolicy::kPrefixAware);
+  serving::PrefixIndex warm;
+  for (std::uint64_t h : {1ull, 2ull}) warm.Add(h);
+  std::vector<ReplicaView> views(2);
+  views[0].prefix_index = &warm;
+  views[0].outstanding = 10;  // 2.0 overlap < 0.5 * 10 load penalty
+  views[1].outstanding = 0;
+  EXPECT_EQ(router.Route(SignedReq(0, 5, {1, 2}), views), 1u);
+  views[0].outstanding = 3;  // 2.0 overlap > 0.5 * 3: locality wins again
+  EXPECT_EQ(router.Route(SignedReq(1, 6, {1, 2}), views), 0u);
+}
+
+TEST(RouterScorerTest, PrefixAwareDegeneratesToStickinessWhenDisjoint) {
+  // No shared blocks anywhere: the pin term keeps the session home while
+  // load stays comparable — affinity-like behavior on disjoint workloads.
+  Router router(RoutePolicy::kPrefixAware);
+  std::vector<ReplicaView> views(2);
+  views[0].outstanding = 1;
+  views[1].outstanding = 0;
+  ASSERT_EQ(router.Route(SignedReq(0, 9, {42}), views), 1u);  // least loaded
+  views[0].outstanding = 0;  // load evens out: the pin keeps the session home
+  EXPECT_EQ(router.Route(SignedReq(1, 9, {43}), views), 1u);
+}
+
+TEST(RouterScorerTest, CustomPipelineOverridesPreset) {
+  // The pipeline is data: swap in a pure predicted-TTFT scorer.
+  Router router(RoutePolicy::kRoundRobin);
+  router.set_pipeline({{ScoreTerm::kPredictedTtft, 1.0}});
+  std::vector<ReplicaView> views(3);
+  views[0].est_ttft_seconds = 0.8;
+  views[1].est_ttft_seconds = 0.2;
+  views[2].est_ttft_seconds = 0.5;
+  EXPECT_EQ(router.Route(Req(0), views), 1u);
+  EXPECT_EQ(router.Route(Req(1), views), 1u);  // no rotation term, no cursor
+}
+
+TEST(RouterScorerTest, DecodePrefixOverlapOutranksStickiness) {
+  // Legacy decode placement would stay with the session's old decode home;
+  // prefix_aware follows the migrating KV's shared blocks instead.
+  Router router(RoutePolicy::kPrefixAware);
+  serving::PrefixIndex warm;
+  for (std::uint64_t h : {7ull, 8ull}) warm.Add(h);
+  std::vector<ReplicaView> views(3);
+  views[0].role = ReplicaRole::kDecode;
+  views[0].free_kv_blocks = 50;
+  views[1].role = ReplicaRole::kDecode;
+  views[1].free_kv_blocks = 50;
+  views[1].prefix_index = &warm;
+  views[2].role = ReplicaRole::kPrefill;  // never a decode target
+  // Pin session 3 onto replica 0 first (no overlap info).
+  ASSERT_EQ(router.RouteDecode(3, views, 1), 0u);
+  // With shared blocks visible on replica 1, the pin loses.
+  const std::uint64_t sig[] = {7, 8};
+  EXPECT_EQ(router.RouteDecode(3, views, 1, sig), 1u);
+  // And under a legacy preset the pin would have held.
+  Router legacy(RoutePolicy::kSessionAffinity);
+  ASSERT_EQ(legacy.RouteDecode(3, views, 1), 0u);
+  EXPECT_EQ(legacy.RouteDecode(3, views, 1, sig), 0u);
+}
+
+TEST(RouterScorerTest, DecodeRolePreferenceStillAbsoluteUnderPrefix) {
+  // A unified replica holding the whole signature must not outbid a decode
+  // replica: role preference is the top tier of the decode pipeline.
+  Router router(RoutePolicy::kPrefixAware);
+  serving::PrefixIndex warm;
+  warm.Add(1);
+  std::vector<ReplicaView> views(2);
+  views[0].role = ReplicaRole::kUnified;
+  views[0].prefix_index = &warm;
+  views[0].free_kv_blocks = 100;
+  views[1].role = ReplicaRole::kDecode;
+  views[1].free_kv_blocks = 10;
+  const std::uint64_t sig[] = {1};
+  EXPECT_EQ(router.RouteDecode(1, views, 1, sig), 1u);
 }
 
 }  // namespace

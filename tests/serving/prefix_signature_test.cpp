@@ -1,0 +1,283 @@
+// Prefix-signature determinism and the fleet-wide prefix-cache index
+// lifecycle: the same prompt must hash to the same blocks anywhere (that is
+// what makes a cross-replica index meaningful), fork/Export/Import must
+// preserve the hashes through sharing and migration, and eviction must
+// decrement the index back to zero — a stale index would advertise prefill
+// savings that no longer exist.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serving/engine.hpp"
+#include "serving/kv_cache.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/workload.hpp"
+
+namespace liquid::serving {
+namespace {
+
+TEST(PrefixSignatureTest, SamePromptSameHashesAcrossReplicas) {
+  // Two "replicas" computing independently (same derivation inputs) agree on
+  // every block hash — the signature is a pure function, never RNG state.
+  const PrefixSignature a = MakePrefixSignature(/*content_key=*/7,
+                                                /*unique_key=*/99,
+                                                /*shared_tokens=*/128,
+                                                /*prompt_tokens=*/300,
+                                                /*block_tokens=*/16);
+  const PrefixSignature b =
+      MakePrefixSignature(7, 99, 128, 300, 16);
+  ASSERT_EQ(a.hashes.size(), b.hashes.size());
+  EXPECT_EQ(a.hashes, b.hashes);
+  // ceil(300 / 16) = 19 blocks, the tail block short.
+  EXPECT_EQ(a.hashes.size(), 19u);
+  EXPECT_EQ(a.block_tokens, 16u);
+}
+
+TEST(PrefixSignatureTest, SharedPreambleMatchesExactlyToDivergence) {
+  // Same content key, different unique keys: hashes agree for the blocks
+  // fully inside the 128 shared tokens (128/16 = 8 blocks), then diverge —
+  // and the rolling chain keeps them diverged forever after.
+  const PrefixSignature a = MakePrefixSignature(7, 1, 128, 512, 16);
+  const PrefixSignature b = MakePrefixSignature(7, 2, 128, 512, 16);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.hashes[i], b.hashes[i]) << "shared block " << i;
+  }
+  for (std::size_t i = 8; i < a.hashes.size(); ++i) {
+    EXPECT_NE(a.hashes[i], b.hashes[i]) << "diverged block " << i;
+  }
+  // Different preambles never match, even at block 0.
+  const PrefixSignature c = MakePrefixSignature(8, 1, 128, 512, 16);
+  EXPECT_NE(a.hashes[0], c.hashes[0]);
+}
+
+TEST(PrefixSignatureTest, TraceSignaturesDeterministicAndSessionGrouped) {
+  TraceConfig config;
+  config.count = 24;
+  config.sessions = 6;
+  config.shared_prefix_fraction = 0.5;
+  config.prefix_groups = 3;
+  config.prefix_block_tokens = 16;
+  const auto t1 = GenerateTrace(config, 42);
+  const auto t2 = GenerateTrace(config, 42);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].prefix.hashes, t2[i].prefix.hashes) << "request " << i;
+    EXPECT_FALSE(t1[i].prefix.empty());
+  }
+  // Requests whose sessions share a prefix group share leading hashes
+  // (sessions 0 and 3 are both group 0 with prefix_groups=3).
+  const TimedRequest* g0a = nullptr;
+  const TimedRequest* g0b = nullptr;
+  for (const TimedRequest& r : t1) {
+    if (r.session == 0) g0a = &r;
+    if (r.session == 3) g0b = &r;
+  }
+  ASSERT_NE(g0a, nullptr);
+  ASSERT_NE(g0b, nullptr);
+  EXPECT_EQ(g0a->prefix.hashes[0], g0b->prefix.hashes[0]);
+}
+
+TEST(PrefixSignatureTest, DisjointTracesShareNothing) {
+  // shared_prefix_fraction = 0 (the default): every request is unique
+  // content, so no two distinct requests agree on even one block.
+  TraceConfig config;
+  config.count = 16;
+  config.sessions = 4;  // same sessions, still no content sharing
+  const auto trace = GenerateTrace(config, 9);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (std::size_t j = i + 1; j < trace.size(); ++j) {
+      EXPECT_NE(trace[i].prefix.hashes[0], trace[j].prefix.hashes[0]);
+    }
+  }
+}
+
+TEST(PrefixIndexTest, SharedPrefixBlocksIsLongestLeadingRun) {
+  PrefixIndex index;
+  index.Add(10);
+  index.Add(20);
+  index.Add(40);  // present but not contiguous with the prefix
+  const std::uint64_t sig[] = {10, 20, 30, 40};
+  EXPECT_EQ(index.SharedPrefixBlocks(sig), 2u);  // stops at the miss on 30
+  index.Add(30);
+  EXPECT_EQ(index.SharedPrefixBlocks(sig), 4u);
+  EXPECT_EQ(index.SharedPrefixBlocks({}), 0u);
+}
+
+TEST(PrefixIndexTest, RegisterFreeDecrementsToZero) {
+  KvBlockManager pool(/*total_blocks=*/64, /*block_tokens=*/16);
+  const std::uint64_t sig[] = {1, 2, 3};
+  ASSERT_TRUE(pool.AddSequence(7, 48));
+  pool.RegisterPrefix(7, sig);
+  EXPECT_EQ(pool.prefix_index().size(), 3u);
+  EXPECT_EQ(pool.prefix_index().SharedPrefixBlocks(sig), 3u);
+  // Eviction (Free) removes the registration with the blocks: the index
+  // drains to exactly zero, advertising nothing stale.
+  pool.Free(7);
+  EXPECT_EQ(pool.prefix_index().size(), 0u);
+  EXPECT_EQ(pool.prefix_index().SharedPrefixBlocks(sig), 0u);
+}
+
+TEST(PrefixIndexTest, ForkSharesHashesUntilLastHolderFrees) {
+  KvBlockManager pool(64, 16);
+  const std::uint64_t sig[] = {11, 22};
+  ASSERT_TRUE(pool.AddSequence(1, 32));
+  pool.RegisterPrefix(1, sig);
+  ASSERT_TRUE(pool.Fork(1, 2));
+  // Both holders reference the hashes; freeing the parent keeps them alive.
+  pool.Free(1);
+  EXPECT_EQ(pool.prefix_index().SharedPrefixBlocks(sig), 2u);
+  pool.Free(2);
+  EXPECT_EQ(pool.prefix_index().size(), 0u);
+}
+
+TEST(PrefixIndexTest, ExportImportMovesHashesBetweenPools) {
+  KvBlockManager src(64, 16), dst(64, 16);
+  const std::uint64_t sig[] = {5, 6, 7, 8};
+  ASSERT_TRUE(src.AddSequence(9, 64));
+  src.RegisterPrefix(9, sig);
+  KvExport exported = src.Export(9);
+  // The hashes ride the export and leave the source index with the blocks.
+  EXPECT_EQ(exported.prefix_hashes.size(), 4u);
+  EXPECT_EQ(src.prefix_index().size(), 0u);
+  ASSERT_TRUE(dst.Import(exported));
+  EXPECT_EQ(dst.prefix_index().SharedPrefixBlocks(sig), 4u);
+  dst.Free(9);
+  EXPECT_EQ(dst.prefix_index().size(), 0u);
+}
+
+TEST(PrefixIndexTest, ReRegisterReplacesInsteadOfLeaking) {
+  KvBlockManager pool(64, 16);
+  const std::uint64_t first[] = {1, 2};
+  const std::uint64_t second[] = {3};
+  ASSERT_TRUE(pool.AddSequence(4, 32));
+  pool.RegisterPrefix(4, first);
+  pool.RegisterPrefix(4, second);
+  EXPECT_EQ(pool.prefix_index().size(), 1u);
+  EXPECT_FALSE(pool.prefix_index().Contains(1));
+  EXPECT_TRUE(pool.prefix_index().Contains(3));
+}
+
+class PrefixCreditTest : public ::testing::Test {
+ protected:
+  PrefixCreditTest()
+      : engine_(simgpu::HardwareSpec::H800(), SystemPreset::LiquidServe(),
+                LlmConfig::Llama2_7B()) {}
+
+  static Request Req(SeqId id, std::size_t prompt,
+                     const PrefixSignature& prefix,
+                     std::size_t cached_blocks = 0) {
+    Request r;
+    r.id = id;
+    r.prompt_tokens = prompt;
+    r.max_new_tokens = 4;
+    r.prefix = prefix;
+    r.cached_prefix_blocks = cached_blocks;
+    return r;
+  }
+
+  ServingEngine engine_;
+};
+
+TEST_F(PrefixCreditTest, SubmitCreditSkipsPrefillComputeWhileResident) {
+  // A provider holds the 512-token preamble; the consumer arrives with the
+  // credit the router computed.  Its prefill charge shrinks to the suffix.
+  const PrefixSignature provider = MakePrefixSignature(1, 10, 512, 1024, 16);
+  const PrefixSignature consumer = MakePrefixSignature(1, 11, 512, 1024, 16);
+  ContinuousBatchScheduler cold(engine_, 256, 16);
+  cold.Submit(Req(1, 1024, provider));
+  const SchedulerStats cold_stats = cold.RunToCompletion();
+
+  ContinuousBatchScheduler warm(engine_, 256, 16);
+  warm.Submit(Req(1, 1024, provider));
+  warm.Submit(Req(2, 1024, consumer, /*cached_blocks=*/32));
+  const SchedulerStats warm_stats = warm.RunToCompletion();
+
+  // Two prompts for less than double the cold busy time: the consumer's
+  // shared 512 tokens were not re-prefilled.
+  EXPECT_LT(warm_stats.busy_seconds, 2 * cold_stats.busy_seconds);
+  EXPECT_EQ(warm_stats.prefix_hits, 1u);
+  EXPECT_DOUBLE_EQ(warm_stats.prefill_tokens_saved, 512.0);
+  EXPECT_EQ(cold_stats.prefix_hits, 0u);
+}
+
+TEST_F(PrefixCreditTest, StaleCreditIsNotHonored) {
+  // The router promised 32 cached blocks, but nothing is resident by
+  // admission (the holder freed): the promise is re-validated against the
+  // live index and the full prefill is charged.
+  const PrefixSignature sig = MakePrefixSignature(1, 2, 512, 1024, 16);
+  ContinuousBatchScheduler cold(engine_, 256, 16);
+  cold.Submit(Req(1, 1024, sig));
+  const SchedulerStats cold_stats = cold.RunToCompletion();
+
+  ContinuousBatchScheduler stale(engine_, 256, 16);
+  stale.Submit(Req(1, 1024, sig, /*cached_blocks=*/32));
+  const SchedulerStats stale_stats = stale.RunToCompletion();
+  EXPECT_DOUBLE_EQ(stale_stats.busy_seconds, cold_stats.busy_seconds);
+  EXPECT_EQ(stale_stats.prefix_hits, 0u);
+  EXPECT_DOUBLE_EQ(stale_stats.prefill_tokens_saved, 0.0);
+}
+
+TEST_F(PrefixCreditTest, AdmissionRefreshesCreditFromLiveIndex) {
+  // Two same-preamble requests routed with NO credit: the second's prefill
+  // still reuses the first's resident blocks, because admission re-checks
+  // the live index (the routing-time snapshot predates the first prefill).
+  const PrefixSignature a = MakePrefixSignature(1, 10, 512, 1024, 16);
+  const PrefixSignature b = MakePrefixSignature(1, 11, 512, 1024, 16);
+  ContinuousBatchScheduler sched(engine_, 256, 16);
+  sched.Submit(Req(1, 1024, a));
+  sched.Submit(Req(2, 1024, b));
+  const SchedulerStats stats = sched.RunToCompletion();
+  EXPECT_EQ(stats.prefix_hits, 1u);  // the second request hit
+  EXPECT_DOUBLE_EQ(stats.prefill_tokens_saved, 512.0);
+}
+
+TEST_F(PrefixCreditTest, FullHitStillRecomputesLastToken) {
+  // Fully shared prompt content: two requests with identical signatures.
+  const PrefixSignature sig = MakePrefixSignature(1, 2, 1024, 1024, 16);
+  ContinuousBatchScheduler sched(engine_, 256, 16);
+  sched.Submit(Req(1, 1024, sig));
+  sched.Submit(Req(2, 1024, sig));
+  const SchedulerStats stats = sched.RunToCompletion();
+  // The second prompt is fully cached: 1023 tokens saved, the last one
+  // recomputed for logits.
+  EXPECT_EQ(stats.prefix_hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.prefill_tokens_saved, 1023.0);
+  EXPECT_GT(stats.busy_seconds, 0.0);
+}
+
+TEST_F(PrefixCreditTest, PredictTtftPricesTheDiscount) {
+  ContinuousBatchScheduler sched(engine_, 256, 16);
+  const double cold = sched.PredictTtft(1024, 0);
+  const double warm = sched.PredictTtft(1024, /*cached_prefix_tokens=*/512);
+  EXPECT_LT(warm, cold);
+  // The discount never inverts feasibility: an impossible prompt stays
+  // impossible no matter the credit.
+  EXPECT_TRUE(std::isinf(sched.PredictTtft(1 << 20, 4096)));
+}
+
+TEST_F(PrefixCreditTest, SlowdownScalesComputeAndPrediction) {
+  ContinuousBatchScheduler fast(engine_, 256, 16);
+  ContinuousBatchScheduler slow(engine_, 256, 16);
+  slow.SetSlowdown(3.0);
+  EXPECT_DOUBLE_EQ(slow.PredictTtft(512), 3.0 * fast.PredictTtft(512));
+
+  Request r;
+  r.id = 1;
+  r.prompt_tokens = 512;
+  r.max_new_tokens = 8;
+  fast.Submit(r);
+  slow.Submit(r);
+  const SchedulerStats fs = fast.RunToCompletion();
+  const SchedulerStats ss = slow.RunToCompletion();
+  EXPECT_NEAR(ss.busy_seconds, 3.0 * fs.busy_seconds,
+              1e-9 * fs.busy_seconds);
+  // Degradation loses nothing: same work completes, just later.
+  EXPECT_EQ(ss.completed, fs.completed);
+  // Sub-1.0 factors clamp (degradation cannot speed a replica up).
+  slow.SetSlowdown(0.25);
+  EXPECT_DOUBLE_EQ(slow.slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace liquid::serving
