@@ -17,12 +17,29 @@ ClusterSimulator::ClusterSimulator(RoutePolicy policy,
       autoscale_(autoscale),
       retry_(retry),
       coordinator_(disagg),
-      ttft_window_(autoscale.window_seconds) {}
+      ttft_window_(autoscale.window_seconds),
+      tokens_window_(autoscale.cost_window_seconds) {
+  pool_runtime_.reserve(autoscale_.pools.size());
+  for (const AutoscalePool& pool : autoscale_.pools) {
+    pool_runtime_.push_back({SlidingWindowStats(pool.window_seconds),
+                             SlidingWindowStats(pool.window_seconds)});
+  }
+  tick_armed_ = autoscale_.enabled && autoscale_.tick_seconds > 0;
+  next_autoscale_tick_ = autoscale_.tick_seconds;
+}
+
+std::size_t ClusterSimulator::PoolFor(ReplicaRole role) const {
+  for (std::size_t i = 0; i < autoscale_.pools.size(); ++i) {
+    if (autoscale_.pools[i].role == role) return i;
+  }
+  return kNoPool;
+}
 
 std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
   Replica r;
   r.id = replicas_.size();
   r.spec = spec;
+  r.pool = PoolFor(spec.role);
   r.engine = std::make_unique<serving::ServingEngine>(spec.hw, spec.preset,
                                                       spec.model, spec.options);
   r.scheduler = std::make_unique<serving::ContinuousBatchScheduler>(
@@ -45,6 +62,7 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
   victim.active = false;
   router_.ForgetReplica(id);
   const double now = victim.scheduler->Now();
+  victim.retired_at = now;  // graceful retirement stops the billing meter
   // Unfinished work (with carried TTFT/progress state) moves to the least
   // loaded ROLE-COMPATIBLE survivor (a decode replica must not inherit
   // prefill work, nor a prefill replica decode work, while a better home is
@@ -189,6 +207,7 @@ void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
     const double delay = retry_.base_backoff_seconds *
                          static_cast<double>(std::uint64_t{1} << exponent);
     pending_retries_.push_back({now + delay, retry});
+    ArmAutoscaleTick();  // the release is future work the tick must outlive
   } else {
     RouteOne(retry);
   }
@@ -208,7 +227,16 @@ void ClusterSimulator::HarvestCompletions() {
         r.scheduler->completions();
     for (; r.harvested < done.size(); ++r.harvested) {
       const serving::RequestTiming& t = done[r.harvested];
+      work_observed_ = true;
       ttft_window_.Add(t.finish, t.Ttft());
+      tokens_window_.Add(t.finish, static_cast<double>(t.generated));
+      if (r.pool != kNoPool) {
+        // Role-typed pools watch their own streams: the TTFT window feeds
+        // prefill-style signals, the TPOT window decode-style ones.
+        PoolRuntime& runtime = pool_runtime_[r.pool];
+        runtime.ttft_window.Add(t.finish, t.Ttft());
+        if (t.generated > 1) runtime.tpot_window.Add(t.finish, t.Tpot());
+      }
       inflight_.erase(t.id);
     }
     const std::vector<serving::SeqId>& dropped = r.scheduler->dropped_ids();
@@ -223,6 +251,7 @@ void ClusterSimulator::HarvestHandoffs() {
     const std::vector<serving::PrefillHandoff>& handoffs =
         r.scheduler->handoffs();
     for (; r.handoffs_harvested < handoffs.size(); ++r.handoffs_harvested) {
+      work_observed_ = true;
       PlanHandoff(r, handoffs[r.handoffs_harvested]);
     }
   }
@@ -230,6 +259,13 @@ void ClusterSimulator::HarvestHandoffs() {
 
 void ClusterSimulator::PlanHandoff(Replica& src,
                                    const serving::PrefillHandoff& handoff) {
+  // A prefill-pool request never completes on its pool; its TTFT is decided
+  // right here, when the first token leaves the prefill replica.  Feed the
+  // pool's signal window from the handoff so kTailTtft sees prefill pain.
+  if (src.pool != kNoPool) {
+    pool_runtime_[src.pool].ttft_window.Add(
+        handoff.ready, handoff.ready - handoff.request.arrival);
+  }
   std::uint64_t session = 0;
   const auto meta = inflight_.find(handoff.request.id);
   if (meta != inflight_.end()) session = meta->second.session;
@@ -409,6 +445,7 @@ std::optional<std::size_t> ClusterSimulator::RouteOne(
   replicas_[dest].scheduler->Submit(req);
   ++replicas_[dest].submitted;
   inflight_[request.id] = request;
+  ArmAutoscaleTick();  // new work: the periodic evaluation matters again
   return dest;
 }
 
@@ -433,45 +470,302 @@ std::size_t ClusterSimulator::TotalOutstanding() const {
 }
 
 void ClusterSimulator::MaybeAutoscale(double now) {
-  if (!autoscale_.enabled || !autoscale_spec_) return;
+  if (!autoscale_.enabled) return;
+  // The cooldown gate returns ABOVE the shrink_pending_ reset on purpose: a
+  // shrink waiting out its stabilization window stays pending (keeping the
+  // tick armed) through the cooldown.  Every evaluation that actually runs
+  // starts from false, so an early abstention (under-filled window, empty
+  // fleet) cannot leave a stale pending flag wedging the tick loop.
   if (now - last_scale_event_ < autoscale_.cooldown_seconds) return;
+  shrink_pending_ = false;
+  if (!autoscale_.pools.empty()) {
+    AutoscalePools(now);
+    return;
+  }
+  if (!autoscale_spec_) return;
   const std::size_t active = ActiveReplicas();
   if (active == 0) return;
 
   bool scale_up = false, scale_down = false;
+  double value = 0;
   if (autoscale_.signal == AutoscaleSignal::kQueueDepth) {
-    const double mean_queue = static_cast<double>(TotalOutstanding()) /
-                              static_cast<double>(active);
-    scale_up = mean_queue > autoscale_.queue_high;
-    scale_down = mean_queue < autoscale_.queue_low;
+    // Mean queue per unit of EFFECTIVE capacity: a replica degraded by
+    // factor k only counts as 1/k of a replica, so brown-outs raise the
+    // signal instead of hiding overload behind a full-strength denominator.
+    double capacity = 0;
+    for (const Replica& r : replicas_) {
+      if (r.active) capacity += 1.0 / r.scheduler->slowdown();
+    }
+    value = static_cast<double>(TotalOutstanding()) / capacity;
+    scale_up = value > autoscale_.queue_high;
+    scale_down = value < autoscale_.queue_low;
   } else {  // kTailTtft: windowed p99 of observed TTFTs
-    if (ttft_window_.Count(now) < autoscale_.min_window_samples) return;
-    const double p99 = ttft_window_.Percentile(now, 99);
-    scale_up = p99 > autoscale_.ttft_p99_high;
-    scale_down = p99 < autoscale_.ttft_p99_low;
+    if (ttft_window_.Count(now) < autoscale_.min_window_samples) {
+      // Abstention is not a low reading: a drained window must not let a
+      // later low sample bridge the gap and count as "continuously low"
+      // (the pools path resets the same way via s.down = false).
+      legacy_low_since_ = -1;
+      return;
+    }
+    value = ttft_window_.Percentile(now, 99);
+    scale_up = value > autoscale_.ttft_p99_high;
+    scale_down = value < autoscale_.ttft_p99_low;
   }
 
+  if (!scale_down) {
+    legacy_low_since_ = -1;
+  } else if (legacy_low_since_ < 0) {
+    legacy_low_since_ = now;
+  }
+  const bool stabilized =
+      scale_down && now - legacy_low_since_ >= autoscale_.shrink_stable_seconds;
+  shrink_pending_ = scale_down && !stabilized && work_observed_ &&
+                    active > autoscale_.min_replicas;
   if (scale_up && active < autoscale_.max_replicas) {
-    const std::size_t id = AddReplica(*autoscale_spec_);
-    replicas_[id].scheduler->StepUntil(now);  // join the shared clock
-    ++tally_.scale_ups;
-    last_scale_event_ = now;
-  } else if (scale_down && active > autoscale_.min_replicas) {
-    // Retire the least-loaded replica.
-    std::size_t victim = replicas_.size();
-    for (const Replica& r : replicas_) {
-      if (!r.active) continue;
-      if (victim == replicas_.size() ||
-          r.scheduler->outstanding() <
-              replicas_[victim].scheduler->outstanding()) {
-        victim = r.id;
+    CommitScaleUp(kNoPool, *autoscale_spec_, now, value);
+  } else if (stabilized && work_observed_ &&
+             active > autoscale_.min_replicas) {
+    if (CommitScaleDown(kNoPool, now, value)) legacy_low_since_ = -1;
+  }
+}
+
+ClusterSimulator::PoolSignal ClusterSimulator::EvalPool(std::size_t pool,
+                                                        double now) {
+  const AutoscalePool& config = autoscale_.pools[pool];
+  PoolSignal s;
+  double capacity = 0;
+  std::size_t outstanding = 0, free_kv = 0, total_kv = 0;
+  for (const Replica& r : replicas_) {
+    if (!r.active || r.pool != pool) continue;
+    ++s.active;
+    capacity += 1.0 / r.scheduler->slowdown();
+    outstanding += r.scheduler->outstanding();
+    free_kv += r.scheduler->pool().free_blocks();
+    total_kv += r.scheduler->pool().total_blocks();
+    // Lifetime evidence, not an instantaneous sample: fast pools (prefill)
+    // drain between evaluations, so "outstanding right now" would miss
+    // work they demonstrably served.
+    s.work_seen |= r.submitted > 0;
+  }
+  PoolRuntime& runtime = pool_runtime_[pool];
+  switch (config.signal) {
+    case AutoscaleSignal::kQueueDepth:
+      s.value = capacity > 0
+                    ? static_cast<double>(outstanding) / capacity
+                    : 0;
+      break;
+    case AutoscaleSignal::kFreeKv:
+      s.value = total_kv > 0
+                    ? 1.0 - static_cast<double>(free_kv) /
+                                static_cast<double>(total_kv)
+                    : 0;
+      break;
+    case AutoscaleSignal::kTailTtft:
+      if (runtime.ttft_window.Count(now) < config.min_window_samples) {
+        return s;  // abstain: neither up nor down
+      }
+      s.value = runtime.ttft_window.Percentile(now, 99);
+      break;
+    case AutoscaleSignal::kTailTpot:
+      if (runtime.tpot_window.Count(now) < config.min_window_samples) {
+        return s;  // abstain
+      }
+      s.value = runtime.tpot_window.Percentile(now, 99);
+      break;
+  }
+  s.up = s.value > config.high;
+  s.down = s.value < config.low;
+  return s;
+}
+
+void ClusterSimulator::AutoscalePools(double now) {
+  // At most one scale event per evaluation (the shared cooldown paces the
+  // loop).  Growth outranks shrink within an evaluation: the most
+  // overloaded pool grows first, and with cost_aware the most expensive
+  // shrink-eligible pool shrinks first — the biggest cut to predicted
+  // $/1M tokens per event.  A hot pool whose growth cannot land (already
+  // at max_replicas, or vetoed by the cost cap) does NOT block another
+  // pool's stabilized shrink: consolidating idle capacity is the objective
+  // precisely when the budget refuses more of it.
+  struct ShrinkCandidate {
+    std::size_t pool;
+    double rate;
+    double value;
+  };
+  std::size_t up_pool = kNoPool;
+  double up_severity = 0, up_value = 0;
+  bool up_forced = false;
+  std::vector<ShrinkCandidate> shrinkable;
+  shrink_pending_ = false;
+  for (std::size_t i = 0; i < autoscale_.pools.size(); ++i) {
+    const AutoscalePool& pool = autoscale_.pools[i];
+    const PoolSignal s = EvalPool(i, now);
+    const bool must_grow = s.active < pool.min_replicas;
+    if ((s.up || must_grow) && s.active < pool.max_replicas) {
+      // Min-replica enforcement beats any signal reading; among hot pools
+      // the one furthest over its threshold wins (ties toward the first).
+      const double severity =
+          must_grow ? kInf : (pool.high > 0 ? s.value / pool.high : s.value);
+      if (up_pool == kNoPool || (must_grow && !up_forced) ||
+          (must_grow == up_forced && severity > up_severity)) {
+        up_pool = i;
+        up_severity = severity;
+        up_value = s.value;
+        up_forced = must_grow;
       }
     }
-    if (victim < replicas_.size() && RemoveReplica(victim)) {
-      ++tally_.scale_downs;
-      last_scale_event_ = now;
+    // Shrink needs evidence of idleness, not absence of data: the fleet
+    // has completed work, THIS pool has served some, and the signal has
+    // read low continuously for shrink_stable_seconds — a momentarily
+    // empty queue between Poisson gaps is not overprovisioning.
+    PoolRuntime& runtime = pool_runtime_[i];
+    if (!s.down) {
+      runtime.low_since = -1;
+    } else if (runtime.low_since < 0) {
+      runtime.low_since = now;
+    }
+    if (s.down && work_observed_ && s.work_seen &&
+        s.active > pool.min_replicas) {
+      if (now - runtime.low_since >= autoscale_.shrink_stable_seconds) {
+        shrinkable.push_back({i, pool.spec.dollars_per_hour, s.value});
+      } else {
+        shrink_pending_ = true;  // keeps the tick armed while idle
+      }
     }
   }
+
+  if (up_pool != kNoPool) {
+    const AutoscalePool& pool = autoscale_.pools[up_pool];
+    const bool affordable =
+        up_forced || autoscale_.max_dollars_per_m_tokens <= 0 ||
+        PredictedDollarsPerMTok(now, pool.spec.dollars_per_hour) <=
+            autoscale_.max_dollars_per_m_tokens;
+    if (affordable) {
+      CommitScaleUp(up_pool, pool.spec, now, up_value);
+      return;
+    }
+  }
+  // With cost_aware the most expensive pool shrinks first (the biggest cut
+  // to $/1M tok per event); otherwise config order.  A pool whose only
+  // remaining replicas the victim scan protects (last of a role, SLO
+  // infeasibility) falls through to the next candidate instead of wedging
+  // the whole shrink path.
+  if (autoscale_.cost_aware) {
+    std::stable_sort(shrinkable.begin(), shrinkable.end(),
+                     [](const ShrinkCandidate& a, const ShrinkCandidate& b) {
+                       return a.rate > b.rate;
+                     });
+  }
+  for (const ShrinkCandidate& candidate : shrinkable) {
+    if (CommitScaleDown(candidate.pool, now, candidate.value)) {
+      // The shrunken pool must re-earn its stabilization window.
+      pool_runtime_[candidate.pool].low_since = -1;
+      return;
+    }
+  }
+}
+
+void ClusterSimulator::CommitScaleUp(std::size_t pool, const ReplicaSpec& spec,
+                                     double now, double signal_value) {
+  const std::size_t id = AddReplica(spec);
+  replicas_[id].pool = pool;
+  replicas_[id].added_at = now;
+  replicas_[id].scheduler->StepUntil(now);  // join the shared clock
+  ++tally_.scale_ups;
+  tally_.scale_events.push_back({now, true, spec.role, id, signal_value});
+  last_scale_event_ = now;
+}
+
+bool ClusterSimulator::CommitScaleDown(std::size_t pool, double now,
+                                       double signal_value) {
+  const std::size_t victim = PickScaleDownVictim(pool);
+  if (victim >= replicas_.size()) return false;
+  // PredictTtft-based feasibility: never shrink into an SLO breach (only
+  // enforced when the router actually has a TTFT budget to keep).
+  if (router_.slo().ttft_budget > 0 &&
+      !router_.ScaleDownSafe(Views(autoscale_.slo_probe_prompt_tokens),
+                             victim)) {
+    return false;
+  }
+  const ReplicaRole role = replicas_[victim].spec.role;
+  if (!RemoveReplica(victim)) return false;
+  ++tally_.scale_downs;
+  tally_.scale_events.push_back({now, false, role, victim, signal_value});
+  last_scale_event_ = now;
+  return true;
+}
+
+std::size_t ClusterSimulator::PickScaleDownVictim(std::size_t pool) const {
+  std::size_t best = replicas_.size();
+  bool best_inbound = false;
+  for (const Replica& r : replicas_) {
+    if (!r.active) continue;
+    if (pool != kNoPool && r.pool != pool) continue;
+    // Never retire the last active replica of a specialized role: routing
+    // would wedge into unified fallback (prompts with no prefill home, or
+    // migrations with no decode target) until something scales back up.
+    if (LastActiveOfRole(r)) continue;
+    // Prefer victims with no KV imports on the wire; retiring one forces
+    // the coordinator to re-plan transfers mid-flight.
+    const bool inbound = coordinator_.InboundCount(r.id) > 0;
+    if (best == replicas_.size() || (!inbound && best_inbound) ||
+        (inbound == best_inbound &&
+         r.scheduler->outstanding() <
+             replicas_[best].scheduler->outstanding())) {
+      best = r.id;
+      best_inbound = inbound;
+    }
+  }
+  return best;
+}
+
+bool ClusterSimulator::LastActiveOfRole(const Replica& replica) const {
+  if (replica.spec.role == ReplicaRole::kUnified) return false;
+  for (const Replica& other : replicas_) {
+    if (other.id != replica.id && other.active &&
+        other.spec.role == replica.spec.role) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double ClusterSimulator::PredictedDollarsPerMTok(double now,
+                                                 double delta_dollars_per_hour) {
+  double rate_per_hour = delta_dollars_per_hour;
+  for (const Replica& r : replicas_) {
+    if (r.active) rate_per_hour += r.spec.dollars_per_hour;
+  }
+  const double window = tokens_window_.window_seconds();
+  const double tokens =
+      tokens_window_.Mean(now) * static_cast<double>(tokens_window_.Count(now));
+  const double tokens_per_s = window > 0 ? tokens / window : 0;
+  if (tokens_per_s <= 0) return 0;  // no recent evidence: nothing to veto on
+  return (rate_per_hour / 3600.0) / tokens_per_s * 1e6;
+}
+
+bool ClusterSimulator::FleetBusy() const {
+  if (coordinator_.InFlight() > 0 || !pending_retries_.empty()) return true;
+  for (const Replica& r : replicas_) {
+    if (r.active && r.scheduler->HasWork()) return true;
+  }
+  return false;
+}
+
+double ClusterSimulator::FleetNow() const {
+  double now = 0;
+  for (const Replica& r : replicas_) {
+    if (r.active) now = std::max(now, r.scheduler->Now());
+  }
+  return now;
+}
+
+void ClusterSimulator::ArmAutoscaleTick() {
+  if (!autoscale_.enabled || autoscale_.tick_seconds <= 0 || tick_armed_) {
+    return;
+  }
+  tick_armed_ = true;
+  next_autoscale_tick_ = FleetNow() + autoscale_.tick_seconds;
 }
 
 void ClusterSimulator::ProcessEventsThrough(double deadline) {
@@ -503,7 +797,15 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
     for (const PendingRetry& p : pending_retries_) {
       if (p.due <= deadline) t_retry = std::min(t_retry, p.due);
     }
-    const double t = std::min({t_kill, t_degrade, t_mig, t_retry});
+    // The periodic autoscale tick rides the same calendar, so the
+    // autoscaler keeps evaluating between arrivals AND through the
+    // post-arrival drain (ProcessEventsThrough(kInf) before quiescence) —
+    // the drain tail scales down instead of burning $/hour.
+    double t_tick = kInf;
+    if (tick_armed_ && next_autoscale_tick_ <= deadline) {
+      t_tick = next_autoscale_tick_;
+    }
+    const double t = std::min({t_kill, t_degrade, t_mig, t_retry, t_tick});
     if (t == kInf) return;
     AdvanceTo(t);
     // Harvesting during AdvanceTo can commit fresh transfers whose arrival
@@ -512,6 +814,21 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
     // the failure is never misclassified as a target death.
     LandMigrationsThrough(t);
     ReleaseRetriesThrough(t);
+    if (t == t_tick) {
+      next_autoscale_tick_ += autoscale_.tick_seconds;
+      const std::size_t before = tally_.scale_ups + tally_.scale_downs;
+      MaybeAutoscale(t);
+      // Disarm once the fleet is idle and a cooldown-satisfied evaluation
+      // fired nothing with no shrink waiting out its stabilization window:
+      // every pool is at its floor or its signal abstains.  New work
+      // re-arms the tick (ArmAutoscaleTick).
+      if (tally_.scale_ups + tally_.scale_downs == before && !FleetBusy() &&
+          !shrink_pending_ &&
+          t - last_scale_event_ >= autoscale_.cooldown_seconds) {
+        tick_armed_ = false;
+      }
+      continue;
+    }
     // A same-instant degrade fires before a kill: slowing a replica that is
     // about to die is a no-op either way, but the order is pinned for
     // determinism.
@@ -607,6 +924,8 @@ FleetStats ClusterSimulator::Run(
     report.stats = r.scheduler->stats();
     report.submitted = r.submitted;
     report.dollars_per_hour = r.spec.dollars_per_hour;
+    report.added_at = r.added_at;
+    report.retired_at = r.retired_at;
     stats.replicas.push_back(report);
     stats.disagg.prefill_handoffs += report.stats.prefill_handoffs;
     if (r.active) {

@@ -4,9 +4,11 @@
 // own paged-KV pool, optionally heterogeneous (A100 next to the paper's
 // target GPU, different presets/models) — advance on a shared simulated
 // clock while a Router places Poisson-trace arrivals.  Replicas can be added
-// or removed mid-run (an autoscaling hook keyed on mean queue depth or on
-// windowed p99 TTFT does both automatically); removing a replica drains its
-// unfinished requests and re-routes them.  Replicas can also be KILLED —
+// or removed mid-run (an autoscaling hook does both automatically — either a
+// legacy fleet-wide signal, or role-typed pools with per-role signals, a
+// cost-aware $/1M-token shrink objective, and a periodic event-pump tick
+// that keeps evaluating through the post-arrival drain); removing a replica
+// drains its unfinished requests and re-routes them.  Replicas can also be KILLED —
 // abrupt failure, no drain: in-flight work is lost and re-submitted from
 // scratch (under a RetryPolicy budget with exponential backoff), and SLO
 // admission control at the router sheds requests whose predicted TTFT busts
@@ -60,15 +62,60 @@ struct ReplicaSpec {
   [[nodiscard]] std::string Label() const { return hw.name + "/" + preset.name; }
 };
 
-/// What the autoscaler keys on.
+/// What the autoscaler keys on.  Thresholds are signal-relative: a queue
+/// depth, a latency in seconds, or a used-KV fraction in [0, 1].
 enum class AutoscaleSignal {
-  kQueueDepth,  ///< mean outstanding requests per active replica
+  kQueueDepth,  ///< mean outstanding requests per unit of effective capacity
+                ///  (a replica degraded by factor k counts as 1/k capacity,
+                ///  so brown-outs raise the signal instead of masking it)
   kTailTtft,    ///< p99 TTFT over a sliding window of completions
+  kFreeKv,      ///< KV pressure: used fraction of the pool's paged-KV blocks
+  kTailTpot,    ///< p99 TPOT over a sliding window (decode-pool pain signal)
+};
+
+/// One role-typed autoscaling pool: the replicas it governs (by role), the
+/// spec a scale-up clones, the signal it watches, and its size bounds.  A
+/// disaggregated fleet runs one pool per role so a decode-bound burst grows
+/// the decode pool instead of cloning whatever spec was added first.
+struct AutoscalePool {
+  ReplicaRole role = ReplicaRole::kUnified;
+  ReplicaSpec spec;  ///< what a scale-up of this pool adds
+  AutoscaleSignal signal = AutoscaleSignal::kQueueDepth;
+  /// Signal thresholds.  Suggested defaults per signal: kQueueDepth 8 / 0.5;
+  /// kTailTtft and kTailTpot in seconds; kFreeKv used fraction, e.g.
+  /// 0.85 / 0.25.
+  double high = 8.0;
+  double low = 0.5;
+  /// A pool below min grows regardless of its signal; the scale-down victim
+  /// scan additionally never retires the last active replica of a
+  /// specialized role (min 0 lets a pool idle away entirely once another
+  /// pool covers its role).
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 16;
+  // Windowed-signal (kTailTtft / kTailTpot) knobs: the signal abstains until
+  // the pool's window holds enough samples.
+  double window_seconds = 10.0;
+  std::size_t min_window_samples = 8;
 };
 
 /// Autoscaler: when the chosen signal crosses its high threshold, a replica
 /// (cloned from the first spec) is added; below the low threshold the
 /// least-loaded replica is drained and removed.
+///
+/// Two generations share this config.  The legacy single-pool fields below
+/// govern the whole fleet with one signal and clone the first added spec;
+/// with tick_seconds = 0 and defaults for the new knobs they reproduce the
+/// pre-pool golden scale sequences on the scenarios the goldens pin
+/// (undegraded, non-disagg fleets) — note the legacy path DID absorb this
+/// PR's bugfixes: the capacity-weighted kQueueDepth denominator, the
+/// work-observed + stabilization shrink gates, and the role-guarded
+/// migration-aware victim scan all apply to it too.  Populating `pools`
+/// switches to role-typed pools: per-pool signals and bounds, scale-up
+/// cloning the hot pool's spec, and (with `cost_aware`) a $/1M-token
+/// objective choosing which pool shrinks.  One cooldown paces the whole
+/// autoscaler either way, and scale-down additionally requires the fleet to
+/// have observed at least one completion or handoff (an empty queue on a
+/// cold fleet is absence of data, not idleness).
 struct AutoscaleConfig {
   bool enabled = false;
   AutoscaleSignal signal = AutoscaleSignal::kQueueDepth;
@@ -84,6 +131,44 @@ struct AutoscaleConfig {
   double ttft_p99_low = 0.25;
   double window_seconds = 10.0;
   std::size_t min_window_samples = 8;
+
+  /// Role-typed pools (empty = legacy single-pool behavior above).
+  std::vector<AutoscalePool> pools;
+
+  /// Event-pump evaluation period.  0 preserves the legacy arrival-driven
+  /// autoscaler (evaluated only when a request arrives — and therefore blind
+  /// to the post-burst drain tail).  > 0 arms a periodic tick in the event
+  /// pump: the autoscaler also runs between arrivals and through the drain
+  /// to quiescence, so an idle fleet scales back to its minimum instead of
+  /// burning $/hour across the tail.  The tick disarms once the fleet is
+  /// idle and a cooldown-satisfied evaluation fires no event (windowed
+  /// signals abstain on an empty window; kQueueDepth keeps shrinking to the
+  /// minimum first), and re-arms on new work.
+  double tick_seconds = 0;
+
+  /// Cost-aware objective (pools mode): when several pools signal
+  /// scale-down in the same evaluation, retire capacity from the most
+  /// expensive pool first — the biggest cut to predicted $/1M tokens per
+  /// event.  Scale-ups stay SLO-driven.
+  bool cost_aware = false;
+  /// Optional scale-up budget cap: a growth event (other than min-replica
+  /// enforcement) is vetoed when the predicted post-scale $/1M tokens —
+  /// fleet $/hour over the recent token rate — exceeds this.  0 disables.
+  double max_dollars_per_m_tokens = 0;
+  /// Window for the recent-token-rate estimate behind the cost predictions.
+  double cost_window_seconds = 10.0;
+  /// Prompt size used to probe PredictTtft-based admission feasibility
+  /// before a scale-down: the removal is vetoed when no surviving
+  /// prompt-eligible replica could admit such a prompt within the TTFT SLO
+  /// (only enforced when the router has an SLO budget).
+  std::size_t slo_probe_prompt_tokens = 512;
+  /// Downscale stabilization (k8s-HPA style): a shrink commits only after
+  /// the signal has read below `low` CONTINUOUSLY for this long (every
+  /// evaluation in the window read low), so a momentarily empty queue
+  /// between Poisson gaps doesn't retire capacity the next burst instant
+  /// needs back.  Time-based on purpose — an eval count would collapse to
+  /// nothing at burst arrival rates.  0 = legacy immediate shrink.
+  double shrink_stable_seconds = 0;
 };
 
 /// A scheduled abrupt failure for ClusterSimulator::Run: at `time`, replica
@@ -174,6 +259,10 @@ class ClusterSimulator {
   }
 
  private:
+  /// Sentinel pool index: the replica belongs to no autoscale pool (legacy
+  /// single-pool mode, or a spec no configured pool's role matches).
+  static constexpr std::size_t kNoPool = static_cast<std::size_t>(-1);
+
   struct Replica {
     std::size_t id = 0;
     ReplicaSpec spec;
@@ -181,10 +270,35 @@ class ClusterSimulator {
     std::unique_ptr<serving::ContinuousBatchScheduler> scheduler;
     bool active = true;
     bool killed = false;
+    std::size_t pool = kNoPool;  ///< owning AutoscalePool index
+    double added_at = 0;    ///< fleet clock when the replica joined
+    double retired_at = -1; ///< scale-down instant; < 0 = never retired
     std::size_t submitted = 0;
     std::size_t harvested = 0;  ///< completions already pulled into the window
     std::size_t drops_harvested = 0;    ///< scheduler drops already observed
     std::size_t handoffs_harvested = 0; ///< prefill handoffs already planned
+  };
+
+  /// Per-pool windowed-signal state (parallel to AutoscaleConfig::pools).
+  struct PoolRuntime {
+    SlidingWindowStats ttft_window;
+    SlidingWindowStats tpot_window;
+    /// When the current unbroken run of below-low readings began
+    /// (downscale stabilization); < 0 = not currently reading low.
+    double low_since = -1;
+  };
+
+  /// One pool's signal reading at an evaluation instant.
+  struct PoolSignal {
+    std::size_t active = 0;  ///< active replicas the pool currently governs
+    double value = 0;        ///< the raw signal reading
+    bool up = false;         ///< reading above the pool's high threshold
+    bool down = false;       ///< reading below the pool's low threshold
+    /// The pool has ever been routed work (lifetime submissions > 0) —
+    /// shrink evidence: a pool that never served anything shows an empty
+    /// queue because the run just started, not because it is
+    /// overprovisioned.
+    bool work_seen = false;
   };
 
   /// A kill/migration-loss re-submission waiting out its backoff.
@@ -222,6 +336,34 @@ class ClusterSimulator {
   void LandMigrationsThrough(double deadline);
   void ReleaseRetriesThrough(double deadline);
   void MaybeAutoscale(double now);
+  /// Role-typed pools evaluation: per-pool signals, at most one scale event
+  /// per call (the shared cooldown paces the loop), SLO-driven growth
+  /// outranking cost-driven shrink.
+  void AutoscalePools(double now);
+  [[nodiscard]] PoolSignal EvalPool(std::size_t pool, double now);
+  /// First configured pool whose role matches, else kNoPool.
+  [[nodiscard]] std::size_t PoolFor(ReplicaRole role) const;
+  /// Least-outstanding active replica of `pool` (kNoPool = whole fleet) that
+  /// is safe to retire: never the last active replica of a specialized role,
+  /// and replicas with KV imports in flight are passed over while a quieter
+  /// victim exists (retiring them would force the coordinator to re-plan
+  /// transfers RemoveReplica can otherwise leave alone).
+  [[nodiscard]] std::size_t PickScaleDownVictim(std::size_t pool) const;
+  [[nodiscard]] bool LastActiveOfRole(const Replica& replica) const;
+  void CommitScaleUp(std::size_t pool, const ReplicaSpec& spec, double now,
+                     double signal_value);
+  bool CommitScaleDown(std::size_t pool, double now, double signal_value);
+  /// Fleet $/1M tokens were `delta_dollars_per_hour` added to the burn rate,
+  /// over the recent windowed token rate; 0 when there is no recent
+  /// completion evidence (no basis to veto).
+  [[nodiscard]] double PredictedDollarsPerMTok(double now,
+                                               double delta_dollars_per_hour);
+  /// Any queued/running work, in-flight migration, or pending retry.
+  [[nodiscard]] bool FleetBusy() const;
+  /// The shared clock: furthest-advanced active replica (0 when none).
+  [[nodiscard]] double FleetNow() const;
+  /// Re-arms the periodic autoscale tick when new work enters an idle fleet.
+  void ArmAutoscaleTick();
   /// Fires kills, migration landings and backoff retries in time order up
   /// to `deadline`, advancing the fleet clock to each event.
   void ProcessEventsThrough(double deadline);
@@ -248,6 +390,24 @@ class ClusterSimulator {
   std::unordered_set<std::uint64_t> migrated_ids_;
   std::vector<double> migration_seconds_;  ///< visible stalls, sample pool
   SlidingWindowStats ttft_window_;
+  /// Per-pool signal windows, parallel to autoscale_.pools.
+  std::vector<PoolRuntime> pool_runtime_;
+  /// Recent generated-token samples (finish, tokens) behind the cost-aware
+  /// $/1M-token predictions.
+  SlidingWindowStats tokens_window_;
+  /// Periodic autoscale tick state (armed only when tick_seconds > 0).
+  bool tick_armed_ = false;
+  double next_autoscale_tick_ = 0;
+  /// The fleet has produced at least one completion or prefill handoff.
+  /// Scale-down requires this evidence: a cold fleet with an empty queue is
+  /// unprovisioned, not overprovisioned.
+  bool work_observed_ = false;
+  /// Legacy-path downscale-stabilization state (pools keep theirs in
+  /// PoolRuntime); < 0 = not currently reading low.
+  double legacy_low_since_ = -1;
+  /// A stabilizing shrink is waiting out its window; keeps the periodic
+  /// tick armed through an otherwise idle fleet so the shrink can land.
+  bool shrink_pending_ = false;
 };
 
 }  // namespace liquid::cluster

@@ -112,6 +112,14 @@ class DisaggCoordinator {
   }
 
   [[nodiscard]] std::size_t InFlight() const { return inflight_.size(); }
+  /// In-flight migrations headed for `dst` — the autoscaler's victim scan
+  /// prefers replicas with none, so a scale-down doesn't create the
+  /// re-planning work TakeInboundFor would otherwise have to absorb.
+  [[nodiscard]] std::size_t InboundCount(std::size_t dst) const {
+    std::size_t n = 0;
+    for (const Migration& m : inflight_) n += m.dst == dst ? 1 : 0;
+    return n;
+  }
   [[nodiscard]] const DisaggConfig& config() const { return config_; }
   [[nodiscard]] const KvMigrationModel& model() const { return model_; }
 

@@ -48,11 +48,19 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
     stats.preemptions += r.stats.preemptions;
     stats.prefix_hits += r.stats.prefix_hits;
     stats.prefill_tokens_saved += r.stats.prefill_tokens_saved;
-    r.utilization = stats.span_seconds > 0
-                        ? r.stats.busy_seconds / stats.span_seconds
-                        : 0;
-    r.cost_dollars = r.dollars_per_hour * stats.span_seconds / 3600.0;
+    // Billing window: joined → gracefully retired, where never-retired (and
+    // killed) replicas bill to the end of the span.  Replicas present from
+    // t = 0 with no retirement reproduce the legacy full-span bill exactly.
+    const double billed_from = std::max(r.added_at, first_arrival);
+    const double billed_to = r.retired_at >= 0 ? r.retired_at : last_finish;
+    r.billed_seconds = std::max(0.0, billed_to - billed_from);
+    r.cost_dollars = r.dollars_per_hour * r.billed_seconds / 3600.0;
     stats.cost_dollars += r.cost_dollars;
+    // Utilization over the replica's own billed window (== the fleet span
+    // for replicas that served start to finish), so a late scale-up that
+    // was busy its whole short life reads near 100%, not span-diluted.
+    r.utilization =
+        r.billed_seconds > 0 ? r.stats.busy_seconds / r.billed_seconds : 0;
     if (r.role == ReplicaRole::kPrefill) {
       stats.prefill_pool_dollars += r.cost_dollars;
     } else {
@@ -153,16 +161,39 @@ void PrintFleetStats(const FleetStats& stats) {
     disagg.Print();
   }
 
-  Table per_replica("Per-replica");
-  per_replica.SetHeader({"id", "config", "role", "state", "routed",
-                         "completed", "preempt", "util"});
+  if (!stats.scale_events.empty()) {
+    Table scaling("Autoscale events");
+    scaling.SetHeader({"t", "event", "role", "replica", "signal"});
+    for (const ScaleEvent& e : stats.scale_events) {
+      scaling.AddRow({HumanTime(e.time), e.up ? "scale-up" : "scale-down",
+                      ToString(e.role), std::to_string(e.replica),
+                      Format("%.3g", e.signal_value)});
+    }
+    scaling.Print();
+  }
+
+  bool priced = false;
   for (const ReplicaReport& r : stats.replicas) {
-    per_replica.AddRow({std::to_string(r.id), r.label, ToString(r.role),
-                        r.killed ? "killed" : (r.active ? "active" : "removed"),
-                        std::to_string(r.submitted),
-                        std::to_string(r.stats.completed),
-                        std::to_string(r.stats.preemptions),
-                        Format("%.1f%%", 100.0 * r.utilization)});
+    priced |= r.dollars_per_hour > 0;
+  }
+  Table per_replica("Per-replica");
+  std::vector<std::string> header = {"id",        "config",  "role",
+                                     "state",     "routed",  "completed",
+                                     "preempt",   "util"};
+  if (priced) header.push_back("billed");
+  per_replica.SetHeader(header);
+  for (const ReplicaReport& r : stats.replicas) {
+    std::vector<std::string> row = {
+        std::to_string(r.id), r.label, ToString(r.role),
+        r.killed ? "killed" : (r.active ? "active" : "removed"),
+        std::to_string(r.submitted), std::to_string(r.stats.completed),
+        std::to_string(r.stats.preemptions),
+        Format("%.1f%%", 100.0 * r.utilization)};
+    if (priced) {
+      row.push_back(Format("%s ($%.3f)", HumanTime(r.billed_seconds).c_str(),
+                           r.cost_dollars));
+    }
+    per_replica.AddRow(row);
   }
   per_replica.Print();
 }

@@ -39,9 +39,29 @@ struct ReplicaReport {
   bool killed = false;      ///< true if it died abruptly (no drain)
   serving::SchedulerStats stats;
   std::size_t submitted = 0;  ///< requests routed here (incl. re-routes)
-  double utilization = 0;     ///< busy_seconds / fleet span
+  /// busy_seconds over the replica's own billed window (== the fleet span
+  /// for replicas that served start to finish).
+  double utilization = 0;
   double dollars_per_hour = 0;
-  double cost_dollars = 0;    ///< dollars_per_hour * span (billed full span)
+  /// Billing window, on the fleet clock.  A replica is billed from when it
+  /// joined until it was gracefully retired (scale-down stops the meter);
+  /// `retired_at < 0` bills to the end of the span — replicas present from
+  /// the start, still-active scale-ups, and KILLED replicas (capacity
+  /// reserved is capacity paid for, even after a failure).
+  double added_at = 0;
+  double retired_at = -1;
+  double billed_seconds = 0;  ///< what cost_dollars actually billed
+  double cost_dollars = 0;    ///< dollars_per_hour * billed_seconds
+};
+
+/// One autoscaler decision, in fleet-clock order — the scale-event sequence
+/// determinism goldens pin.
+struct ScaleEvent {
+  double time = 0;
+  bool up = false;          ///< true = replica added, false = retired
+  ReplicaRole role = ReplicaRole::kUnified;  ///< role of the moved spec
+  std::size_t replica = 0;  ///< replica id added or retired
+  double signal_value = 0;  ///< the signal reading that tripped the decision
 };
 
 /// Disaggregated-serving outcome counters (all zero for unified fleets).
@@ -111,9 +131,12 @@ struct FleetStats {
   double generated_tokens = 0;
   double throughput_tokens_per_s = 0;
 
-  // Cost accounting (zero when no ReplicaSpec prices an hour).  Replicas are
-  // billed for the whole span — capacity reserved is capacity paid for, even
-  // after a kill.
+  // Cost accounting (zero when no ReplicaSpec prices an hour).  Each replica
+  // is billed for its ReplicaReport billing window: joined → gracefully
+  // retired, where never-retired (and killed) replicas bill to the end of
+  // the span — capacity reserved is capacity paid for, even after a kill,
+  // but a scale-down stops the meter (the drain tail is no longer billed at
+  // peak-fleet rates).
   double cost_dollars = 0;
   double prefill_pool_dollars = 0;  ///< prefill-role replicas only
   double decode_pool_dollars = 0;   ///< decode + unified replicas
@@ -124,6 +147,8 @@ struct FleetStats {
   PercentileTriple e2e;
 
   DisaggStats disagg;
+  /// Every autoscaler decision, in fleet-clock order.
+  std::vector<ScaleEvent> scale_events;
   std::vector<ReplicaReport> replicas;
 };
 

@@ -291,6 +291,20 @@ std::optional<std::size_t> Router::RouteDecode(
   return ScoreRoute(input, replicas, decode_pipeline_);
 }
 
+bool Router::ScaleDownSafe(const std::vector<ReplicaView>& replicas,
+                           std::size_t victim) const {
+  if (slo_.ttft_budget <= 0) return true;
+  std::vector<ReplicaView> survivors = replicas;
+  if (victim < survivors.size()) survivors[victim].alive = false;
+  const std::vector<ReplicaView> eligible =
+      role_aware_ ? PromptEligible(survivors) : survivors;
+  const double ceiling = slo_.ttft_budget * slo_.reject_above;
+  for (const ReplicaView& v : eligible) {
+    if (v.alive && v.est_ttft_seconds <= ceiling) return true;
+  }
+  return false;
+}
+
 void Router::ForgetReplica(std::size_t replica) {
   for (auto it = affinity_.begin(); it != affinity_.end();) {
     it = it->second == replica ? affinity_.erase(it) : std::next(it);

@@ -198,6 +198,18 @@ class Router {
   /// alive=false), so round-robin rotation continues fairly.
   void ForgetReplica(std::size_t replica);
 
+  /// PredictTtft-based scale-down feasibility: would a fresh prompt of the
+  /// probed size still be admittable with `victim` gone?  Masks the victim
+  /// out of the views, re-derives prompt eligibility over the survivors
+  /// (the role pool the victim leaves may hand prompts to a different
+  /// pool), and checks the best surviving predicted TTFT against the same
+  /// budget * reject_above ceiling Decide() rejects on.  Trivially true
+  /// without an SLO budget — cost-driven shrink is then ungated.  The
+  /// caller must have built the views with the probe's prompt size so
+  /// est_ttft_seconds is populated.
+  [[nodiscard]] bool ScaleDownSafe(const std::vector<ReplicaView>& replicas,
+                                   std::size_t victim) const;
+
   [[nodiscard]] RoutePolicy policy() const { return policy_; }
   [[nodiscard]] const SloConfig& slo() const { return slo_; }
   void set_slo(SloConfig slo) { slo_ = slo; }
