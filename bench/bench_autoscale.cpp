@@ -15,7 +15,10 @@
 // $/1M tokens versus the fixed split at equal-or-better p99 TPOT on every
 // tail length, so the bench doubles as a regression check.
 //
-// Usage: bench_autoscale [--quick]   (--quick: one tail, smaller burst)
+// Usage: bench_autoscale [--quick] [--seed N] [--trace-out PATH]
+//                        [--metrics-out PATH] [--json-out PATH]
+//   --quick writes CI-sized sweeps; the telemetry/JSON sinks capture the
+//   first tail's autoscaled run (see util/cli_flags.hpp for the full list).
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +26,8 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -96,7 +101,9 @@ FleetStats RunFixed(const std::vector<serving::TimedRequest>& trace) {
   return sim.Run(trace);
 }
 
-FleetStats RunAutoscaled(const std::vector<serving::TimedRequest>& trace) {
+FleetStats RunAutoscaled(const std::vector<serving::TimedRequest>& trace,
+                         obs::TraceRecorder* recorder = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr) {
   AutoscaleConfig autoscale;
   autoscale.enabled = true;
   autoscale.cooldown_seconds = 2.0;
@@ -133,6 +140,7 @@ FleetStats RunAutoscaled(const std::vector<serving::TimedRequest>& trace) {
                        disagg);
   for (int i = 0; i < 2; ++i) sim.AddReplica(Replica(ReplicaRole::kPrefill));
   for (int i = 0; i < 4; ++i) sim.AddReplica(Replica(ReplicaRole::kDecode));
+  sim.AttachTelemetry(recorder, metrics);
   return sim.Run(trace);
 }
 
@@ -148,13 +156,16 @@ void AddRow(Table& table, const std::string& label, const FleetStats& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const bool quick = flags.quick;
+  const std::uint64_t seed = flags.seed_set ? flags.seed : 2026;
   const std::size_t burst = quick ? 100 : 240;
   std::vector<double> tails = quick ? std::vector<double>{120.0}
                                     : std::vector<double>{60.0, 120.0, 240.0};
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry =
+      flags.WantsTrace() || flags.WantsMetrics() || !flags.json_out.empty();
 
   Table table(Format(
       "Burst→idle sweep: fixed 2P:4D vs role-typed cost-aware autoscale "
@@ -165,10 +176,23 @@ int main(int argc, char** argv) {
 
   bool all_win = true;
   double best_cut = 0;
+  bool first_tail = true;
   for (const double tail : tails) {
-    const auto trace = BurstIdleTrace(burst, tail, /*seed=*/2026);
+    const auto trace = BurstIdleTrace(burst, tail, seed);
     const FleetStats fixed = RunFixed(trace);
-    const FleetStats autoscaled = RunAutoscaled(trace);
+    // The telemetry sinks capture the first tail's autoscaled run.
+    const FleetStats autoscaled =
+        RunAutoscaled(trace, telemetry && first_tail ? &recorder : nullptr,
+                      telemetry && first_tail ? &metrics : nullptr);
+    if (telemetry && first_tail && !flags.json_out.empty()) {
+      if (WriteFleetStatsJson(autoscaled, flags.json_out)) {
+        std::printf("wrote fleet stats: %s\n", flags.json_out.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", flags.json_out.c_str());
+        return 1;
+      }
+    }
+    first_tail = false;
     AddRow(table, Format("fixed 2P:4D, %.0fs tail", tail), fixed);
     AddRow(table, Format("autoscaled,  %.0fs tail", tail), autoscaled);
 
@@ -195,5 +219,6 @@ int main(int argc, char** argv) {
   std::printf("\nrole-typed + cost-aware autoscaling %s the fixed 2P:4D "
               "split (best $/1Mtok cut: %.0f%%)\n",
               all_win ? "beats" : "FAILED to beat", 100.0 * best_cut);
+  if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return all_win ? 0 : 1;
 }

@@ -10,11 +10,19 @@
 //
 // Exit status is nonzero if SLO admission control fails to bound p99 TTFT
 // versus unbounded queueing, so the bench doubles as a regression check.
+//
+// Usage: bench_chaos_slo [--quick] [--seed N] [--trace-out PATH]
+//                        [--metrics-out PATH] [--json-out PATH]
+//   --quick runs a smaller trace for CI smoke; the telemetry/JSON sinks
+//   capture the TTFT-window autoscaled run — the one exercising kills,
+//   retries, scale-ups, and admission all at once (see util/cli_flags.hpp).
 
 #include <cstdio>
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -49,10 +57,13 @@ std::vector<serving::TimedRequest> OverloadTrace(std::size_t count,
 }
 
 FleetStats RunChaos(const std::vector<serving::TimedRequest>& trace,
-                    SloConfig slo, AutoscaleConfig autoscale = {}) {
+                    SloConfig slo, AutoscaleConfig autoscale = {},
+                    obs::TraceRecorder* recorder = nullptr,
+                    obs::MetricsRegistry* metrics = nullptr) {
   ClusterSimulator sim(RoutePolicy::kLeastOutstanding, autoscale, slo);
   for (int i = 0; i < 3; ++i) sim.AddReplica(Replica());
   sim.ScheduleKill({trace[trace.size() / 2].arrival_seconds, /*replica=*/1});
+  sim.AttachTelemetry(recorder, metrics);
   return sim.Run(trace);
 }
 
@@ -67,8 +78,14 @@ void AddChaosRow(Table& table, const char* label, const FleetStats& s) {
 
 }  // namespace
 
-int main() {
-  const auto trace = OverloadTrace(/*count=*/300, /*seed=*/99);
+int main(int argc, char** argv) {
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const auto trace = OverloadTrace(flags.quick ? 200 : 300,
+                                   flags.seed_set ? flags.seed : 99);
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry =
+      flags.WantsTrace() || flags.WantsMetrics() || !flags.json_out.empty();
 
   Table shootout(
       "SLO admission control, 3 replicas, 2x overload, 1 mid-run kill");
@@ -106,8 +123,20 @@ int main() {
   AddChaosRow(signals, "none", open);
   const FleetStats by_queue = RunChaos(trace, SloConfig{}, queue);
   AddChaosRow(signals, "queue depth", by_queue);
-  const FleetStats by_tail = RunChaos(trace, SloConfig{}, tail);
+  // The telemetry sinks capture the TTFT-window run: kill + retries +
+  // scale-ups in one trace.
+  const FleetStats by_tail =
+      RunChaos(trace, SloConfig{}, tail, telemetry ? &recorder : nullptr,
+               telemetry ? &metrics : nullptr);
   AddChaosRow(signals, "p99 TTFT window", by_tail);
+  if (telemetry && !flags.json_out.empty()) {
+    if (WriteFleetStatsJson(by_tail, flags.json_out)) {
+      std::printf("wrote fleet stats: %s\n", flags.json_out.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write %s\n", flags.json_out.c_str());
+      return 1;
+    }
+  }
   signals.Print();
   std::printf("scale-ups: queue=%zu tail=%zu\n", by_queue.scale_ups,
               by_tail.scale_ups);
@@ -116,5 +145,6 @@ int main() {
   std::printf("\nSLO (2s budget) p99 TTFT %s vs unbounded %s: %s\n",
               HumanTime(best_slo.ttft.p99).c_str(),
               HumanTime(open.ttft.p99).c_str(), bounded ? "WIN" : "LOSS");
+  if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return bounded ? 0 : 1;
 }

@@ -16,7 +16,10 @@
 // is nonzero if no disaggregated split beats the unified baseline's p99
 // TPOT, so the bench doubles as a regression check.
 //
-// Usage: bench_disagg [--quick]   (--quick: smaller trace for CI smoke)
+// Usage: bench_disagg [--quick] [--seed N] [--trace-out PATH]
+//                     [--metrics-out PATH] [--json-out PATH]
+//   --quick runs a smaller trace for CI smoke; the telemetry/JSON sinks
+//   capture the 2P:4D ratio run (see util/cli_flags.hpp for the full list).
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,8 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -71,7 +76,9 @@ std::vector<serving::TimedRequest> LongPromptMix(std::size_t count,
 
 FleetStats RunSplit(const std::vector<serving::TimedRequest>& trace,
                     std::size_t prefills, std::size_t decodes,
-                    double bandwidth_gb_per_s) {
+                    double bandwidth_gb_per_s,
+                    obs::TraceRecorder* recorder = nullptr,
+                    obs::MetricsRegistry* metrics = nullptr) {
   DisaggConfig disagg;
   disagg.interconnect.bandwidth_gb_per_s = bandwidth_gb_per_s;
   disagg.max_migration_seconds = 0.25;
@@ -82,6 +89,7 @@ FleetStats RunSplit(const std::vector<serving::TimedRequest>& trace,
   for (std::size_t i = 0; i < decodes; ++i) {
     sim.AddReplica(Replica(ReplicaRole::kDecode));
   }
+  sim.AttachTelemetry(recorder, metrics);
   return sim.Run(trace);
 }
 
@@ -107,13 +115,14 @@ void AddRow(Table& table, const std::string& label, const FleetStats& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
-  const std::size_t count = quick ? 80 : 300;
-  const auto trace = LongPromptMix(count, /*seed=*/2025);
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const std::size_t count = flags.quick ? 80 : 300;
+  const auto trace = LongPromptMix(count, flags.seed_set ? flags.seed : 2025);
   const double nvlink = 400.0;  // GB/s per directed link
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry =
+      flags.WantsTrace() || flags.WantsMetrics() || !flags.json_out.empty();
 
   Table ratios(
       "Prefill:decode pool ratio, 6 replicas, kilotoken prompts, 400 GB/s");
@@ -125,7 +134,19 @@ int main(int argc, char** argv) {
   std::string best_label;
   const std::size_t splits[][2] = {{1, 5}, {2, 4}, {3, 3}, {4, 2}};
   for (const auto& split : splits) {
-    const FleetStats s = RunSplit(trace, split[0], split[1], nvlink);
+    // The telemetry sinks capture the 2P:4D run (the README's best split).
+    const bool capture = telemetry && split[0] == 2;
+    const FleetStats s =
+        RunSplit(trace, split[0], split[1], nvlink,
+                 capture ? &recorder : nullptr, capture ? &metrics : nullptr);
+    if (capture && !flags.json_out.empty()) {
+      if (WriteFleetStatsJson(s, flags.json_out)) {
+        std::printf("wrote fleet stats: %s\n", flags.json_out.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", flags.json_out.c_str());
+        return 1;
+      }
+    }
     const std::string label =
         Format("%zuP : %zuD", split[0], split[1]);
     AddRow(ratios, label, s);
@@ -168,5 +189,6 @@ int main(int argc, char** argv) {
   std::printf("\n%s p99 TPOT %s vs unified %s: %s\n", best_label.c_str(),
               HumanTime(best.tpot.p99).c_str(),
               HumanTime(unified.tpot.p99).c_str(), win ? "WIN" : "LOSS");
+  if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return win ? 0 : 1;
 }

@@ -16,7 +16,10 @@
 //   * on the fully disjoint mix it stays within noise of affinity (no tax
 //     for carrying the index around).
 //
-// Usage: bench_prefix_routing [--quick]   (--quick: smaller trace for CI)
+// Usage: bench_prefix_routing [--quick] [--seed N] [--trace-out PATH]
+//                             [--metrics-out PATH] [--json-out PATH]
+//   --quick runs a smaller trace for CI; the telemetry/JSON sinks capture
+//   the prefix_aware run on the 50% shared mix (see util/cli_flags.hpp).
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,8 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -63,24 +68,29 @@ std::vector<serving::TimedRequest> SharedPrefixMix(double shared_fraction,
 
 FleetStats RunPreset(RoutePolicy policy,
                      const std::vector<serving::TimedRequest>& trace,
-                     std::size_t replicas) {
+                     std::size_t replicas,
+                     obs::TraceRecorder* recorder = nullptr,
+                     obs::MetricsRegistry* metrics = nullptr) {
   ClusterSimulator sim(policy);
   for (std::size_t i = 0; i < replicas; ++i) {
     sim.AddReplica(UnifiedReplica());
   }
+  sim.AttachTelemetry(recorder, metrics);
   return sim.Run(trace);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
-  const std::size_t count = quick ? 100 : 300;
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const std::size_t count = flags.quick ? 100 : 300;
+  const std::uint64_t seed = flags.seed_set ? flags.seed : 7;
   const std::size_t replicas = 4;
   const double fractions[] = {0.0, 0.25, 0.5, 0.75};
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry =
+      flags.WantsTrace() || flags.WantsMetrics() || !flags.json_out.empty();
 
   Table table(
       "Shared-prefix mixture sweep, 4 unified replicas, prompts 1-4k tokens");
@@ -90,12 +100,23 @@ int main(int argc, char** argv) {
   bool shared_win = true;   // prefix_aware must win every >= 50% row
   bool disjoint_ok = true;  // and tie the 0% row
   for (const double fraction : fractions) {
-    const auto trace = SharedPrefixMix(fraction, count, /*seed=*/7
-    );
+    const auto trace = SharedPrefixMix(fraction, count, seed);
     const FleetStats affinity =
         RunPreset(RoutePolicy::kSessionAffinity, trace, replicas);
+    // The telemetry sinks capture the prefix_aware run on the 50% mix — the
+    // row where prefix-hit events actually fire.
+    const bool capture = telemetry && fraction == 0.5;
     const FleetStats prefix =
-        RunPreset(RoutePolicy::kPrefixAware, trace, replicas);
+        RunPreset(RoutePolicy::kPrefixAware, trace, replicas,
+                  capture ? &recorder : nullptr, capture ? &metrics : nullptr);
+    if (capture && !flags.json_out.empty()) {
+      if (WriteFleetStatsJson(prefix, flags.json_out)) {
+        std::printf("wrote fleet stats: %s\n", flags.json_out.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", flags.json_out.c_str());
+        return 1;
+      }
+    }
     for (const auto& [label, s] :
          {std::pair<const char*, const FleetStats&>{"affinity", affinity},
           {"prefix_aware", prefix}}) {
@@ -120,5 +141,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nprefix_aware on >=50%% shared mixes: %s; disjoint parity: %s\n",
       shared_win ? "WIN" : "LOSS", disjoint_ok ? "OK" : "REGRESSED");
+  if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return shared_win && disjoint_ok ? 0 : 1;
 }

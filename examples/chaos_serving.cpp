@@ -9,15 +9,20 @@
 // instead of letting the backlog push tail TTFT out by an order of magnitude.
 //
 // Usage: chaos_serving [replicas] [requests] [ttft_budget_seconds]
+//                      [--seed N] [--trace-out PATH] [--metrics-out PATH]
 //   replicas     fleet size, >= 2 (default 3)
 //   requests     trace size (default 240)
 //   ttft_budget  SLO budget for the admission-controlled run (default 1.0)
+//   --seed       trace seed (default 1337); the telemetry sinks capture the
+//                SLO-controlled run (full flag list: util/cli_flags.hpp)
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 
 using namespace liquid;
@@ -38,19 +43,28 @@ ReplicaSpec ChaosSpec() {
 
 FleetStats RunEpisode(std::size_t replicas,
                       const std::vector<serving::TimedRequest>& trace,
-                      SloConfig slo) {
+                      SloConfig slo, obs::TraceRecorder* recorder = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr) {
   ClusterSimulator sim(RoutePolicy::kLeastOutstanding, AutoscaleConfig{}, slo);
   for (std::size_t i = 0; i < replicas; ++i) sim.AddReplica(ChaosSpec());
   sim.ScheduleKill({trace[trace.size() / 2].arrival_seconds, /*replica=*/1});
+  sim.AttachTelemetry(recorder, metrics);
   return sim.Run(trace);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t replicas = argc > 1 ? std::max(2L, std::atol(argv[1])) : 3;
-  const std::size_t requests = argc > 2 ? std::max(16L, std::atol(argv[2])) : 240;
-  const double budget = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const auto& pos = flags.positional;
+  const std::size_t replicas =
+      pos.size() > 0 ? std::max(2L, std::atol(pos[0].c_str())) : 3;
+  const std::size_t requests =
+      pos.size() > 1 ? std::max(16L, std::atol(pos[1].c_str())) : 240;
+  const double budget = pos.size() > 2 ? std::atof(pos[2].c_str()) : 1.0;
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry = flags.WantsTrace() || flags.WantsMetrics();
 
   // Offered load ~2x what the fleet retires (one replica of this spec
   // serves roughly 18 req/s of this mix): queues grow without shedding.
@@ -62,7 +76,8 @@ int main(int argc, char** argv) {
   config.output_min = 64;
   config.output_max = 256;
   config.sessions = 24;
-  const auto trace = serving::GenerateTrace(config, /*seed=*/1337);
+  const auto trace = serving::GenerateTrace(
+      config, flags.seed_set ? flags.seed : 1337);
 
   std::printf(
       "== Chaos: %zu x %s, %zu requests at %.0f req/s, replica 1 killed "
@@ -76,7 +91,9 @@ int main(int argc, char** argv) {
 
   std::printf("\n-- SLO admission control (TTFT budget %.2fs) --\n", budget);
   const FleetStats slo =
-      RunEpisode(replicas, trace, SloConfig{budget, /*reject_above=*/1.0});
+      RunEpisode(replicas, trace, SloConfig{budget, /*reject_above=*/1.0},
+                 telemetry ? &recorder : nullptr,
+                 telemetry ? &metrics : nullptr);
   PrintFleetStats(slo);
 
   std::printf(
@@ -85,5 +102,5 @@ int main(int argc, char** argv) {
       HumanTime(open.ttft.p99).c_str(), HumanTime(slo.ttft.p99).c_str(),
       open.completed, slo.completed, slo.rejected_requests,
       open.wasted_tokens, slo.wasted_tokens);
-  return 0;
+  return obs::WriteTelemetry(flags, recorder, metrics) ? 0 : 1;
 }

@@ -6,36 +6,42 @@
 // TTFT/TPOT SLO numbers operators watch.
 //
 // Usage: cluster_serving [policy] [replicas] [requests]
+//                        [--seed N] [--trace-out PATH] [--metrics-out PATH]
 //   policy   round_robin | least_outstanding | least_kv | affinity |
 //            prefix_aware (default least_kv)
 //   replicas number of H800/LiquidServe replicas, >= 1 (default 4)
 //   requests total trace size, split 3:1 chat:document (default 240)
+//   --seed   trace seed (default 2024); full flag list: util/cli_flags.hpp
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 
 using namespace liquid;
 using namespace liquid::cluster;
 
 int main(int argc, char** argv) {
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const auto& pos = flags.positional;
   RoutePolicy policy = RoutePolicy::kLeastKvLoad;
-  if (argc > 1) {
-    const auto parsed = ParseRoutePolicy(argv[1]);
+  if (pos.size() > 0) {
+    const auto parsed = ParseRoutePolicy(pos[0]);
     if (!parsed) {
-      std::fprintf(stderr, "unknown policy '%s' (want %s)\n", argv[1],
+      std::fprintf(stderr, "unknown policy '%s' (want %s)\n", pos[0].c_str(),
                    RoutePolicyNames().c_str());
       return 1;
     }
     policy = *parsed;
   }
   const std::size_t replicas =
-      argc > 2 ? std::max(1L, std::atol(argv[2])) : 4;
+      pos.size() > 1 ? std::max(1L, std::atol(pos[1].c_str())) : 4;
   const std::size_t requests =
-      argc > 3 ? std::max(8L, std::atol(argv[3])) : 240;
+      pos.size() > 2 ? std::max(8L, std::atol(pos[2].c_str())) : 240;
 
   // One replica = LLaMA2-7B on H800 under the LiquidServe preset, with a
   // deliberately tight paged-KV pool (1024 blocks x 16 tokens) so routing
@@ -66,15 +72,22 @@ int main(int argc, char** argv) {
   tenants[1].trace.output_min = 64;
   tenants[1].trace.output_max = 256;
   tenants[1].sessions = 4;
-  const auto trace = serving::GenerateMultiTenantTrace(tenants, /*seed=*/2024);
+  const auto trace = serving::GenerateMultiTenantTrace(
+      tenants, flags.seed_set ? flags.seed : 2024);
 
   std::printf("== Cluster serving: %zu x %s, %s, policy=%s, %zu requests ==\n\n",
               replicas, spec.Label().c_str(), spec.model.name.c_str(),
               ToString(policy), trace.size());
 
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry = flags.WantsTrace() || flags.WantsMetrics();
+
   ClusterSimulator sim(policy);
   for (std::size_t i = 0; i < replicas; ++i) sim.AddReplica(spec);
+  sim.AttachTelemetry(telemetry ? &recorder : nullptr,
+                      telemetry ? &metrics : nullptr);
   const FleetStats stats = sim.Run(trace);
   PrintFleetStats(stats);
-  return 0;
+  return obs::WriteTelemetry(flags, recorder, metrics) ? 0 : 1;
 }

@@ -13,15 +13,20 @@
 // interference-free decode tail.
 //
 // Usage: disagg_serving [prefill_replicas] [decode_replicas] [requests]
+//                       [--seed N] [--trace-out PATH] [--metrics-out PATH]
 //   prefill_replicas  size of the prefill pool (default 3)
 //   decode_replicas   size of the decode pool (default 3)
 //   requests          trace size (default 200)
+//   --seed            trace seed (default 2025); the telemetry sinks capture
+//                     the disaggregated run (full list: util/cli_flags.hpp)
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/telemetry_sink.hpp"
+#include "util/cli_flags.hpp"
 #include "util/strings.hpp"
 
 using namespace liquid;
@@ -51,12 +56,15 @@ ReplicaSpec DisaggSpec(ReplicaRole role) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const CliFlags flags = ParseCliFlags(argc, argv);
+  const auto& pos = flags.positional;
   const std::size_t prefills =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 3;
+      pos.size() > 0 ? static_cast<std::size_t>(std::atoi(pos[0].c_str())) : 3;
   const std::size_t decodes =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atoi(pos[1].c_str())) : 3;
   const std::size_t requests =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 200;
+      pos.size() > 2 ? static_cast<std::size_t>(std::atoi(pos[2].c_str()))
+                     : 200;
 
   serving::TraceConfig config;
   config.arrival_rate_per_s = 4.7 * static_cast<double>(prefills + decodes);
@@ -67,7 +75,7 @@ int main(int argc, char** argv) {
   config.output_max = 128;
   config.sessions = 32;
   const std::vector<serving::TimedRequest> trace =
-      serving::GenerateTrace(config, /*seed=*/2025);
+      serving::GenerateTrace(config, flags.seed_set ? flags.seed : 2025);
 
   std::printf(
       "trace: %zu requests, %.0f/s, prompts %zu-%zu tokens, outputs %zu-%zu\n\n",
@@ -96,6 +104,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < decodes; ++i) {
     sim.AddReplica(DisaggSpec(ReplicaRole::kDecode));
   }
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  const bool telemetry = flags.WantsTrace() || flags.WantsMetrics();
+  sim.AttachTelemetry(telemetry ? &recorder : nullptr,
+                      telemetry ? &metrics : nullptr);
   const FleetStats split = sim.Run(trace);
   PrintFleetStats(split);
 
@@ -114,5 +127,5 @@ int main(int argc, char** argv) {
       HumanTime(base.tpot.p99).c_str(), HumanTime(split.tpot.p99).c_str(),
       HumanTime(base.ttft.p99).c_str(), HumanTime(split.ttft.p99).c_str(),
       base.dollars_per_m_tokens, split.dollars_per_m_tokens);
-  return 0;
+  return obs::WriteTelemetry(flags, recorder, metrics) ? 0 : 1;
 }

@@ -18,6 +18,7 @@ ClusterSimulator::ClusterSimulator(RoutePolicy policy,
       retry_(retry),
       coordinator_(disagg),
       ttft_window_(autoscale.window_seconds),
+      tpot_window_(autoscale.window_seconds),
       tokens_window_(autoscale.cost_window_seconds) {
   pool_runtime_.reserve(autoscale_.pools.size());
   for (const AutoscalePool& pool : autoscale_.pools) {
@@ -52,7 +53,138 @@ std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
     router_.set_role_aware(true);
   }
   replicas_.push_back(std::move(r));
+  WireReplicaTelemetry(replicas_.back());
   return replicas_.back().id;
+}
+
+namespace {
+
+/// Role index for the role-striped metric series (order pinned by MetricIds).
+std::size_t RoleIndex(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kUnified: return 0;
+    case ReplicaRole::kPrefill: return 1;
+    case ReplicaRole::kDecode: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ClusterSimulator::WireReplicaTelemetry(Replica& replica) {
+  if (trace_ == nullptr) return;
+  replica.scheduler->SetTrace(trace_, replica.id);
+  const std::int32_t pid = obs::ReplicaPid(replica.id);
+  std::string name = "replica " + std::to_string(replica.id) + " " +
+                     replica.spec.Label();
+  if (replica.spec.role != ReplicaRole::kUnified) {
+    name += std::string(" [") + ToString(replica.spec.role) + "]";
+  }
+  trace_->DeclareProcess(pid, std::move(name), pid);
+  trace_->DeclareThread(pid, obs::kTidEngine, "engine");
+  trace_->DeclareThread(pid, obs::kTidLifecycle, "lifecycle");
+}
+
+void ClusterSimulator::AttachTelemetry(obs::TraceRecorder* trace,
+                                       obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  coordinator_.SetTrace(trace);
+  if (trace_ != nullptr) {
+    trace_->DeclareProcess(obs::kFleetPid, "fleet", 0);
+    trace_->DeclareThread(obs::kFleetPid, obs::kTidRouter, "router");
+    trace_->DeclareThread(obs::kFleetPid, obs::kTidAutoscaler, "autoscaler");
+    trace_->DeclareThread(obs::kFleetPid, obs::kTidInterconnect,
+                          "interconnect");
+    trace_->DeclareThread(obs::kFleetPid, obs::kTidChaos, "chaos");
+    for (Replica& r : replicas_) WireReplicaTelemetry(r);
+  } else {
+    for (Replica& r : replicas_) r.scheduler->SetTrace(nullptr, r.id);
+  }
+  metrics_ = metrics;
+  if (metrics_ != nullptr) RegisterMetrics();
+}
+
+void ClusterSimulator::RegisterMetrics() {
+  using Kind = obs::MetricsRegistry::Kind;
+  static constexpr const char* kRoles[3] = {"unified", "prefill", "decode"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string role = kRoles[i];
+    metric_ids_.replicas[i] =
+        metrics_->Register("replicas_" + role, Kind::kGauge);
+    metric_ids_.queue_depth[i] =
+        metrics_->Register("queue_depth_" + role, Kind::kGauge);
+    metric_ids_.kv_used[i] =
+        metrics_->Register("kv_used_fraction_" + role, Kind::kGauge);
+  }
+  metric_ids_.ttft_p99 = metrics_->Register("ttft_p99_window", Kind::kGauge);
+  metric_ids_.tpot_p99 = metrics_->Register("tpot_p99_window", Kind::kGauge);
+  metric_ids_.tokens_per_s =
+      metrics_->Register("tokens_per_s_window", Kind::kGauge);
+  metric_ids_.inflight_migrations =
+      metrics_->Register("inflight_migrations", Kind::kGauge);
+  metric_ids_.pending_retries =
+      metrics_->Register("pending_retries", Kind::kGauge);
+  metric_ids_.dollars_per_hour =
+      metrics_->Register("dollars_per_hour", Kind::kGauge);
+  metric_ids_.completed = metrics_->Register("completed", Kind::kCounter);
+  metric_ids_.rejected = metrics_->Register("rejected", Kind::kCounter);
+  metric_ids_.lost = metrics_->Register("lost", Kind::kCounter);
+  metric_ids_.retried = metrics_->Register("retried", Kind::kCounter);
+  metric_ids_.migrated = metrics_->Register("migrated", Kind::kCounter);
+  metric_ids_.local_fallbacks =
+      metrics_->Register("local_decode_fallbacks", Kind::kCounter);
+  ttft_hist_ =
+      &metrics_->RegisterHistogram("ttft_seconds", obs::LatencyBuckets());
+  tpot_hist_ =
+      &metrics_->RegisterHistogram("tpot_seconds", obs::LatencyBuckets());
+}
+
+void ClusterSimulator::SampleMetrics(double now) {
+  if (metrics_ == nullptr) return;
+  double replicas[3] = {}, depth[3] = {}, free_kv[3] = {}, total_kv[3] = {};
+  double completed = 0, burn = 0;
+  for (const Replica& r : replicas_) {
+    completed += static_cast<double>(r.scheduler->stats().completed);
+    if (!r.active) continue;
+    const std::size_t role = RoleIndex(r.spec.role);
+    replicas[role] += 1;
+    depth[role] += static_cast<double>(r.scheduler->outstanding());
+    free_kv[role] += static_cast<double>(r.scheduler->pool().free_blocks());
+    total_kv[role] += static_cast<double>(r.scheduler->pool().total_blocks());
+    burn += r.spec.dollars_per_hour;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    metrics_->Set(metric_ids_.replicas[i], replicas[i]);
+    metrics_->Set(metric_ids_.queue_depth[i], depth[i]);
+    metrics_->Set(metric_ids_.kv_used[i],
+                  total_kv[i] > 0 ? 1.0 - free_kv[i] / total_kv[i] : 0.0);
+  }
+  metrics_->Set(metric_ids_.ttft_p99,
+                ttft_window_.Count(now) > 0 ? ttft_window_.Percentile(now, 99)
+                                            : 0.0);
+  metrics_->Set(metric_ids_.tpot_p99,
+                tpot_window_.Count(now) > 0 ? tpot_window_.Percentile(now, 99)
+                                            : 0.0);
+  const double window = tokens_window_.window_seconds();
+  const double tokens = tokens_window_.Mean(now) *
+                        static_cast<double>(tokens_window_.Count(now));
+  metrics_->Set(metric_ids_.tokens_per_s, window > 0 ? tokens / window : 0.0);
+  metrics_->Set(metric_ids_.inflight_migrations,
+                static_cast<double>(coordinator_.InFlight()));
+  metrics_->Set(metric_ids_.pending_retries,
+                static_cast<double>(pending_retries_.size()));
+  metrics_->Set(metric_ids_.dollars_per_hour, burn);
+  metrics_->Set(metric_ids_.completed, completed);
+  metrics_->Set(metric_ids_.rejected,
+                static_cast<double>(tally_.rejected_requests));
+  metrics_->Set(metric_ids_.lost, static_cast<double>(tally_.lost_requests));
+  metrics_->Set(metric_ids_.retried,
+                static_cast<double>(tally_.retried_requests));
+  metrics_->Set(metric_ids_.migrated,
+                static_cast<double>(tally_.disagg.migrated_requests));
+  metrics_->Set(metric_ids_.local_fallbacks,
+                static_cast<double>(tally_.disagg.local_decode_fallbacks));
+  metrics_->Sample(now);
 }
 
 bool ClusterSimulator::RemoveReplica(std::size_t id) {
@@ -114,6 +246,12 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
       ++tally_.rerouted;
       continue;
     }
+    // No reroute target: the migrate stage ends here either way (local
+    // delivery on the source or genuine loss).
+    if (trace_ != nullptr) {
+      trace_->AsyncEnd(obs::TraceEventType::kStageMigrate, now,
+                       m.continuation.id);
+    }
     Replica& src = replicas_[m.src];
     if (src.active) {
       DeliverContinuation(src, m.continuation, m.kv, std::max(now, m.start));
@@ -157,6 +295,11 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
       victim.scheduler->Forfeit();
   tally_.lost_requests += forfeit.requests.size();
   tally_.wasted_tokens += forfeit.wasted_tokens;
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kKill, now, obs::kFleetPid,
+                    obs::kTidChaos, id, static_cast<double>(id),
+                    static_cast<double>(forfeit.requests.size()));
+  }
 
   // Re-route storm: every lost request is re-submitted from scratch.  The
   // original TimedRequest (session/tenant intact) is replayed with its
@@ -184,6 +327,11 @@ bool ClusterSimulator::DegradeReplica(std::size_t id, double slowdown_factor) {
   Replica& victim = replicas_[id];
   const bool was_degraded = victim.scheduler->slowdown() > 1.0;
   victim.scheduler->SetSlowdown(slowdown_factor);
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kDegrade, FleetNow(), obs::kFleetPid,
+                    obs::kTidChaos, id, static_cast<double>(id),
+                    victim.scheduler->slowdown());
+  }
   // Count replicas that ever degraded, not events (a second brown-out on
   // the same replica is still one degraded replica).
   if (!was_degraded && victim.scheduler->slowdown() > 1.0) {
@@ -195,6 +343,11 @@ bool ClusterSimulator::DegradeReplica(std::size_t id, double slowdown_factor) {
 void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
   ++retry.attempt;
   if (retry_.max_attempts > 0 && retry.attempt > retry_.max_attempts) {
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kRetriesExhausted, now,
+                      obs::kFleetPid, obs::kTidChaos, retry.id,
+                      static_cast<double>(retry.attempt));
+    }
     ++tally_.retries_exhausted;
     inflight_.erase(retry.id);
     return;
@@ -206,6 +359,11 @@ void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
     const std::uint32_t exponent = std::min(retry.attempt - 1, 20u);
     const double delay = retry_.base_backoff_seconds *
                          static_cast<double>(std::uint64_t{1} << exponent);
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kRetryScheduled, now,
+                      obs::kFleetPid, obs::kTidChaos, retry.id,
+                      static_cast<double>(retry.attempt), now + delay);
+    }
     pending_retries_.push_back({now + delay, retry});
     ArmAutoscaleTick();  // the release is future work the tick must outlive
   } else {
@@ -230,6 +388,11 @@ void ClusterSimulator::HarvestCompletions() {
       work_observed_ = true;
       ttft_window_.Add(t.finish, t.Ttft());
       tokens_window_.Add(t.finish, static_cast<double>(t.generated));
+      if (t.generated > 1) tpot_window_.Add(t.finish, t.Tpot());
+      if (metrics_ != nullptr) {
+        ttft_hist_->Add(t.Ttft());
+        if (t.generated > 1) tpot_hist_->Add(t.Tpot());
+      }
       if (r.pool != kNoPool) {
         // Role-typed pools watch their own streams: the TTFT window feeds
         // prefill-style signals, the TPOT window decode-style ones.
@@ -293,6 +456,11 @@ void ClusterSimulator::PlanHandoff(Replica& src,
   // No live decode-capable target, unusable interconnect, or a stall over
   // the migration budget: decode locally on the prefill replica — this
   // request is served unified.
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kLocalFallback, handoff.ready,
+                    obs::kFleetPid, obs::kTidInterconnect, handoff.request.id,
+                    static_cast<double>(src.id));
+  }
   ++tally_.disagg.local_decode_fallbacks;
   DeliverContinuation(src, handoff.request, handoff.kv, handoff.ready);
 }
@@ -305,6 +473,13 @@ void ClusterSimulator::LandMigrationsThrough(double deadline) {
       // The target died mid-transfer: the continuation is lost exactly like
       // in-flight work on a killed replica, and re-enters the same retry
       // path (its generated-so-far token is wasted work).
+      if (trace_ != nullptr) {
+        trace_->Instant(obs::TraceEventType::kTargetDeath, m.arrive,
+                        obs::kFleetPid, obs::kTidInterconnect,
+                        m.continuation.id, static_cast<double>(m.dst));
+        trace_->AsyncEnd(obs::TraceEventType::kStageMigrate, m.arrive,
+                         m.continuation.id);
+      }
       ++tally_.disagg.target_deaths;
       ++tally_.lost_requests;
       tally_.wasted_tokens += static_cast<double>(m.continuation.progress);
@@ -328,6 +503,16 @@ void ClusterSimulator::LandMigrationsThrough(double deadline) {
     tally_.disagg.migrated_kv_bytes += m.bytes;
     migration_seconds_.push_back(m.arrive - m.start);
     migrated_ids_.insert(m.continuation.id);
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kMigrationLand, m.arrive,
+                      obs::kFleetPid, obs::kTidInterconnect, m.continuation.id,
+                      static_cast<double>(m.src), static_cast<double>(m.dst),
+                      m.arrive - m.start);
+      trace_->AsyncEnd(obs::TraceEventType::kStageMigrate, m.arrive,
+                       m.continuation.id);
+      trace_->Flow(obs::TracePhase::kFlowStep, m.arrive,
+                   obs::ReplicaPid(m.dst), obs::kTidEngine, m.continuation.id);
+    }
     DeliverContinuation(dst, m.continuation, m.kv, m.arrive);
   }
 }
@@ -341,6 +526,11 @@ void ClusterSimulator::DeliverContinuation(Replica& dst,
   // The pool cannot hold the imported KV right now: reset to the original
   // request and recompute the prefill on `dst` — the already-generated first
   // token is wasted work.
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kImportOom, ready, obs::kFleetPid,
+                    obs::kTidInterconnect, continuation.id,
+                    static_cast<double>(dst.id));
+  }
   ++tally_.disagg.import_ooms;
   tally_.wasted_tokens += static_cast<double>(continuation.progress);
   serving::Request fresh;
@@ -408,14 +598,36 @@ std::vector<ReplicaView> ClusterSimulator::Views(
 
 std::optional<std::size_t> ClusterSimulator::RouteOne(
     const serving::TimedRequest& request) {
+  // Routing happens "now" on the fleet clock; a backoff retry's original
+  // arrival may be far in the past, so the trace timestamps the decision,
+  // not the arrival field it replays.
+  const double t_route =
+      trace_ == nullptr ? 0 : std::max(request.arrival_seconds, FleetNow());
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kArrival, t_route, obs::kFleetPid,
+                    obs::kTidRouter, request.id,
+                    static_cast<double>(request.prompt_tokens),
+                    static_cast<double>(request.max_new_tokens),
+                    static_cast<double>(request.attempt));
+  }
+  RouteExplain explain;
   const RouteDecision decision =
-      router_.Decide(request, Views(request.prompt_tokens, &request.prefix));
+      router_.Decide(request, Views(request.prompt_tokens, &request.prefix),
+                     trace_ == nullptr ? nullptr : &explain);
   switch (decision.outcome) {
     case RouteOutcome::kNoReplica:
+      if (trace_ != nullptr) {
+        trace_->Instant(obs::TraceEventType::kNoReplica, t_route,
+                        obs::kFleetPid, obs::kTidRouter, request.id);
+      }
       ++tally_.dropped;  // no alive replica; folded into FleetStats.dropped
       inflight_.erase(request.id);
       return std::nullopt;
     case RouteOutcome::kRejected:
+      if (trace_ != nullptr) {
+        trace_->Instant(obs::TraceEventType::kReject, t_route, obs::kFleetPid,
+                        obs::kTidRouter, request.id, decision.predicted_ttft);
+      }
       ++tally_.rejected_requests;
       inflight_.erase(request.id);
       return std::nullopt;
@@ -423,6 +635,22 @@ std::optional<std::size_t> ClusterSimulator::RouteOne(
       break;
   }
   const std::size_t dest = *decision.replica;
+  if (trace_ != nullptr) {
+    // The scorer term breakdown rides the route event's variable tail:
+    // weighted contributions keyed by term name (ToString(ScoreTerm) returns
+    // static literals, which is what TraceArg requires).
+    obs::TraceArg terms[16];
+    std::size_t nterms = 0;
+    for (const TermContribution& term : explain.terms) {
+      if (nterms == std::size(terms)) break;
+      terms[nterms++] = {ToString(term.term), term.weight * term.value};
+    }
+    trace_->InstantWithArgs(obs::TraceEventType::kRoute, t_route,
+                            obs::kFleetPid, obs::kTidRouter, request.id,
+                            static_cast<double>(dest), decision.predicted_ttft,
+                            explain.score,
+                            std::span<const obs::TraceArg>(terms, nterms));
+  }
   serving::Request req;
   req.id = request.id;
   req.prompt_tokens = request.prompt_tokens;
@@ -674,6 +902,12 @@ void ClusterSimulator::CommitScaleUp(std::size_t pool, const ReplicaSpec& spec,
   ++tally_.scale_ups;
   tally_.scale_events.push_back({now, true, spec.role, id, signal_value});
   last_scale_event_ = now;
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kScaleUp, now, obs::kFleetPid,
+                    obs::kTidAutoscaler, id, static_cast<double>(id),
+                    pool == kNoPool ? -1.0 : static_cast<double>(pool),
+                    signal_value);
+  }
 }
 
 bool ClusterSimulator::CommitScaleDown(std::size_t pool, double now,
@@ -692,6 +926,12 @@ bool ClusterSimulator::CommitScaleDown(std::size_t pool, double now,
   ++tally_.scale_downs;
   tally_.scale_events.push_back({now, false, role, victim, signal_value});
   last_scale_event_ = now;
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kScaleDown, now, obs::kFleetPid,
+                    obs::kTidAutoscaler, victim, static_cast<double>(victim),
+                    pool == kNoPool ? -1.0 : static_cast<double>(pool),
+                    signal_value);
+  }
   return true;
 }
 
@@ -816,8 +1056,13 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
     ReleaseRetriesThrough(t);
     if (t == t_tick) {
       next_autoscale_tick_ += autoscale_.tick_seconds;
+      if (trace_ != nullptr) {
+        trace_->Instant(obs::TraceEventType::kAutoscaleTick, t, obs::kFleetPid,
+                        obs::kTidAutoscaler, 0);
+      }
       const std::size_t before = tally_.scale_ups + tally_.scale_downs;
       MaybeAutoscale(t);
+      SampleMetrics(t);  // the metrics series rides the existing tick
       // Disarm once the fleet is idle and a cooldown-satisfied evaluation
       // fired nothing with no shrink waiting out its stabilization window:
       // every pool is at its floor or its signal abstains.  New work
@@ -901,12 +1146,14 @@ FleetStats ClusterSimulator::Run(
     AdvanceTo(request.arrival_seconds);
     MaybeAutoscale(request.arrival_seconds);
     SubmitAndRoute(request);
+    SampleMetrics(request.arrival_seconds);
   }
   // Kills scheduled past the last arrival still fire (the fleet keeps
   // working off its backlog, so there is work to lose), as do migrations
   // and backoff retries already on the calendar.
   ProcessEventsThrough(kInf);
   DrainToQuiescence();
+  SampleMetrics(FleetNow());
 
   FleetStats stats = tally_;
   stats.replicas_final = ActiveReplicas();

@@ -38,6 +38,8 @@
 #include "cluster/disagg/coordinator.hpp"
 #include "cluster/fleet_stats.hpp"
 #include "cluster/router.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "serving/engine.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/workload.hpp"
@@ -247,6 +249,18 @@ class ClusterSimulator {
   /// no in-flight migrations, no pending retries) and aggregates FleetStats.
   FleetStats Run(const std::vector<serving::TimedRequest>& trace);
 
+  /// Attaches fleet telemetry (either pointer may be null to skip that
+  /// half).  The trace recorder receives every lifecycle event — router
+  /// decisions with the scorer term breakdown, admissions, prefill/decode
+  /// spans, migrations, kills, scale events — on the shared simulated clock;
+  /// the metrics registry is sampled at instants the simulation already
+  /// visits (arrivals, the autoscale tick, end of run), so attaching it
+  /// never perturbs simulated behavior.  Both must outlive the simulator.
+  /// Call before Run(); replicas added later (scale-ups) are wired
+  /// automatically.
+  void AttachTelemetry(obs::TraceRecorder* trace,
+                       obs::MetricsRegistry* metrics);
+
   [[nodiscard]] std::size_t ActiveReplicas() const;
   [[nodiscard]] std::size_t TotalOutstanding() const;
   /// Requests whose KV is currently on the wire between pools.
@@ -371,6 +385,34 @@ class ClusterSimulator {
   /// events) until no work, migrations or retries remain anywhere.
   void DrainToQuiescence();
 
+  /// Names the replica's Perfetto process lane and wires its scheduler's
+  /// lifecycle hooks (no-op when no recorder is attached).
+  void WireReplicaTelemetry(Replica& replica);
+  /// Registers the fleet metric series (schema fixed before first sample).
+  void RegisterMetrics();
+  /// Snapshots every registered series into one time-series row at `now`.
+  void SampleMetrics(double now);
+
+  /// Handles into the attached MetricsRegistry.  Role-indexed arrays run
+  /// kUnified, kPrefill, kDecode.
+  struct MetricIds {
+    std::size_t replicas[3] = {};
+    std::size_t queue_depth[3] = {};
+    std::size_t kv_used[3] = {};
+    std::size_t ttft_p99 = 0;
+    std::size_t tpot_p99 = 0;
+    std::size_t tokens_per_s = 0;
+    std::size_t inflight_migrations = 0;
+    std::size_t pending_retries = 0;
+    std::size_t dollars_per_hour = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t lost = 0;
+    std::size_t retried = 0;
+    std::size_t migrated = 0;
+    std::size_t local_fallbacks = 0;
+  };
+
   Router router_;
   AutoscaleConfig autoscale_;
   RetryPolicy retry_;
@@ -390,6 +432,9 @@ class ClusterSimulator {
   std::unordered_set<std::uint64_t> migrated_ids_;
   std::vector<double> migration_seconds_;  ///< visible stalls, sample pool
   SlidingWindowStats ttft_window_;
+  /// Passive fleet-wide TPOT window behind the metrics gauge; fed alongside
+  /// ttft_window_ but read by nothing that steers the simulation.
+  SlidingWindowStats tpot_window_;
   /// Per-pool signal windows, parallel to autoscale_.pools.
   std::vector<PoolRuntime> pool_runtime_;
   /// Recent generated-token samples (finish, tokens) behind the cost-aware
@@ -408,6 +453,12 @@ class ClusterSimulator {
   /// A stabilizing shrink is waiting out its window; keeps the periodic
   /// tick armed through an otherwise idle fleet so the shrink can land.
   bool shrink_pending_ = false;
+  // Telemetry (null = detached; every hook is one branch when detached).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  MetricIds metric_ids_;
+  obs::Histogram* ttft_hist_ = nullptr;  ///< owned by *metrics_
+  obs::Histogram* tpot_hist_ = nullptr;  ///< owned by *metrics_
 };
 
 }  // namespace liquid::cluster

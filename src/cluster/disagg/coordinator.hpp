@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cluster/disagg/kv_migration.hpp"
+#include "obs/trace_recorder.hpp"
 #include "serving/kv_cache.hpp"
 #include "serving/scheduler.hpp"
 
@@ -74,6 +75,15 @@ class DisaggCoordinator {
     m.start = handoff.ready;
     m.arrive = model_.ScheduleTransfer(src, dst, bytes, handoff.ready);
     m.bytes = bytes;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kMigrationBegin, m.start,
+                      obs::kFleetPid, obs::kTidInterconnect,
+                      m.continuation.id, static_cast<double>(src),
+                      static_cast<double>(dst), bytes);
+      trace_->AsyncBegin(obs::TraceEventType::kStageMigrate, m.start,
+                         m.continuation.id, static_cast<double>(src),
+                         static_cast<double>(dst));
+    }
     inflight_.push_back(m);
     return m.arrive;
   }
@@ -103,6 +113,20 @@ class DisaggCoordinator {
   /// transfer from the source at `now` (no stall budget: the KV must land
   /// somewhere).  Returns the new arrival time.
   double Reroute(Migration migration, std::size_t new_dst, double now) {
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kMigrationReroute, now,
+                      obs::kFleetPid, obs::kTidInterconnect,
+                      migration.continuation.id,
+                      static_cast<double>(migration.src),
+                      static_cast<double>(new_dst));
+      // Restart the journey's migrate stage toward the new target.
+      trace_->AsyncEnd(obs::TraceEventType::kStageMigrate, now,
+                       migration.continuation.id);
+      trace_->AsyncBegin(obs::TraceEventType::kStageMigrate, now,
+                         migration.continuation.id,
+                         static_cast<double>(migration.src),
+                         static_cast<double>(new_dst));
+    }
     migration.dst = new_dst;
     migration.start = now;
     migration.arrive =
@@ -122,6 +146,10 @@ class DisaggCoordinator {
   }
   [[nodiscard]] const DisaggConfig& config() const { return config_; }
   [[nodiscard]] const KvMigrationModel& model() const { return model_; }
+
+  /// Attaches migration tracing (cluster telemetry); the recorder must
+  /// outlive the coordinator, nullptr detaches.
+  void SetTrace(obs::TraceRecorder* trace) { trace_ = trace; }
 
  private:
   template <typename Pred>
@@ -148,6 +176,7 @@ class DisaggCoordinator {
   DisaggConfig config_;
   KvMigrationModel model_;
   std::vector<Migration> inflight_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace liquid::cluster

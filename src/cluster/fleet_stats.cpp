@@ -1,7 +1,9 @@
 #include "cluster/fleet_stats.hpp"
 
 #include <algorithm>
+#include <fstream>
 
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -196,6 +198,126 @@ void PrintFleetStats(const FleetStats& stats) {
     per_replica.AddRow(row);
   }
   per_replica.Print();
+}
+
+namespace {
+
+void WriteTriple(JsonWriter& w, const char* key, const PercentileTriple& t) {
+  w.Key(key).BeginObject();
+  w.Key("p50").Number(t.p50);
+  w.Key("p95").Number(t.p95);
+  w.Key("p99").Number(t.p99);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string FleetStatsToJson(const FleetStats& stats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("submitted").Number(static_cast<std::uint64_t>(stats.submitted));
+  w.Key("completed").Number(static_cast<std::uint64_t>(stats.completed));
+  w.Key("dropped").Number(static_cast<std::uint64_t>(stats.dropped));
+  w.Key("preemptions").Number(static_cast<std::uint64_t>(stats.preemptions));
+  w.Key("rerouted").Number(static_cast<std::uint64_t>(stats.rerouted));
+  w.Key("scale_ups").Number(static_cast<std::uint64_t>(stats.scale_ups));
+  w.Key("scale_downs").Number(static_cast<std::uint64_t>(stats.scale_downs));
+  w.Key("replicas_final")
+      .Number(static_cast<std::uint64_t>(stats.replicas_final));
+  w.Key("killed_replicas")
+      .Number(static_cast<std::uint64_t>(stats.killed_replicas));
+  w.Key("lost_requests")
+      .Number(static_cast<std::uint64_t>(stats.lost_requests));
+  w.Key("retried_requests")
+      .Number(static_cast<std::uint64_t>(stats.retried_requests));
+  w.Key("rejected_requests")
+      .Number(static_cast<std::uint64_t>(stats.rejected_requests));
+  w.Key("retries_exhausted")
+      .Number(static_cast<std::uint64_t>(stats.retries_exhausted));
+  w.Key("max_retry_attempts")
+      .Number(static_cast<std::uint64_t>(stats.max_retry_attempts));
+  w.Key("wasted_tokens").Number(stats.wasted_tokens);
+  w.Key("degraded_replicas")
+      .Number(static_cast<std::uint64_t>(stats.degraded_replicas));
+  w.Key("prefix_hits").Number(static_cast<std::uint64_t>(stats.prefix_hits));
+  w.Key("prefill_tokens_saved").Number(stats.prefill_tokens_saved);
+  w.Key("prefix_hit_ratio").Number(stats.prefix_hit_ratio);
+  w.Key("span_seconds").Number(stats.span_seconds);
+  w.Key("generated_tokens").Number(stats.generated_tokens);
+  w.Key("throughput_tokens_per_s").Number(stats.throughput_tokens_per_s);
+  w.Key("cost_dollars").Number(stats.cost_dollars);
+  w.Key("prefill_pool_dollars").Number(stats.prefill_pool_dollars);
+  w.Key("decode_pool_dollars").Number(stats.decode_pool_dollars);
+  w.Key("dollars_per_m_tokens").Number(stats.dollars_per_m_tokens);
+  WriteTriple(w, "ttft", stats.ttft);
+  WriteTriple(w, "tpot", stats.tpot);
+  WriteTriple(w, "e2e", stats.e2e);
+
+  const DisaggStats& d = stats.disagg;
+  w.Key("disagg").BeginObject();
+  w.Key("prefill_replicas")
+      .Number(static_cast<std::uint64_t>(d.prefill_replicas));
+  w.Key("decode_replicas")
+      .Number(static_cast<std::uint64_t>(d.decode_replicas));
+  w.Key("prefill_handoffs")
+      .Number(static_cast<std::uint64_t>(d.prefill_handoffs));
+  w.Key("migrated_requests")
+      .Number(static_cast<std::uint64_t>(d.migrated_requests));
+  w.Key("migrated_kv_bytes").Number(d.migrated_kv_bytes);
+  w.Key("local_decode_fallbacks")
+      .Number(static_cast<std::uint64_t>(d.local_decode_fallbacks));
+  w.Key("import_ooms").Number(static_cast<std::uint64_t>(d.import_ooms));
+  w.Key("target_deaths").Number(static_cast<std::uint64_t>(d.target_deaths));
+  w.Key("in_migration").Number(static_cast<std::uint64_t>(d.in_migration));
+  WriteTriple(w, "migration_seconds", d.migration_seconds);
+  WriteTriple(w, "migrated_tpot", d.migrated_tpot);
+  w.EndObject();
+
+  w.Key("scale_events").BeginArray();
+  for (const ScaleEvent& e : stats.scale_events) {
+    w.BeginObject();
+    w.Key("t").Number(e.time);
+    w.Key("up").Bool(e.up);
+    w.Key("role").String(ToString(e.role));
+    w.Key("replica").Number(static_cast<std::uint64_t>(e.replica));
+    w.Key("signal").Number(e.signal_value);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("replicas").BeginArray();
+  for (const ReplicaReport& r : stats.replicas) {
+    w.BeginObject();
+    w.Key("id").Number(static_cast<std::uint64_t>(r.id));
+    w.Key("label").String(r.label);
+    w.Key("role").String(ToString(r.role));
+    w.Key("state").String(r.killed ? "killed"
+                                   : (r.active ? "active" : "removed"));
+    w.Key("submitted").Number(static_cast<std::uint64_t>(r.submitted));
+    w.Key("completed").Number(static_cast<std::uint64_t>(r.stats.completed));
+    w.Key("preemptions")
+        .Number(static_cast<std::uint64_t>(r.stats.preemptions));
+    w.Key("iterations").Number(static_cast<std::uint64_t>(r.stats.iterations));
+    w.Key("generated_tokens").Number(r.stats.generated_tokens);
+    w.Key("utilization").Number(r.utilization);
+    w.Key("dollars_per_hour").Number(r.dollars_per_hour);
+    w.Key("added_at").Number(r.added_at);
+    w.Key("retired_at").Number(r.retired_at);
+    w.Key("billed_seconds").Number(r.billed_seconds);
+    w.Key("cost_dollars").Number(r.cost_dollars);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool WriteFleetStatsJson(const FleetStats& stats, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const std::string body = FleetStatsToJson(stats) + "\n";
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return static_cast<bool>(file);
 }
 
 }  // namespace liquid::cluster

@@ -160,4 +160,12 @@ void FinalizeFleetStats(const std::vector<serving::RequestTiming>& timings,
 /// Renders the fleet summary (and per-replica table) to stdout.
 void PrintFleetStats(const FleetStats& stats);
 
+/// The same report as one JSON object (percentiles, counters, disagg stats,
+/// scale events, per-replica reports) — the machine-readable artifact the CI
+/// benches archive instead of scraping tables.  Deterministic byte-for-byte
+/// for a fixed FleetStats.
+[[nodiscard]] std::string FleetStatsToJson(const FleetStats& stats);
+/// Writes FleetStatsToJson to `path` (trailing newline); false on I/O error.
+bool WriteFleetStatsJson(const FleetStats& stats, const std::string& path);
+
 }  // namespace liquid::cluster

@@ -181,7 +181,7 @@ double Router::TermValue(ScoreTerm term, const ScoreInput& input,
 
 std::optional<std::size_t> Router::ScoreRoute(
     const ScoreInput& input, const std::vector<ReplicaView>& replicas,
-    const ScorerPipeline& pipeline) {
+    const ScorerPipeline& pipeline, RouteExplain* explain) {
   if (replicas.empty()) return std::nullopt;
   bool rotates = false, pins = false;
   for (const ScorerSpec& spec : pipeline) {
@@ -195,17 +195,32 @@ std::optional<std::size_t> Router::ScoreRoute(
 
   std::optional<std::size_t> best;
   double best_score = 0;
+  // Term readings for the candidate being scored; captured inside the loop
+  // because the cursor and affinity pins mutate after the argmax.
+  double term_values[16];
+  const std::size_t nterms = std::min<std::size_t>(pipeline.size(), 16);
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     const ReplicaView& v = replicas[i];
     if (!v.alive) continue;
     if (input.decode_mode && v.role == ReplicaRole::kPrefill) continue;
     double score = 0;
-    for (const ScorerSpec& spec : pipeline) {
-      score += spec.weight * TermValue(spec.term, input, replicas, i, cursor);
+    for (std::size_t j = 0; j < pipeline.size(); ++j) {
+      const ScorerSpec& spec = pipeline[j];
+      const double value = TermValue(spec.term, input, replicas, i, cursor);
+      if (explain != nullptr && j < nterms) term_values[j] = value;
+      score += spec.weight * value;
     }
     if (!best || score > best_score) {
       best = i;
       best_score = score;
+      if (explain != nullptr) {
+        explain->terms.clear();
+        for (std::size_t j = 0; j < nterms; ++j) {
+          explain->terms.push_back(
+              {pipeline[j].term, pipeline[j].weight, term_values[j]});
+        }
+        explain->score = score;
+      }
     }
   }
   if (!best) return std::nullopt;
@@ -220,7 +235,7 @@ std::optional<std::size_t> Router::ScoreRoute(
 
 std::optional<std::size_t> Router::Route(
     const serving::TimedRequest& request,
-    const std::vector<ReplicaView>& replicas) {
+    const std::vector<ReplicaView>& replicas, RouteExplain* explain) {
   ScoreInput input;
   input.session = request.session;
   input.prefix_hashes = request.prefix.hashes;
@@ -235,17 +250,18 @@ std::optional<std::size_t> Router::Route(
     // quickly, so queue depth is the right signal there.
     if (any_prefill) {
       static const ScorerPipeline kPrefillPool = {{ScoreTerm::kLoad, 1.0}};
-      return ScoreRoute(input, eligible, kPrefillPool);
+      return ScoreRoute(input, eligible, kPrefillPool, explain);
     }
-    return ScoreRoute(input, eligible, pipeline_);
+    return ScoreRoute(input, eligible, pipeline_, explain);
   }
-  return ScoreRoute(input, replicas, pipeline_);
+  return ScoreRoute(input, replicas, pipeline_, explain);
 }
 
 RouteDecision Router::Decide(const serving::TimedRequest& request,
-                             const std::vector<ReplicaView>& replicas) {
+                             const std::vector<ReplicaView>& replicas,
+                             RouteExplain* explain) {
   RouteDecision decision;
-  const std::optional<std::size_t> placed = Route(request, replicas);
+  const std::optional<std::size_t> placed = Route(request, replicas, explain);
   if (!placed) return decision;  // kNoReplica
   decision.outcome = RouteOutcome::kRouted;
   decision.replica = placed;
@@ -271,6 +287,7 @@ RouteDecision Router::Decide(const serving::TimedRequest& request,
   if (best && eligible[*best].est_ttft_seconds <= ceiling) {
     decision.replica = best;
     decision.predicted_ttft = eligible[*best].est_ttft_seconds;
+    if (explain != nullptr && *best != *placed) explain->slo_fallback = true;
     return decision;
   }
   decision.outcome = RouteOutcome::kRejected;

@@ -154,6 +154,26 @@ struct RouteDecision {
   double predicted_ttft = 0;  ///< estimate for the chosen (or best) replica
 };
 
+/// One weighted term's reading for the winning replica — the scorer
+/// breakdown telemetry records per routing decision (and the training rows
+/// a learned re-weighting would fit on).
+struct TermContribution {
+  ScoreTerm term = ScoreTerm::kLoad;
+  double weight = 0;
+  double value = 0;  ///< raw TermValue; the contribution is weight * value
+};
+
+/// Optional out-param of Decide/Route: why the pipeline picked its winner.
+/// Capturing it costs one extra term-value copy per improved candidate, so
+/// callers only pass it when telemetry is attached.
+struct RouteExplain {
+  std::vector<TermContribution> terms;  ///< the winner's term readings
+  double score = 0;                     ///< the winning weighted sum
+  /// Decide() overrode the pipeline's pick with the lowest-predicted-TTFT
+  /// fallback (the terms still describe the pipeline's original winner).
+  bool slo_fallback = false;
+};
+
 class Router {
  public:
   explicit Router(RoutePolicy policy, SloConfig slo = {})
@@ -170,14 +190,17 @@ class Router {
   /// pipeline over unified replicas (decode replicas are a last resort).
   [[nodiscard]] std::optional<std::size_t> Route(
       const serving::TimedRequest& request,
-      const std::vector<ReplicaView>& replicas);
+      const std::vector<ReplicaView>& replicas,
+      RouteExplain* explain = nullptr);
 
   /// Route + SLO admission control.  If the pipeline's choice busts the TTFT
   /// budget, falls back to the prompt-eligible replica with the lowest
   /// predicted TTFT; if even that busts it, the request is rejected instead
-  /// of queued.
+  /// of queued.  `explain` (optional) receives the winning replica's scorer
+  /// term breakdown for telemetry.
   [[nodiscard]] RouteDecision Decide(const serving::TimedRequest& request,
-                                     const std::vector<ReplicaView>& replicas);
+                                     const std::vector<ReplicaView>& replicas,
+                                     RouteExplain* explain = nullptr);
 
   /// Places a post-prefill continuation through the decode pipeline.  Under
   /// the legacy presets: the session's previous decode home if it is alive
@@ -246,7 +269,7 @@ class Router {
   /// cursor, affinity pins).
   [[nodiscard]] std::optional<std::size_t> ScoreRoute(
       const ScoreInput& input, const std::vector<ReplicaView>& replicas,
-      const ScorerPipeline& pipeline);
+      const ScorerPipeline& pipeline, RouteExplain* explain = nullptr);
   [[nodiscard]] double TermValue(ScoreTerm term, const ScoreInput& input,
                                  const std::vector<ReplicaView>& replicas,
                                  std::size_t i, std::size_t cursor) const;

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace liquid::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const auto at = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(at - bounds_.begin())];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  // Same rank convention as util/stats Percentile (linear over ranks
+  // 0..count-1), approximated bucket-wise: locate the bucket holding the
+  // target rank, then interpolate across the bucket's observed-value range.
+  const double target = p / 100.0 * static_cast<double>(count_ - 1);
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo_rank = static_cast<double>(cum);
+    const double hi_rank = static_cast<double>(cum + counts_[i] - 1);
+    if (target <= hi_rank) {
+      double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+      double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+      if (hi < lo) hi = lo;
+      const double frac = counts_[i] > 1
+                              ? (target - lo_rank) / (hi_rank - lo_rank)
+                              : 0.5;
+      return lo + frac * (hi - lo);
+    }
+    cum += counts_[i];
+  }
+  return max_;
+}
+
+std::vector<double> LatencyBuckets() {
+  // 1-2-5 decades from 1 ms to 50 s: coarse enough to stay cheap, fine
+  // enough that a percentile's bucket-width error stays useful.
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+          1.0,   2.0,   5.0,  10.0, 20.0, 50.0};
+}
+
+std::size_t MetricsRegistry::Register(std::string name, Kind kind) {
+  names_.push_back(std::move(name));
+  kinds_.push_back(kind);
+  values_.push_back(0);
+  return names_.size() - 1;
+}
+
+Histogram& MetricsRegistry::RegisterHistogram(std::string name,
+                                              std::vector<double> bounds) {
+  histograms_.push_back({std::move(name), Histogram(std::move(bounds))});
+  return histograms_.back().histogram;
+}
+
+void MetricsRegistry::Sample(double t) {
+  rows_.push_back({t, values_});
+}
+
+std::string MetricsRegistry::ToJsonl() const {
+  std::string out;
+  out.reserve(rows_.size() * (16 + names_.size() * 24));
+  for (const Row& row : rows_) {
+    out += "{\"t\":";
+    AppendJsonNumber(out, row.t);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      out += ',';
+      AppendJsonString(out, names_[i]);
+      out += ':';
+      AppendJsonNumber(out, row.values[i]);
+    }
+    out += "}\n";
+  }
+  for (const NamedHistogram& h : histograms_) {
+    out += "{\"histogram\":";
+    AppendJsonString(out, h.name);
+    out += ",\"count\":";
+    out += std::to_string(h.histogram.count());
+    out += ",\"min\":";
+    AppendJsonNumber(out, h.histogram.count() > 0 ? h.histogram.min() : 0);
+    out += ",\"max\":";
+    AppendJsonNumber(out, h.histogram.count() > 0 ? h.histogram.max() : 0);
+    out += ",\"p50\":";
+    AppendJsonNumber(out, h.histogram.Percentile(50));
+    out += ",\"p95\":";
+    AppendJsonNumber(out, h.histogram.Percentile(95));
+    out += ",\"p99\":";
+    AppendJsonNumber(out, h.histogram.Percentile(99));
+    out += ",\"buckets\":[";
+    const std::vector<double>& bounds = h.histogram.bounds();
+    const std::vector<std::size_t>& counts = h.histogram.buckets();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      if (i < bounds.size()) {
+        AppendJsonNumber(out, bounds[i]);
+      } else {
+        out += "null";  // overflow bucket: no finite ceiling
+      }
+      out += ",\"count\":";
+      out += std::to_string(counts[i]);
+      out += '}';
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::string out;
+  out += "t";
+  for (const std::string& name : names_) {
+    out += ',';
+    out += name;
+  }
+  out += '\n';
+  for (const Row& row : rows_) {
+    AppendJsonNumber(out, row.t);
+    for (const double v : row.values) {
+      out += ',';
+      AppendJsonNumber(out, v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonl(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const std::string body = ToJsonl();
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return static_cast<bool>(file);
+}
+
+bool MetricsRegistry::WriteCsv(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const std::string body = ToCsv();
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return static_cast<bool>(file);
+}
+
+}  // namespace liquid::obs

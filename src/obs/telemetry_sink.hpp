@@ -1,0 +1,49 @@
+#pragma once
+// Glue between the uniform CLI flags and the telemetry exporters: one call
+// writes whichever artifacts (--trace-out / --trace-jsonl / --metrics-out /
+// --metrics-csv) the user asked for, echoing each path to stdout so scripts
+// can pick the files up.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "util/cli_flags.hpp"
+
+namespace liquid::obs {
+
+/// Writes the requested telemetry artifacts; returns false when any write
+/// fails (the failing path is reported on stderr).
+inline bool WriteTelemetry(const CliFlags& flags, const TraceRecorder& trace,
+                           const MetricsRegistry& metrics) {
+  bool ok = true;
+  const auto report = [&ok](bool wrote, const char* what,
+                            const std::string& path) {
+    if (wrote) {
+      std::printf("wrote %s: %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write %s: %s\n", what, path.c_str());
+      ok = false;
+    }
+  };
+  if (!flags.trace_out.empty()) {
+    report(trace.WriteChromeTrace(flags.trace_out), "chrome trace",
+           flags.trace_out);
+  }
+  if (!flags.trace_jsonl.empty()) {
+    report(trace.WriteJsonl(flags.trace_jsonl), "trace jsonl",
+           flags.trace_jsonl);
+  }
+  if (!flags.metrics_out.empty()) {
+    report(metrics.WriteJsonl(flags.metrics_out), "metrics jsonl",
+           flags.metrics_out);
+  }
+  if (!flags.metrics_csv.empty()) {
+    report(metrics.WriteCsv(flags.metrics_csv), "metrics csv",
+           flags.metrics_csv);
+  }
+  return ok;
+}
+
+}  // namespace liquid::obs

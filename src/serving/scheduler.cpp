@@ -15,6 +15,12 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(const ServingEngine& engine,
       chunk_(engine.options().prefill_chunk_tokens) {}
 
 void ContinuousBatchScheduler::Submit(Request request) {
+  if (trace_ != nullptr) {
+    trace_->AsyncBegin(obs::TraceEventType::kStageQueued,
+                       std::max(stats_.simulated_seconds,
+                                request.EffectiveArrival()),
+                       request.id, static_cast<double>(trace_pid_ - 1));
+  }
   waiting_.push_back(request);
 }
 
@@ -22,6 +28,12 @@ bool ContinuousBatchScheduler::AcceptMigrated(Request request,
                                               const KvExport& kv) {
   if (!pool_.Import(kv)) return false;
   request.kv_migrated = true;
+  if (trace_ != nullptr) {
+    trace_->AsyncBegin(obs::TraceEventType::kStageQueued,
+                       std::max(stats_.simulated_seconds,
+                                request.EffectiveArrival()),
+                       request.id, static_cast<double>(trace_pid_ - 1));
+  }
   waiting_.push_back(request);
   return true;
 }
@@ -72,6 +84,14 @@ void ContinuousBatchScheduler::Admit() {
       // charge.  One free block of generation headroom keeps parity with the
       // conservative admission below.
       if (!pool_.CanAllocate(1)) break;
+      if (trace_ != nullptr) {
+        const double at = stats_.simulated_seconds;
+        trace_->Instant(obs::TraceEventType::kAdmit, at, trace_pid_,
+                        obs::kTidLifecycle, next.id);
+        trace_->AsyncEnd(obs::TraceEventType::kStageQueued, at, next.id);
+        trace_->AsyncBegin(obs::TraceEventType::kStageRun, at, next.id,
+                           static_cast<double>(trace_pid_ - 1));
+      }
       running_.push_back({next, 0, 0});
       waiting_.pop_front();
       continue;
@@ -88,6 +108,21 @@ void ContinuousBatchScheduler::Admit() {
       ++stats_.prefix_hits;
       stats_.prefill_tokens_saved += static_cast<double>(cached);
     }
+    const double admitted_at = stats_.simulated_seconds;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kAdmit, admitted_at, trace_pid_,
+                      obs::kTidLifecycle, next.id,
+                      static_cast<double>(cached));
+      if (cached > 0) {
+        trace_->Instant(obs::TraceEventType::kPrefixHit, admitted_at,
+                        trace_pid_, obs::kTidLifecycle, next.id,
+                        static_cast<double>(cached));
+      }
+      trace_->AsyncEnd(obs::TraceEventType::kStageQueued, admitted_at,
+                       next.id);
+      trace_->AsyncBegin(obs::TraceEventType::kStageRun, admitted_at, next.id,
+                         static_cast<double>(trace_pid_ - 1));
+    }
     if (chunk_ > 0) {
       // Chunked prefill: the sequence enters the batch immediately and its
       // prefill advances one chunk per Step, interleaved with decode.  The
@@ -100,6 +135,12 @@ void ContinuousBatchScheduler::Admit() {
       const double prefill = PrefillCharge(next);
       stats_.simulated_seconds += prefill;
       stats_.busy_seconds += prefill;
+      if (trace_ != nullptr) {
+        trace_->Span(obs::TraceEventType::kPrefill, admitted_at, prefill,
+                     trace_pid_, obs::kTidEngine, next.id,
+                     static_cast<double>(next.prompt_tokens),
+                     static_cast<double>(cached));
+      }
       if (!next.prefix.empty()) {
         pool_.RegisterPrefix(next.id, next.prefix.hashes);
       }
@@ -117,6 +158,16 @@ void ContinuousBatchScheduler::Preempt() {
   Running victim = running_.back();
   running_.pop_back();
   pool_.Free(victim.request.id);
+  if (trace_ != nullptr) {
+    const double at = stats_.simulated_seconds;
+    trace_->Instant(obs::TraceEventType::kPreempt, at, trace_pid_,
+                    obs::kTidLifecycle, victim.request.id,
+                    static_cast<double>(victim.generated));
+    trace_->AsyncEnd(obs::TraceEventType::kStageRun, at, victim.request.id);
+    trace_->AsyncBegin(obs::TraceEventType::kStageQueued, at,
+                       victim.request.id,
+                       static_cast<double>(trace_pid_ - 1));
+  }
   // It restarts with its tokens-so-far as the new prompt; timing state
   // (first token, cumulative progress) carries over.  Migrated KV does not
   // survive eviction: the retry recomputes its prefill like any other.
@@ -142,6 +193,19 @@ void ContinuousBatchScheduler::Retire(const Running& done) {
                            : stats_.simulated_seconds;
   timing.finish = stats_.simulated_seconds;
   timing.generated = done.request.progress + done.generated;
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kComplete, timing.finish, trace_pid_,
+                    obs::kTidLifecycle, timing.id,
+                    static_cast<double>(timing.generated), timing.Ttft());
+    trace_->AsyncEnd(obs::TraceEventType::kStageRun, timing.finish,
+                     timing.id);
+    if (done.request.kv_migrated) {
+      // Close the KV-migration flow arrow at the migrated request's final
+      // decode step on this (decode) replica.
+      trace_->Flow(obs::TracePhase::kFlowEnd, timing.finish, trace_pid_,
+                   obs::kTidEngine, timing.id);
+    }
+  }
   completions_.push_back(timing);
   ++stats_.completed;
 }
@@ -157,6 +221,15 @@ void ContinuousBatchScheduler::Handoff(const Running& done) {
   cont.kv_migrated = true;
   h.request = cont;
   h.ready = stats_.simulated_seconds;
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceEventType::kHandoffExport, h.ready, trace_pid_,
+                    obs::kTidLifecycle, cont.id,
+                    static_cast<double>(h.kv.tokens));
+    trace_->AsyncEnd(obs::TraceEventType::kStageRun, h.ready, cont.id);
+    // Open the KV-migration flow arrow at the prefill replica's engine lane.
+    trace_->Flow(obs::TracePhase::kFlowStart, h.ready, trace_pid_,
+                 obs::kTidEngine, cont.id);
+  }
   handoffs_.push_back(h);
   ++stats_.prefill_handoffs;
 }
@@ -172,6 +245,12 @@ bool ContinuousBatchScheduler::Step() {
     if (waiting_.empty()) return false;
     // Nothing is running, so no blocks will ever be freed: the head request
     // cannot fit even a drained pool.  Drop it rather than livelock.
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceEventType::kPoolDrop, stats_.simulated_seconds,
+                      trace_pid_, obs::kTidLifecycle, waiting_.front().id);
+      trace_->AsyncEnd(obs::TraceEventType::kStageQueued,
+                       stats_.simulated_seconds, waiting_.front().id);
+    }
     dropped_ids_.push_back(waiting_.front().id);
     waiting_.pop_front();
     ++stats_.dropped;
@@ -200,6 +279,12 @@ bool ContinuousBatchScheduler::Step() {
       const std::size_t prior = r.request.prompt_tokens - r.prefill_remaining;
       const std::size_t len = std::min(chunk_, r.prefill_remaining);
       const double t = engine_.PrefillChunkSeconds(len, prior) * slowdown_;
+      if (trace_ != nullptr) {
+        trace_->Span(obs::TraceEventType::kPrefillChunk,
+                     stats_.simulated_seconds, t, trace_pid_, obs::kTidEngine,
+                     r.request.id, static_cast<double>(len),
+                     static_cast<double>(prior));
+      }
       stats_.simulated_seconds += t;
       stats_.busy_seconds += t;
       r.prefill_remaining -= len;
@@ -252,6 +337,11 @@ bool ContinuousBatchScheduler::Step() {
   const double decode =
       engine_.DecodeStepSeconds(batch, static_cast<std::size_t>(mean_len)) *
       slowdown_;
+  if (trace_ != nullptr) {
+    trace_->Span(obs::TraceEventType::kDecodeStep, stats_.simulated_seconds,
+                 decode, trace_pid_, obs::kTidEngine, /*id=*/0,
+                 static_cast<double>(batch), mean_len);
+  }
   stats_.simulated_seconds += decode;
   stats_.busy_seconds += decode;
   stats_.generated_tokens += static_cast<double>(batch);
@@ -302,6 +392,18 @@ void ContinuousBatchScheduler::StepUntil(double deadline) {
 std::vector<Request> ContinuousBatchScheduler::Drain() {
   std::vector<Request> out;
   out.reserve(running_.size() + waiting_.size());
+  if (trace_ != nullptr) {
+    // Close every open journey-stage slice at the drain instant; the
+    // re-submission elsewhere opens fresh ones.
+    for (const Running& r : running_) {
+      trace_->AsyncEnd(obs::TraceEventType::kStageRun,
+                       stats_.simulated_seconds, r.request.id);
+    }
+    for (const Request& w : waiting_) {
+      trace_->AsyncEnd(obs::TraceEventType::kStageQueued,
+                       stats_.simulated_seconds, w.id);
+    }
+  }
   for (const Running& r : running_) {
     pool_.Free(r.request.id);
     Request req = r.request;
@@ -327,6 +429,16 @@ std::vector<Request> ContinuousBatchScheduler::Drain() {
 ContinuousBatchScheduler::ForfeitedWork ContinuousBatchScheduler::Forfeit() {
   ForfeitedWork out;
   out.requests.reserve(running_.size() + waiting_.size());
+  if (trace_ != nullptr) {
+    for (const Running& r : running_) {
+      trace_->AsyncEnd(obs::TraceEventType::kStageRun,
+                       stats_.simulated_seconds, r.request.id);
+    }
+    for (const Request& w : waiting_) {
+      trace_->AsyncEnd(obs::TraceEventType::kStageQueued,
+                       stats_.simulated_seconds, w.id);
+    }
+  }
   // A request's original shape is recoverable from the preemption bookkeeping:
   // `progress` tokens were folded into prompt_tokens (and out of
   // max_new_tokens) at each preemption, and a running residency has

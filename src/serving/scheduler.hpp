@@ -26,9 +26,11 @@
 //    whole prefill.
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "obs/trace_recorder.hpp"
 #include "serving/engine.hpp"
 #include "serving/kv_cache.hpp"
 #include "serving/workload.hpp"
@@ -177,6 +179,15 @@ class ContinuousBatchScheduler {
   }
   [[nodiscard]] double slowdown() const { return slowdown_; }
 
+  /// Attaches lifecycle tracing (cluster telemetry).  `replica` is this
+  /// scheduler's fleet id — events land in that replica's Perfetto lane.
+  /// The recorder must outlive the scheduler; nullptr detaches.  Every hook
+  /// is a single null-check branch when detached.
+  void SetTrace(obs::TraceRecorder* trace, std::size_t replica) {
+    trace_ = trace;
+    trace_pid_ = obs::ReplicaPid(replica);
+  }
+
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<RequestTiming>& completions() const {
     return completions_;
@@ -233,6 +244,8 @@ class ContinuousBatchScheduler {
   std::size_t max_batch_;
   std::size_t chunk_;  ///< engine prefill_chunk_tokens (0 = unchunked)
   double slowdown_ = 1.0;  ///< degradation factor on every compute charge
+  obs::TraceRecorder* trace_ = nullptr;  ///< null = tracing disabled
+  std::int32_t trace_pid_ = 0;  ///< this replica's trace process lane
   std::deque<Request> waiting_;
   std::vector<Running> running_;
   SchedulerStats stats_;

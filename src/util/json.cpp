@@ -1,0 +1,294 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace liquid {
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  // Integers inside the double-exact range print without fraction/exponent,
+  // so counters and ids read naturally and hash identically everywhere.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (!scopes_.back().first) out_ += ',';
+    scopes_.back().first = false;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scopes_.push_back({'{', true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  scopes_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scopes_.push_back({'[', true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  scopes_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!scopes_.empty()) {
+    if (!scopes_.back().first) out_ += ',';
+    scopes_.back().first = false;
+  }
+  AppendJsonString(out_, key);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendJsonString(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  AppendJsonNumber(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_.append(json);
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent syntax checker.  `pos` advances past the parsed value;
+// returns false on any malformation.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Check() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool Digits() {
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return true;
+  }
+  bool Number() {
+    Eat('-');
+    if (Eat('0')) {
+      // no leading zeros
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Eat('.') && !Digits()) return false;
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+  bool Value() {
+    if (++depth_ > 256) return false;
+    bool ok = false;
+    if (pos_ >= text_.size()) {
+      ok = false;
+    } else if (text_[pos_] == '{') {
+      ++pos_;
+      SkipWs();
+      if (Eat('}')) {
+        ok = true;
+      } else {
+        for (;;) {
+          SkipWs();
+          if (!String()) break;
+          SkipWs();
+          if (!Eat(':')) break;
+          SkipWs();
+          if (!Value()) break;
+          SkipWs();
+          if (Eat('}')) {
+            ok = true;
+            break;
+          }
+          if (!Eat(',')) break;
+        }
+      }
+    } else if (text_[pos_] == '[') {
+      ++pos_;
+      SkipWs();
+      if (Eat(']')) {
+        ok = true;
+      } else {
+        for (;;) {
+          SkipWs();
+          if (!Value()) break;
+          SkipWs();
+          if (Eat(']')) {
+            ok = true;
+            break;
+          }
+          if (!Eat(',')) break;
+        }
+      }
+    } else if (text_[pos_] == '"') {
+      ok = String();
+    } else if (text_[pos_] == 't') {
+      ok = Literal("true");
+    } else if (text_[pos_] == 'f') {
+      ok = Literal("false");
+    } else if (text_[pos_] == 'n') {
+      ok = Literal("null");
+    } else {
+      ok = Number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool JsonSyntaxValid(std::string_view text) {
+  return JsonChecker(text).Check();
+}
+
+}  // namespace liquid

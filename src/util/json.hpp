@@ -1,0 +1,65 @@
+#pragma once
+// Minimal deterministic JSON emission for telemetry exports.  The golden
+// tests pin trace/metrics artifacts byte-for-byte, so every number must
+// format identically across platforms and runs: integers print without a
+// fraction, other finite doubles print with %.17g (round-trip exact), and
+// non-finite values — PredictTtft legitimately returns infinity — print as
+// null so the output stays valid JSON.
+//
+// JsonWriter is a push-style emitter (no DOM): Begin/End scopes manage the
+// commas, Key/value calls append.  JsonSyntaxValid is a strict syntax
+// checker used by tests and benches to self-verify artifacts before CI's
+// external `python3 -m json.tool` pass sees them.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liquid {
+
+/// Appends `value` to `out` as a deterministic JSON number (or `null` when
+/// non-finite).  Integral values within the double-exact range print without
+/// an exponent or fraction.
+void AppendJsonNumber(std::string& out, double value);
+
+/// Appends `text` to `out` as a quoted JSON string with escapes.
+void AppendJsonString(std::string& out, std::string_view text);
+
+/// Strict JSON syntax check (full parse, no semantics).  Accepts exactly one
+/// top-level value; rejects trailing garbage.
+[[nodiscard]] bool JsonSyntaxValid(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Object member key; must be followed by exactly one value (or scope).
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(std::uint64_t value);
+  JsonWriter& Number(std::int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Splices pre-rendered JSON (e.g. FleetStatsToJson output) as one value.
+  JsonWriter& Raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  struct Scope {
+    char kind = '{';      // '{' or '['
+    bool first = true;    // no comma needed yet
+  };
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool after_key_ = false;
+};
+
+}  // namespace liquid
