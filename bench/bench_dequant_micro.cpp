@@ -10,9 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/dequant/dequant.hpp"
+#include "core/gemm/gemm.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -86,6 +88,34 @@ void BM_QserveDequantRegister(benchmark::State& state) {
 }
 BENCHMARK(BM_QserveDequantRegister);
 
+void RegisterFusedDequantDotBenchmarks() {
+  // GEMV (M=1) through each GEMM provider: at batch 1 the main loop is
+  // dominated by weight dequantization, so ns/element here is the fused
+  // dequant+dot cost — the scalar rows above vs the AVX2 provider's
+  // pshufb-LUT fused row dequant.
+  for (const GemmProvider provider : AvailableGemmProviders()) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_FusedLqqDequantDotGemv/") +
+         GemmProviderName(provider))
+            .c_str(),
+        [provider](benchmark::State& state) {
+          constexpr std::size_t kN = 512, kK = 4096;
+          Rng rng(2);
+          MatrixF x(1, kK);
+          for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+          const QuantizedActivations xq = QuantizeActivationsPerToken(x);
+          const LqqWeights w = MakeLqq(kN, kK);
+          for (auto _ : state) {
+            MatrixF y = GemmW4A8Liquid(xq, w, provider);
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kN * kK));
+        });
+  }
+}
+
 void PrintInstructionMix() {
   IsaCounter lqq;
   (void)LqqDequant8(0x12345678u, 16, 100, &lqq);
@@ -114,6 +144,7 @@ void PrintInstructionMix() {
 
 int main(int argc, char** argv) {
   PrintInstructionMix();
+  RegisterFusedDequantDotBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,8 +3,23 @@
 // executable witness that the LiquidQuant main loop (SWAR dequant + INT8
 // MAC) does strictly less work per element than the QServe-style main loop,
 // independent of the simulator.
+//
+// The unsuffixed BM_* benchmarks run whatever provider `GemmProvider::kAuto`
+// resolves to (LIQUID_GEMM_PROVIDER env override, then CPUID); a suffixed
+// variant per available provider (e.g. BM_GemmW4A8Liquid/reference vs
+// BM_GemmW4A8Liquid/avx2) is registered at startup so one run produces the
+// scalar-vs-SIMD comparison table.
+//
+// `--check-speedup` switches to gate mode: times the reference and AVX2
+// providers on the W4A8 LiquidGEMM hot kernel (16x512x2048) and exits
+// non-zero if AVX2 is available but below 3x — the CI perf regression gate.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/gemm/gemm.hpp"
 #include "util/rng.hpp"
@@ -31,6 +46,8 @@ Problem Make(std::size_t m, std::size_t n, std::size_t k) {
 constexpr std::size_t kM = 16;
 constexpr std::size_t kN = 512;
 constexpr std::size_t kK = 2048;
+
+// --- kAuto benchmarks (stable names; the active provider) -------------------
 
 void BM_GemmW4A8Liquid(benchmark::State& state) {
   const Problem p = Make(kM, kN, kK);
@@ -91,6 +108,117 @@ void BM_PackDualMma(benchmark::State& state) {
 }
 BENCHMARK(BM_PackDualMma)->Unit(benchmark::kMillisecond);
 
+// --- per-provider variants (registered for every available provider) --------
+
+void RegisterPerProviderBenchmarks() {
+  for (const GemmProvider provider : AvailableGemmProviders()) {
+    const std::string suffix = std::string("/") + GemmProviderName(provider);
+    benchmark::RegisterBenchmark(
+        ("BM_GemmW4A8Liquid" + suffix).c_str(),
+        [provider](benchmark::State& state) {
+          const Problem p = Make(kM, kN, kK);
+          const LqqWeights w = QuantizeWeightsLqq(p.w);
+          for (auto _ : state) {
+            MatrixF y = GemmW4A8Liquid(p.xq, w, provider);
+            benchmark::DoNotOptimize(y.data());
+          }
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("BM_GemmW4A8Qserve" + suffix).c_str(),
+        [provider](benchmark::State& state) {
+          const Problem p = Make(kM, kN, kK);
+          const QserveWeights w = QuantizeWeightsQserve(p.w);
+          for (auto _ : state) {
+            MatrixF y = GemmW4A8Qserve(p.xq, w, provider);
+            benchmark::DoNotOptimize(y.data());
+          }
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("BM_GemmW8A8" + suffix).c_str(),
+        [provider](benchmark::State& state) {
+          const Problem p = Make(kM, kN, kK);
+          const W8A8Weights w = QuantizeWeightsW8A8(p.w);
+          for (auto _ : state) {
+            MatrixF y = GemmW8A8(p.xq, w, provider);
+            benchmark::DoNotOptimize(y.data());
+          }
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("BM_GemmFp32" + suffix).c_str(),
+        [provider](benchmark::State& state) {
+          const Problem p = Make(kM, kN, kK);
+          for (auto _ : state) {
+            MatrixF y = GemmReference(p.x, p.w, provider);
+            benchmark::DoNotOptimize(y.data());
+          }
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+// --- gate mode ---------------------------------------------------------------
+
+double BestOfMs(const Problem& p, const LqqWeights& w, GemmProvider provider,
+                int reps) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up (page faults, provider resolution) excluded from timing.
+  MatrixF y = GemmW4A8Liquid(p.xq, w, provider);
+  benchmark::DoNotOptimize(y.data());
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    MatrixF out = GemmW4A8Liquid(p.xq, w, provider);
+    const auto t1 = Clock::now();
+    benchmark::DoNotOptimize(out.data());
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Gate: AVX2 must beat the scalar reference by >= 3x on the W4A8 hot kernel.
+/// Returns the process exit code.
+int CheckSpeedup() {
+  if (!GemmProviderAvailable(GemmProvider::kAvx2)) {
+    std::printf(
+        "check-speedup: AVX2 provider unavailable on this machine/build; "
+        "skipping (ok)\n");
+    return 0;
+  }
+  const Problem p = Make(kM, kN, kK);
+  const LqqWeights w = QuantizeWeightsLqq(p.w);
+  constexpr int kReps = 30;
+  const double ref_ms = BestOfMs(p, w, GemmProvider::kReference, kReps);
+  const double avx2_ms = BestOfMs(p, w, GemmProvider::kAvx2, kReps);
+  const double speedup = ref_ms / avx2_ms;
+  std::printf(
+      "check-speedup: BM_GemmW4A8Liquid %zux%zux%zu  reference=%.3fms  "
+      "avx2=%.3fms  speedup=%.2fx (gate: >= 3x)\n",
+      kM, kN, kK, ref_ms, avx2_ms, speedup);
+  if (speedup < 3.0) {
+    std::printf("check-speedup: FAIL — AVX2 below the 3x gate\n");
+    return 1;
+  }
+  std::printf("check-speedup: OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-speedup") == 0) {
+      return CheckSpeedup();
+    }
+  }
+  RegisterPerProviderBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,57 +1,93 @@
+// Public GEMM entry points: shape validation + provider dispatch, plus the
+// provider-independent offline quantizers (W8A8, W4A16).
+//
+// The kernels themselves live in gemm_reference.cpp / gemm_portable.cpp /
+// gemm_avx2.cpp behind the GemmKernelTable in kernels.hpp.
+
 #include "core/gemm/gemm.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
-#include "core/dequant/dequant.hpp"
+#include "core/gemm/kernels.hpp"
 
 namespace liquid {
 namespace {
 
-/// INT8 dot product with INT32 accumulation (tensor-core IMMA semantics).
-std::int32_t DotI8(const std::int8_t* a, const std::int8_t* b, std::size_t k) {
-  std::int32_t acc = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+// Shape preconditions throw (not assert): in a Release build an assert
+// compiles out and a mismatched K silently reads out of bounds.
+[[noreturn]] void ThrowShape(const char* kernel, const std::string& detail) {
+  throw std::invalid_argument(std::string(kernel) + ": " + detail);
+}
+
+void CheckFloatGemm(const char* kernel, const MatrixF& x, const MatrixF& w) {
+  if (x.cols() != w.cols()) {
+    ThrowShape(kernel, "K mismatch: x is [" + std::to_string(x.rows()) + " x " +
+                           std::to_string(x.cols()) + "], w is [" +
+                           std::to_string(w.rows()) + " x " +
+                           std::to_string(w.cols()) + "]");
   }
-  return acc;
+}
+
+void CheckActivations(const char* kernel, const QuantizedActivations& x,
+                      std::size_t k) {
+  if (x.q.cols() != k) {
+    ThrowShape(kernel, "K mismatch: activations have K=" +
+                           std::to_string(x.q.cols()) + ", weights have K=" +
+                           std::to_string(k));
+  }
+  if (x.token_scale.size() != x.q.rows()) {
+    ThrowShape(kernel, "token_scale has " +
+                           std::to_string(x.token_scale.size()) +
+                           " entries for " + std::to_string(x.q.rows()) +
+                           " token rows");
+  }
+}
+
+void CheckChannelScale(const char* kernel, std::size_t scales, std::size_t n) {
+  if (scales != n) {
+    ThrowShape(kernel, "channel_scale has " + std::to_string(scales) +
+                           " entries for " + std::to_string(n) +
+                           " output channels");
+  }
+}
+
+void CheckPackedW4A8(const char* kernel, std::size_t n, std::size_t k,
+                     std::size_t group_size, std::size_t packed_regs,
+                     std::size_t groups) {
+  if (group_size == 0 || group_size % 8 != 0) {
+    ThrowShape(kernel, "group_size " + std::to_string(group_size) +
+                           " must be a positive multiple of 8");
+  }
+  if (k % group_size != 0) {
+    ThrowShape(kernel, "K=" + std::to_string(k) +
+                           " is not a multiple of group_size=" +
+                           std::to_string(group_size));
+  }
+  if (packed_regs != n * (k / 8)) {
+    ThrowShape(kernel, "packed register count " + std::to_string(packed_regs) +
+                           " != n*k/8 = " + std::to_string(n * (k / 8)));
+  }
+  if (groups != n * (k / group_size)) {
+    ThrowShape(kernel, "group_params count " + std::to_string(groups) +
+                           " != n*k/group_size = " +
+                           std::to_string(n * (k / group_size)));
+  }
 }
 
 }  // namespace
 
-MatrixF GemmReference(const MatrixF& x, const MatrixF& w) {
-  assert(x.cols() == w.cols());
-  MatrixF y(x.rows(), w.rows());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.rows()); ++m) {
-    const auto xr = x.Row(static_cast<std::size_t>(m));
-    for (std::size_t n = 0; n < w.rows(); ++n) {
-      const auto wr = w.Row(n);
-      float acc = 0.0f;
-      for (std::size_t k = 0; k < xr.size(); ++k) acc += xr[k] * wr[k];
-      y.At(static_cast<std::size_t>(m), n) = acc;
-    }
-  }
-  return y;
+MatrixF GemmReference(const MatrixF& x, const MatrixF& w,
+                      GemmProvider provider) {
+  CheckFloatGemm("GemmReference", x, w);
+  return detail::Kernels(provider).fp32(x, w);
 }
 
-MatrixF GemmFp16(const MatrixF& x, const MatrixF& w) {
-  assert(x.cols() == w.cols());
-  MatrixF y(x.rows(), w.rows());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.rows()); ++m) {
-    const auto xr = x.Row(static_cast<std::size_t>(m));
-    for (std::size_t n = 0; n < w.rows(); ++n) {
-      const auto wr = w.Row(n);
-      float acc = 0.0f;  // tensor cores accumulate FP16 products in FP32
-      for (std::size_t k = 0; k < xr.size(); ++k) {
-        acc += QuantizeToHalf(xr[k]) * QuantizeToHalf(wr[k]);
-      }
-      y.At(static_cast<std::size_t>(m), n) = acc;
-    }
-  }
-  return y;
+MatrixF GemmFp16(const MatrixF& x, const MatrixF& w, GemmProvider provider) {
+  CheckFloatGemm("GemmFp16", x, w);
+  return detail::Kernels(provider).fp16(x, w);
 }
 
 W8A8Weights QuantizeWeightsW8A8(const MatrixF& weights) {
@@ -64,20 +100,11 @@ W8A8Weights QuantizeWeightsW8A8(const MatrixF& weights) {
   return out;
 }
 
-MatrixF GemmW8A8(const QuantizedActivations& x, const W8A8Weights& w) {
-  assert(x.q.cols() == w.q.cols());
-  MatrixF y(x.q.rows(), w.q.rows());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.q.rows()); ++m) {
-    const std::size_t mu = static_cast<std::size_t>(m);
-    for (std::size_t n = 0; n < w.q.rows(); ++n) {
-      const std::int32_t acc =
-          DotI8(x.q.Row(mu).data(), w.q.Row(n).data(), x.q.cols());
-      y.At(mu, n) = static_cast<float>(acc) * x.token_scale[mu] *
-                    w.channel_scale[n];
-    }
-  }
-  return y;
+MatrixF GemmW8A8(const QuantizedActivations& x, const W8A8Weights& w,
+                 GemmProvider provider) {
+  CheckActivations("GemmW8A8", x, w.q.cols());
+  CheckChannelScale("GemmW8A8", w.channel_scale.size(), w.q.rows());
+  return detail::Kernels(provider).w8a8(x, w);
 }
 
 float W4A16Weights::Dequant(std::size_t row, std::size_t col) const {
@@ -93,7 +120,14 @@ W4A16Weights QuantizeWeightsW4A16(const MatrixF& weights,
                                   std::size_t group_size) {
   const std::size_t n = weights.rows();
   const std::size_t k = weights.cols();
-  assert(k % group_size == 0 && k % 2 == 0);
+  if (group_size == 0) {
+    ThrowShape("QuantizeWeightsW4A16", "group_size must be >= 1");
+  }
+  if (k % group_size != 0 || k % 2 != 0) {
+    ThrowShape("QuantizeWeightsW4A16",
+               "K=" + std::to_string(k) + " must be a multiple of 2 and of "
+               "group_size=" + std::to_string(group_size));
+  }
   W4A16Weights out;
   out.n = n;
   out.k = k;
@@ -112,12 +146,15 @@ W4A16Weights QuantizeWeightsW4A16(const MatrixF& weights,
       }
       float scale = (hi - lo) / 15.0f;
       if (scale <= 0.0f) scale = 1.0f;
-      // AWQ-style: w ≈ q*s - z where z = -lo rounded into the grid.
-      const float zero = -lo;
       out.group_scale[row * (k / group_size) + gi] = Half(scale);
-      out.group_zero[row * (k / group_size) + gi] = Half(zero);
       const float s_eff =
           out.group_scale[row * (k / group_size) + gi].ToFloat();
+      // AWQ-style: w ≈ (q - z_q)*s with the zero point z_q snapped to the
+      // quantization grid, so dequantization never leaves the INT4 lattice.
+      const int zero_q = static_cast<int>(
+          std::clamp(std::nearbyint(-lo / s_eff), 0.0f, 15.0f));
+      out.group_zero[row * (k / group_size) + gi] =
+          Half(static_cast<float>(zero_q) * s_eff);
       const float z_eff = out.group_zero[row * (k / group_size) + gi].ToFloat();
       for (std::size_t j = 0; j < group_size; ++j) {
         const std::size_t col = gi * group_size + j;
@@ -136,114 +173,55 @@ W4A16Weights QuantizeWeightsW4A16(const MatrixF& weights,
   return out;
 }
 
-MatrixF GemmW4A16(const MatrixF& x, const W4A16Weights& w) {
-  assert(x.cols() == w.k);
-  MatrixF y(x.rows(), w.n);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t m = 0; m < static_cast<std::ptrdiff_t>(x.rows()); ++m) {
-    const std::size_t mu = static_cast<std::size_t>(m);
-    const auto xr = x.Row(mu);
-    for (std::size_t n = 0; n < w.n; ++n) {
-      float acc = 0.0f;
-      for (std::size_t k = 0; k < w.k; ++k) {
-        acc += QuantizeToHalf(xr[k]) * QuantizeToHalf(w.Dequant(n, k));
-      }
-      y.At(mu, n) = acc;
-    }
+MatrixF GemmW4A16(const MatrixF& x, const W4A16Weights& w,
+                  GemmProvider provider) {
+  if (x.cols() != w.k) {
+    ThrowShape("GemmW4A16", "K mismatch: x has K=" + std::to_string(x.cols()) +
+                                ", weights have K=" + std::to_string(w.k));
   }
-  return y;
+  if (w.group_size == 0 || w.k % w.group_size != 0 || w.k % 2 != 0 ||
+      w.packed.size() != w.n * w.k / 2) {
+    ThrowShape("GemmW4A16", "malformed W4A16Weights (n=" + std::to_string(w.n) +
+                                ", k=" + std::to_string(w.k) + ", group_size=" +
+                                std::to_string(w.group_size) + ")");
+  }
+  return detail::Kernels(provider).w4a16(x, w);
 }
 
-MatrixF GemmW4A8Liquid(const QuantizedActivations& x, const LqqWeights& w) {
-  assert(x.q.cols() == w.k);
-  MatrixF y(x.q.rows(), w.n);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(w.n); ++n) {
-    const std::size_t nu = static_cast<std::size_t>(n);
-    // Main loop, weight-stationary per output channel: SWAR dequant of the
-    // packed row, then INT8 MMA against every token.
-    std::vector<std::int8_t> wrow(w.k);
-    LqqDequantRow(w, nu, wrow);
-    for (std::size_t m = 0; m < x.q.rows(); ++m) {
-      const std::int32_t acc = DotI8(x.q.Row(m).data(), wrow.data(), w.k);
-      // Epilogue: first-level dequantization (token scale x channel scale).
-      y.At(m, nu) = static_cast<float>(acc) * x.token_scale[m] *
-                    w.channel_scale[nu];
-    }
-  }
-  return y;
+MatrixF GemmW4A8Liquid(const QuantizedActivations& x, const LqqWeights& w,
+                       GemmProvider provider) {
+  CheckActivations("GemmW4A8Liquid", x, w.k);
+  CheckChannelScale("GemmW4A8Liquid", w.channel_scale.size(), w.n);
+  CheckPackedW4A8("GemmW4A8Liquid", w.n, w.k, w.group_size, w.packed.size(),
+                  w.group_params.size());
+  return detail::Kernels(provider).w4a8_lqq(x, w);
 }
 
 MatrixF GemmW4A8LiquidDualMma(const QuantizedActivations& x,
-                              const DualMmaPackedWeights& w) {
-  assert(x.q.cols() == w.k);
-  const std::size_t m_dim = x.q.rows();
-  MatrixF y(m_dim, w.n);
-  const auto provenance = BuildDualMmaProvenance();
-
-  // Per-tile INT32 accumulators, exactly like a thread block's RF fragment.
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t tn = 0; tn < static_cast<std::ptrdiff_t>(w.TilesN());
-       ++tn) {
-    const std::size_t tnu = static_cast<std::size_t>(tn);
-    std::vector<std::int32_t> acc(m_dim * kSupertileRows, 0);
-    for (std::size_t tk = 0; tk < w.TilesK(); ++tk) {
-      const auto tile = w.Tile(tnu, tk);
-      const std::size_t col0 = tk * kSupertileCols;
-      for (std::size_t r = 0; r < tile.size(); ++r) {
-        // Dequantize this register with its group's parameters.  All 8 lanes
-        // of a register share one row and sit inside one K-group because the
-        // group size (64) covers the whole supertile width.
-        const FragCoord& first = provenance[r].lane[0];
-        const std::size_t row =
-            tnu * kSupertileRows + static_cast<std::size_t>(first.row);
-        const std::size_t group =
-            (col0 + static_cast<std::size_t>(first.col)) / w.group_size;
-        const LqqGroupParams& p = w.Params(row, group);
-        const Dequanted8 d = LqqDequant8(tile[r], p.scale, p.offset);
-        std::int8_t vals[8];
-        StoreDequanted8(d, vals);
-        for (int lane = 0; lane < 8; ++lane) {
-          const FragCoord& c = provenance[r].lane[static_cast<std::size_t>(lane)];
-          const std::size_t col = col0 + static_cast<std::size_t>(c.col);
-          for (std::size_t m = 0; m < m_dim; ++m) {
-            acc[m * kSupertileRows + static_cast<std::size_t>(c.row)] +=
-                static_cast<std::int32_t>(x.q.At(m, col)) *
-                static_cast<std::int32_t>(vals[lane]);
-          }
-        }
-      }
-    }
-    for (std::size_t m = 0; m < m_dim; ++m) {
-      for (std::size_t rr = 0; rr < kSupertileRows; ++rr) {
-        const std::size_t nu = tnu * kSupertileRows + rr;
-        y.At(m, nu) = static_cast<float>(acc[m * kSupertileRows + rr]) *
-                      x.token_scale[m] * w.channel_scale[nu];
-      }
-    }
+                              const DualMmaPackedWeights& w,
+                              GemmProvider provider) {
+  CheckActivations("GemmW4A8LiquidDualMma", x, w.k);
+  CheckChannelScale("GemmW4A8LiquidDualMma", w.channel_scale.size(), w.n);
+  if (w.n % kSupertileRows != 0 || w.k % kSupertileCols != 0) {
+    ThrowShape("GemmW4A8LiquidDualMma",
+               "supertile layout needs N, K multiples of 64; got N=" +
+                   std::to_string(w.n) + ", K=" + std::to_string(w.k));
   }
-  return y;
+  return detail::Kernels(provider).w4a8_dual(x, w);
 }
 
-MatrixF GemmW4A8Qserve(const QuantizedActivations& x, const QserveWeights& w) {
-  assert(x.q.cols() == w.k);
-  MatrixF y(x.q.rows(), w.n);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(w.n); ++n) {
-    const std::size_t nu = static_cast<std::size_t>(n);
-    std::vector<std::int8_t> wrow(w.k);
-    QserveDequantRow(w, nu, wrow);
-    for (std::size_t m = 0; m < x.q.rows(); ++m) {
-      const std::int32_t acc = DotI8(x.q.Row(m).data(), wrow.data(), w.k);
-      y.At(m, nu) = static_cast<float>(acc) * x.token_scale[m] *
-                    w.channel_scale[nu];
-    }
-  }
-  return y;
+MatrixF GemmW4A8Qserve(const QuantizedActivations& x, const QserveWeights& w,
+                       GemmProvider provider) {
+  CheckActivations("GemmW4A8Qserve", x, w.k);
+  CheckChannelScale("GemmW4A8Qserve", w.channel_scale.size(), w.n);
+  CheckPackedW4A8("GemmW4A8Qserve", w.n, w.k, w.group_size, w.packed.size(),
+                  w.group_params.size());
+  return detail::Kernels(provider).w4a8_qserve(x, w);
 }
 
-MatrixF LiquidGemm(const MatrixF& x, const LqqWeights& w) {
-  return GemmW4A8Liquid(QuantizeActivationsPerToken(x), w);
+MatrixF LiquidGemm(const MatrixF& x, const LqqWeights& w,
+                   GemmProvider provider) {
+  return GemmW4A8Liquid(QuantizeActivationsPerToken(x), w, provider);
 }
 
 }  // namespace liquid

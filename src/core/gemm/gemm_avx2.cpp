@@ -1,0 +1,400 @@
+// AVX2/FMA GEMM provider.
+//
+// Compiled with -mavx2 -mfma (x86 only; see LIQUID_ENABLE_AVX2 in
+// CMakeLists.txt) and selected at runtime only when CPUID reports AVX2+FMA,
+// so the library itself stays runnable on any x86-64.
+//
+// Techniques:
+//   * INT8 dot: sign-extend both operands to int16 and _mm256_madd_epi16 —
+//     the TitanInfer idiom that dodges _mm256_maddubs_epi16, whose u8*s8
+//     pair-sums saturate at int16 and silently corrupt large products.
+//     INT32 accumulation is associative, so results are bit-identical to the
+//     scalar reference.
+//   * W4A8 row dequant: the LQQ/QServe second-level dequant is a pure
+//     function of the 4-bit code given the group parameters, so each group
+//     becomes a 16-byte lookup table applied to 8 packed registers (64
+//     elements) at a time with _mm256_shuffle_epi8 — a fused SWAR-row dequant
+//     that produces the exact bytes of the scalar Eq. 12 / vsub4 kernels.
+//   * Float paths: FMA with hoisted binary16 rounding (tolerance-tested;
+//     accumulation order differs from the reference).
+
+#if defined(LIQUID_HAS_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dequant/dequant.hpp"
+#include "core/gemm/kernels.hpp"
+
+namespace liquid::detail {
+namespace {
+
+constexpr std::size_t kPanelRows = 16;
+
+std::int32_t DotI8Avx2(const std::int8_t* a, const std::int8_t* b,
+                       std::size_t k) {
+  // Two independent accumulator chains so the add latency doesn't serialize
+  // the madd throughput.
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= k; i += 32) {
+    const __m256i a_lo = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i b_lo = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256i a_hi = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i + 16)));
+    const __m256i b_hi = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i + 16)));
+    acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(a_lo, b_lo));
+    acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(a_hi, b_hi));
+  }
+  const __m256i acc = _mm256_add_epi32(acc0, acc1);
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::int32_t sum = _mm_cvtsi128_si32(s);
+  for (; i < k; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+/// 4-row register-blocked variant: widens each activation chunk once and
+/// streams it against four weight rows, quartering the cvtepi8 traffic on the
+/// activation side and giving the madd chains independent accumulators.
+void DotI8Avx2x4(const std::int8_t* a, const std::int8_t* const b[4],
+                 std::size_t k, std::int32_t out[4]) {
+  __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                    _mm256_setzero_si256(), _mm256_setzero_si256()};
+  std::size_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m256i a16 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    for (int j = 0; j < 4; ++j) {
+      const __m256i b16 = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b[j] + i)));
+      acc[j] = _mm256_add_epi32(acc[j], _mm256_madd_epi16(a16, b16));
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc[j]),
+                              _mm256_extracti128_si256(acc[j], 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    out[j] = _mm_cvtsi128_si32(s);
+  }
+  for (; i < k; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[j] += static_cast<std::int32_t>(a[i]) *
+                static_cast<std::int32_t>(b[j][i]);
+    }
+  }
+}
+
+float DotF32Fma(const float* a, const float* b, std::size_t k) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= k; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  const __m256 acc = _mm256_add_ps(acc0, acc1);
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
+                        _mm256_extractf128_ps(acc, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  float sum = _mm_cvtss_f32(s);
+  for (; i < k; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// Builds the 16-entry code→INT8 dequant table for one group in four SIMD
+/// ops: lut[q] = ((q * scale + add) mod 256) xor xor_mask.  Covers both
+/// schemes — LQQ is (q*s + a) ^ 0x80 (Eq. 12) and QServe is q*s - s*z, whose
+/// int8 wraparound equals the mod-256 of (q*s + (256 - s*z)).
+inline __m128i BuildDequantLut(int scale, int add, int xor_mask) {
+  const __m128i q_lo = _mm_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m128i q_hi = _mm_setr_epi16(8, 9, 10, 11, 12, 13, 14, 15);
+  const __m128i s = _mm_set1_epi16(static_cast<short>(scale));
+  const __m128i a = _mm_set1_epi16(static_cast<short>(add));
+  const __m128i byte_mask = _mm_set1_epi16(0x00FF);
+  const __m128i lo =
+      _mm_and_si128(_mm_add_epi16(_mm_mullo_epi16(q_lo, s), a), byte_mask);
+  const __m128i hi =
+      _mm_and_si128(_mm_add_epi16(_mm_mullo_epi16(q_hi, s), a), byte_mask);
+  return _mm_xor_si128(_mm_packus_epi16(lo, hi),
+                       _mm_set1_epi8(static_cast<char>(xor_mask)));
+}
+
+/// Fused LUT dequant of one packed row: `group_lut(g)` returns the 16-byte
+/// code→INT8 table for group g; registers are consumed 8 at a time (64
+/// elements per shuffle round-trip), with a scalar tail for ragged groups.
+template <typename GroupLutFn>
+void LutDequantPackedRow(const std::uint32_t* regs, std::size_t num_regs,
+                         std::size_t regs_per_group, GroupLutFn&& group_lut,
+                         std::int8_t* out) {
+  const __m256i nib_mask = _mm256_set1_epi8(0x0F);
+  std::size_t r = 0;
+  for (std::size_t g = 0; r < num_regs; ++g) {
+    alignas(16) std::int8_t lut[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lut), group_lut(g));
+    const __m256i lutv = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(lut)));
+    std::size_t rem = std::min(regs_per_group, num_regs - r);
+    while (rem >= 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(regs + r));
+      // Nibble split matches UnpackU4x8: low nibbles are lanes w0..w3 of each
+      // register, high nibbles are w4..w7.
+      const __m256i lo = _mm256_and_si256(v, nib_mask);
+      const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), nib_mask);
+      const __m256i dlo = _mm256_shuffle_epi8(lutv, lo);
+      const __m256i dhi = _mm256_shuffle_epi8(lutv, hi);
+      // Interleave per-register dwords back to natural k-order:
+      // out[8r..8r+3] = low lanes, out[8r+4..8r+7] = high lanes.
+      const __m256i u0 = _mm256_unpacklo_epi32(dlo, dhi);
+      const __m256i u1 = _mm256_unpackhi_epi32(dlo, dhi);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r * 8),
+                          _mm256_permute2x128_si256(u0, u1, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r * 8 + 32),
+                          _mm256_permute2x128_si256(u0, u1, 0x31));
+      r += 8;
+      rem -= 8;
+    }
+    for (; rem > 0; --rem, ++r) {
+      const std::uint32_t reg = regs[r];
+      for (int b = 0; b < 4; ++b) {
+        const std::uint8_t byte =
+            static_cast<std::uint8_t>((reg >> (8 * b)) & 0xFFu);
+        out[r * 8 + b] = lut[byte & 0x0Fu];
+        out[r * 8 + 4 + b] = lut[byte >> 4];
+      }
+    }
+  }
+}
+
+/// Panel skeleton shared by the INT8 paths (see gemm_portable.cpp): dequant a
+/// panel of weight rows once, then stream activation rows across it.
+template <typename DequantRowFn>
+MatrixF PanelGemmI8Avx2(const QuantizedActivations& x, std::size_t n_dim,
+                        std::size_t k, const std::vector<float>& channel_scale,
+                        DequantRowFn&& dequant_row) {
+  const std::size_t m_dim = x.q.rows();
+  MatrixF y(m_dim, n_dim);
+  const std::ptrdiff_t panels =
+      static_cast<std::ptrdiff_t>((n_dim + kPanelRows - 1) / kPanelRows);
+#pragma omp parallel
+  {
+    std::vector<std::int8_t> panel(kPanelRows * k);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t p = 0; p < panels; ++p) {
+      const std::size_t n0 = static_cast<std::size_t>(p) * kPanelRows;
+      const std::size_t nt = std::min(kPanelRows, n_dim - n0);
+      for (std::size_t j = 0; j < nt; ++j) {
+        dequant_row(n0 + j, &panel[j * k]);
+      }
+      for (std::size_t m = 0; m < m_dim; ++m) {
+        const std::int8_t* xr = x.q.Row(m).data();
+        std::size_t j = 0;
+        for (; j + 4 <= nt; j += 4) {
+          const std::int8_t* rows[4] = {&panel[j * k], &panel[(j + 1) * k],
+                                        &panel[(j + 2) * k],
+                                        &panel[(j + 3) * k]};
+          std::int32_t acc[4];
+          DotI8Avx2x4(xr, rows, k, acc);
+          for (int jj = 0; jj < 4; ++jj) {
+            y.At(m, n0 + j + static_cast<std::size_t>(jj)) =
+                static_cast<float>(acc[jj]) * x.token_scale[m] *
+                channel_scale[n0 + j + static_cast<std::size_t>(jj)];
+          }
+        }
+        for (; j < nt; ++j) {
+          const std::int32_t acc = DotI8Avx2(xr, &panel[j * k], k);
+          y.At(m, n0 + j) = static_cast<float>(acc) * x.token_scale[m] *
+                            channel_scale[n0 + j];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+MatrixF Avx2Fp32(const MatrixF& x, const MatrixF& w) {
+  MatrixF y(x.rows(), w.rows());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(w.rows()); ++n) {
+    const std::size_t nu = static_cast<std::size_t>(n);
+    const float* wr = w.Row(nu).data();
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      y.At(m, nu) = DotF32Fma(x.Row(m).data(), wr, x.cols());
+    }
+  }
+  return y;
+}
+
+MatrixF Avx2Fp16(const MatrixF& x, const MatrixF& w) {
+  const MatrixF xh = RoundMatrixToHalf(x);
+  const MatrixF wh = RoundMatrixToHalf(w);
+  return Avx2Fp32(xh, wh);
+}
+
+MatrixF Avx2W8A8(const QuantizedActivations& x, const W8A8Weights& w) {
+  const std::size_t m_dim = x.q.rows();
+  const std::size_t n_dim = w.q.rows();
+  const std::size_t k = x.q.cols();
+  MatrixF y(m_dim, n_dim);
+  const std::ptrdiff_t blocks = static_cast<std::ptrdiff_t>(n_dim / 4);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t n0 = static_cast<std::size_t>(blk) * 4;
+    const std::int8_t* rows[4] = {w.q.Row(n0).data(), w.q.Row(n0 + 1).data(),
+                                  w.q.Row(n0 + 2).data(),
+                                  w.q.Row(n0 + 3).data()};
+    for (std::size_t m = 0; m < m_dim; ++m) {
+      std::int32_t acc[4];
+      DotI8Avx2x4(x.q.Row(m).data(), rows, k, acc);
+      for (int j = 0; j < 4; ++j) {
+        y.At(m, n0 + static_cast<std::size_t>(j)) =
+            static_cast<float>(acc[j]) * x.token_scale[m] *
+            w.channel_scale[n0 + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  for (std::size_t nu = static_cast<std::size_t>(blocks) * 4; nu < n_dim;
+       ++nu) {
+    const std::int8_t* wr = w.q.Row(nu).data();
+    for (std::size_t m = 0; m < m_dim; ++m) {
+      const std::int32_t acc = DotI8Avx2(x.q.Row(m).data(), wr, k);
+      y.At(m, nu) = static_cast<float>(acc) * x.token_scale[m] *
+                    w.channel_scale[nu];
+    }
+  }
+  return y;
+}
+
+MatrixF Avx2W4A16(const MatrixF& x, const W4A16Weights& w) {
+  const MatrixF xh = RoundMatrixToHalf(x);
+  const std::size_t m_dim = x.rows();
+  MatrixF y(m_dim, w.n);
+#pragma omp parallel
+  {
+    std::vector<float> wrow(w.k);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(w.n); ++n) {
+      const std::size_t nu = static_cast<std::size_t>(n);
+      for (std::size_t kk = 0; kk < w.k; ++kk) {
+        wrow[kk] = QuantizeToHalf(w.Dequant(nu, kk));
+      }
+      for (std::size_t m = 0; m < m_dim; ++m) {
+        y.At(m, nu) = DotF32Fma(xh.Row(m).data(), wrow.data(), w.k);
+      }
+    }
+  }
+  return y;
+}
+
+MatrixF Avx2W4A8Lqq(const QuantizedActivations& x, const LqqWeights& w) {
+  const std::size_t regs_per_row = w.RegistersPerRow();
+  const std::size_t regs_per_group = w.group_size / 8;
+  return PanelGemmI8Avx2(
+      x, w.n, w.k, w.channel_scale,
+      [&](std::size_t nu, std::int8_t* out) {
+        LutDequantPackedRow(
+            w.packed.data() + nu * regs_per_row, regs_per_row, regs_per_group,
+            [&](std::size_t g) {
+              const LqqGroupParams& p = w.Params(nu, g);
+              return BuildDequantLut(p.scale, p.offset, 0x80);
+            },
+            out);
+      });
+}
+
+MatrixF Avx2W4A8Qserve(const QuantizedActivations& x, const QserveWeights& w) {
+  const std::size_t regs_per_row = w.RegistersPerRow();
+  const std::size_t regs_per_group = w.group_size / 8;
+  return PanelGemmI8Avx2(
+      x, w.n, w.k, w.channel_scale,
+      [&](std::size_t nu, std::int8_t* out) {
+        LutDequantPackedRow(
+            w.packed.data() + nu * regs_per_row, regs_per_row, regs_per_group,
+            [&](std::size_t g) {
+              const QserveGroupParams& p = w.Params(nu, g);
+              return BuildDequantLut(p.scale, 256 - p.zero_scaled, 0x00);
+            },
+            out);
+      });
+}
+
+MatrixF Avx2W4A8DualMma(const QuantizedActivations& x,
+                        const DualMmaPackedWeights& w) {
+  // Invert the supertile layout to natural-order UINT4 codes, then the
+  // per-group LUT applies directly (codes are already unpacked bytes < 16).
+  const std::vector<std::uint8_t> u4 = UnpackDualMmaToU4(w);
+  return PanelGemmI8Avx2(
+      x, w.n, w.k, w.channel_scale,
+      [&](std::size_t nu, std::int8_t* out) {
+        const std::uint8_t* row = &u4[nu * w.k];
+        for (std::size_t g = 0; g < w.k / w.group_size; ++g) {
+          const LqqGroupParams& p = w.Params(nu, g);
+          alignas(16) std::int8_t lut[16];
+          for (int q = 0; q < 16; ++q) {
+            lut[q] = LqqDequantElement(static_cast<std::uint8_t>(q), p.scale,
+                                       p.offset);
+          }
+          const __m256i lutv = _mm256_broadcastsi128_si256(
+              _mm_load_si128(reinterpret_cast<const __m128i*>(lut)));
+          std::size_t col = g * w.group_size;
+          const std::size_t end = col + w.group_size;
+          for (; col + 32 <= end; col += 32) {
+            const __m256i codes = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(row + col));
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + col),
+                                _mm256_shuffle_epi8(lutv, codes));
+          }
+          for (; col < end; ++col) out[col] = lut[row[col]];
+        }
+      });
+}
+
+}  // namespace
+
+const GemmKernelTable& Avx2Kernels() {
+  static const GemmKernelTable table{Avx2Fp32,    Avx2Fp16,      Avx2W8A8,
+                                     Avx2W4A16,   Avx2W4A8Lqq,   Avx2W4A8Qserve,
+                                     Avx2W4A8DualMma};
+  return table;
+}
+
+}  // namespace liquid::detail
+
+#else  // !LIQUID_HAS_AVX2
+
+#include <stdexcept>
+
+#include "core/gemm/kernels.hpp"
+
+namespace liquid::detail {
+
+// Link-time stub for non-x86 / AVX2-disabled builds; dispatch guards on
+// GemmProviderAvailable() so this is unreachable.
+const GemmKernelTable& Avx2Kernels() {
+  throw std::logic_error("AVX2 GEMM provider is not compiled into this build");
+}
+
+}  // namespace liquid::detail
+
+#endif  // LIQUID_HAS_AVX2

@@ -1,0 +1,39 @@
+#pragma once
+// Internal provider kernel tables for core/gemm — not part of the public API.
+//
+// Each provider implements the full kernel set behind one function-pointer
+// table; the public entry points in gemm.cpp validate shapes once and then
+// dispatch.  Kernels may assume shapes have been validated.
+
+#include "core/gemm/gemm.hpp"
+#include "core/gemm/provider.hpp"
+
+namespace liquid::detail {
+
+struct GemmKernelTable {
+  MatrixF (*fp32)(const MatrixF& x, const MatrixF& w);
+  MatrixF (*fp16)(const MatrixF& x, const MatrixF& w);
+  MatrixF (*w8a8)(const QuantizedActivations& x, const W8A8Weights& w);
+  MatrixF (*w4a16)(const MatrixF& x, const W4A16Weights& w);
+  MatrixF (*w4a8_lqq)(const QuantizedActivations& x, const LqqWeights& w);
+  MatrixF (*w4a8_qserve)(const QuantizedActivations& x, const QserveWeights& w);
+  MatrixF (*w4a8_dual)(const QuantizedActivations& x,
+                       const DualMmaPackedWeights& w);
+};
+
+const GemmKernelTable& ReferenceKernels();
+const GemmKernelTable& PortableKernels();
+// Defined only when the AVX2 provider is compiled in; guarded by
+// GemmProviderCompiled(GemmProvider::kAvx2) at dispatch time.
+const GemmKernelTable& Avx2Kernels();
+
+/// Resolves a (possibly kAuto) provider to a concrete kernel table. Throws
+/// std::invalid_argument for providers that are not available on this machine.
+const GemmKernelTable& Kernels(GemmProvider p);
+
+/// Rounds every element of `m` through binary16 into a fresh matrix — shared
+/// by the portable/AVX2 fp16 and W4A16 kernels, which hoist the soft-float
+/// conversion out of the O(M·N·K) loop.
+MatrixF RoundMatrixToHalf(const MatrixF& m);
+
+}  // namespace liquid::detail

@@ -1,0 +1,145 @@
+#include "core/gemm/provider.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/gemm/kernels.hpp"
+
+namespace liquid {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(LIQUID_HAS_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+GemmProvider AutoDetect() {
+  if (GemmProviderAvailable(GemmProvider::kAvx2)) return GemmProvider::kAvx2;
+  return GemmProvider::kPortable;
+}
+
+GemmProvider ResolveFromEnv() {
+  const char* env = std::getenv("LIQUID_GEMM_PROVIDER");
+  if (env == nullptr || *env == '\0') return AutoDetect();
+  GemmProvider wanted = GemmProvider::kAuto;
+  if (!ParseGemmProvider(env, &wanted)) {
+    std::fprintf(stderr,
+                 "liquid: LIQUID_GEMM_PROVIDER=\"%s\" is not a known provider "
+                 "(auto|reference|portable|avx2); using auto-detection\n",
+                 env);
+    return AutoDetect();
+  }
+  if (wanted == GemmProvider::kAuto) return AutoDetect();
+  if (!GemmProviderAvailable(wanted)) {
+    std::fprintf(stderr,
+                 "liquid: LIQUID_GEMM_PROVIDER=%s is not available on this "
+                 "machine; using auto-detection\n",
+                 GemmProviderName(wanted));
+    return AutoDetect();
+  }
+  return wanted;
+}
+
+// kAuto encodes "not yet overridden": resolution happens lazily so the env
+// variable can be set before the first GEMM call rather than before load.
+std::atomic<GemmProvider> g_override{GemmProvider::kAuto};
+
+}  // namespace
+
+const char* GemmProviderName(GemmProvider p) {
+  switch (p) {
+    case GemmProvider::kAuto: return "auto";
+    case GemmProvider::kReference: return "reference";
+    case GemmProvider::kPortable: return "portable";
+    case GemmProvider::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseGemmProvider(std::string_view name, GemmProvider* out) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (GemmProvider p : {GemmProvider::kAuto, GemmProvider::kReference,
+                         GemmProvider::kPortable, GemmProvider::kAvx2}) {
+    if (lower == GemmProviderName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GemmProviderCompiled(GemmProvider p) {
+  switch (p) {
+    case GemmProvider::kAuto:
+    case GemmProvider::kReference:
+    case GemmProvider::kPortable:
+      return true;
+    case GemmProvider::kAvx2:
+#if defined(LIQUID_HAS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool GemmProviderAvailable(GemmProvider p) {
+  if (!GemmProviderCompiled(p)) return false;
+  if (p == GemmProvider::kAvx2) return CpuHasAvx2();
+  return true;
+}
+
+std::vector<GemmProvider> AvailableGemmProviders() {
+  std::vector<GemmProvider> out;
+  for (GemmProvider p : {GemmProvider::kAvx2, GemmProvider::kPortable,
+                         GemmProvider::kReference}) {
+    if (GemmProviderAvailable(p)) out.push_back(p);
+  }
+  return out;
+}
+
+GemmProvider ActiveGemmProvider() {
+  const GemmProvider forced = g_override.load(std::memory_order_relaxed);
+  if (forced != GemmProvider::kAuto) return forced;
+  // Resolved once; env changes after the first call are intentionally ignored.
+  static const GemmProvider resolved = ResolveFromEnv();
+  return resolved;
+}
+
+void SetGemmProvider(GemmProvider p) {
+  if (p != GemmProvider::kAuto && !GemmProviderAvailable(p)) {
+    throw std::invalid_argument(
+        std::string("SetGemmProvider: provider '") + GemmProviderName(p) +
+        "' is not available on this machine");
+  }
+  g_override.store(p, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+const GemmKernelTable& Kernels(GemmProvider p) {
+  if (p == GemmProvider::kAuto) p = ActiveGemmProvider();
+  switch (p) {
+    case GemmProvider::kReference: return ReferenceKernels();
+    case GemmProvider::kPortable: return PortableKernels();
+    case GemmProvider::kAvx2:
+      if (GemmProviderAvailable(GemmProvider::kAvx2)) return Avx2Kernels();
+      break;
+    case GemmProvider::kAuto: break;
+  }
+  throw std::invalid_argument(
+      std::string("GEMM provider '") + GemmProviderName(p) +
+      "' is not available in this build / on this machine");
+}
+
+}  // namespace detail
+}  // namespace liquid

@@ -1,0 +1,60 @@
+#pragma once
+// Pluggable CPU GEMM provider layer (slimt QMM-style provider dispatch).
+//
+// Every kernel in core/gemm exists in up to three implementations behind one
+// API:
+//   * kReference — the original scalar code, kept as the numerical oracle all
+//     other providers are tested against;
+//   * kPortable  — an OpenMP-tiled, cache-blocked pure-C++ fallback that
+//     builds and runs on every target;
+//   * kAvx2      — AVX2/FMA kernels (int16-widening int8 dot that dodges
+//     `_mm256_maddubs_epi16` saturation, pshufb-LUT fused row dequant for the
+//     W4A8 paths, FMA fp32 for the float paths), compiled only on x86 and
+//     selected only when the CPU reports AVX2+FMA.
+//
+// Selection is runtime: `ActiveGemmProvider()` resolves once per process from
+// (1) the `LIQUID_GEMM_PROVIDER` environment variable (auto | reference |
+// portable | avx2), then (2) CPUID auto-detection (avx2 > portable).
+// `SetGemmProvider()` overrides programmatically (tests, --gemm-provider
+// flags).  Integer-path providers are bit-exact against the reference;
+// float-path providers are tolerance-tested (accumulation order differs).
+
+#include <string_view>
+#include <vector>
+
+namespace liquid {
+
+enum class GemmProvider {
+  kAuto,       ///< resolve via env override + CPUID at first use
+  kReference,  ///< scalar oracle (seed code, hot-loop bugs fixed)
+  kPortable,   ///< OpenMP-tiled portable fallback
+  kAvx2,       ///< AVX2/FMA SIMD path (x86 only)
+};
+
+/// Lower-case stable name ("auto", "reference", "portable", "avx2").
+const char* GemmProviderName(GemmProvider p);
+
+/// Parses a provider name (case-insensitive). Returns false on unknown names
+/// and leaves *out untouched.
+bool ParseGemmProvider(std::string_view name, GemmProvider* out);
+
+/// True when the provider's kernels are compiled into this binary
+/// (kAvx2 is false on non-x86 builds or with -DLIQUID_ENABLE_AVX2=OFF).
+bool GemmProviderCompiled(GemmProvider p);
+
+/// Compiled AND usable on this machine (CPUID reports AVX2+FMA for kAvx2).
+bool GemmProviderAvailable(GemmProvider p);
+
+/// All available concrete providers, preference order first (never kAuto).
+std::vector<GemmProvider> AvailableGemmProviders();
+
+/// The provider `GemmProvider::kAuto` resolves to.  First call reads
+/// LIQUID_GEMM_PROVIDER; an unknown or unavailable value falls back to
+/// auto-detection with a one-line stderr warning.
+GemmProvider ActiveGemmProvider();
+
+/// Overrides the active provider. Throws std::invalid_argument if `p` is not
+/// available on this machine. `kAuto` restores env/CPUID resolution.
+void SetGemmProvider(GemmProvider p);
+
+}  // namespace liquid

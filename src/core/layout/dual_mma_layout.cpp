@@ -1,6 +1,8 @@
 #include "core/layout/dual_mma_layout.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "util/swar.hpp"
 
@@ -34,11 +36,19 @@ std::vector<RegisterProvenance> BuildDualMmaProvenance() {
 }
 
 DualMmaPackedWeights PackDualMma(const LqqWeights& w) {
-  assert(w.n % kSupertileRows == 0 && w.k % kSupertileCols == 0);
+  if (w.n % kSupertileRows != 0 || w.k % kSupertileCols != 0) {
+    throw std::invalid_argument(
+        "PackDualMma: N and K must be multiples of 64; got N=" +
+        std::to_string(w.n) + ", K=" + std::to_string(w.k));
+  }
   // Each packed register's 8 lanes span a 32-wide k range; they must fall in
   // a single quantization group so one (scale, offset) pair dequantizes the
   // whole register (see GemmW4A8LiquidDualMma).
-  assert(w.group_size % 32 == 0);
+  if (w.group_size % 32 != 0) {
+    throw std::invalid_argument(
+        "PackDualMma: group_size must be a multiple of 32; got " +
+        std::to_string(w.group_size));
+  }
   DualMmaPackedWeights out;
   out.n = w.n;
   out.k = w.k;

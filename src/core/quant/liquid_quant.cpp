@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/swar.hpp"
 
@@ -28,8 +30,18 @@ LqqWeights QuantizeSecondLevelLqq(const FirstLevelResult& first,
   const std::size_t n = first.q.rows();
   const std::size_t k = first.q.cols();
   const std::size_t g = options.group_size;
-  assert(g % 8 == 0 && "group size must cover whole packed registers");
-  assert(k % g == 0 && "K must be a multiple of the group size");
+  // Validated (not asserted): under -DNDEBUG a violated precondition would
+  // silently read out of bounds while packing.
+  if (g == 0 || g % 8 != 0) {
+    throw std::invalid_argument(
+        "QuantizeSecondLevelLqq: group_size " + std::to_string(g) +
+        " must be a positive multiple of 8 (whole packed registers)");
+  }
+  if (k % g != 0) {
+    throw std::invalid_argument(
+        "QuantizeSecondLevelLqq: K=" + std::to_string(k) +
+        " is not a multiple of group_size=" + std::to_string(g));
+  }
 
   LqqWeights out;
   out.n = n;

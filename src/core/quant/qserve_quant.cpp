@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/swar.hpp"
 
@@ -19,7 +21,12 @@ QserveWeights QuantizeSecondLevelQserve(const FirstLevelResult& first,
   const std::size_t n = first.q.rows();
   const std::size_t k = first.q.cols();
   const std::size_t g = options.group_size;
-  assert(g % 8 == 0 && k % g == 0);
+  if (g == 0 || g % 8 != 0 || k % g != 0) {
+    throw std::invalid_argument(
+        "QuantizeSecondLevelQserve: need group_size a positive multiple of 8 "
+        "and K a multiple of group_size; got K=" +
+        std::to_string(k) + ", group_size=" + std::to_string(g));
+  }
 
   QserveWeights out;
   out.n = n;

@@ -1,0 +1,236 @@
+// Provider-parity suite: every available GEMM provider x every kernel on
+// ragged M/N/K shapes, including K not a multiple of the 32-byte SIMD width
+// (exercises the vector tails) and group sizes that leave ragged register
+// groups (exercises the scalar tail of the fused LUT dequant).
+//
+// Integer kernels (W8A8, W4A8 LQQ/QServe/DualMma) must match the reference
+// provider bit-for-bit: INT32 accumulation is associative and the float
+// epilogue expression is identical across providers.  Float kernels (fp32,
+// fp16, W4A16) differ only by accumulation order, so they are held to a tight
+// relative-Frobenius tolerance.
+
+#include "core/gemm/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace liquid {
+namespace {
+
+// Accumulation-order-only differences on K <= 512 Gaussian dots.
+constexpr double kTolReorderFp32 = 1e-5;
+constexpr double kTolReorderFp16 = 1e-4;
+
+struct Problem {
+  MatrixF x;
+  MatrixF w;
+  QuantizedActivations xq;
+};
+
+Problem MakeProblem(std::size_t m, std::size_t n, std::size_t k,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p{MatrixF(m, k), MatrixF(n, k), {}};
+  for (auto& v : p.x.Flat()) v = static_cast<float>(rng.Normal(0, 1.0));
+  for (auto& v : p.w.Flat()) v = static_cast<float>(rng.Normal(0, 0.05));
+  p.xq = QuantizeActivationsPerToken(p.x);
+  return p;
+}
+
+/// Restores the process-wide provider override on scope exit.
+class ProviderGuard {
+ public:
+  ProviderGuard() = default;
+  ~ProviderGuard() { SetGemmProvider(GemmProvider::kAuto); }
+};
+
+void ExpectBitIdentical(const MatrixF& ref, const MatrixF& got,
+                        GemmProvider p, const char* kernel) {
+  ASSERT_EQ(ref.rows(), got.rows());
+  ASSERT_EQ(ref.cols(), got.cols());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref.Flat()[i], got.Flat()[i])
+        << kernel << " provider=" << GemmProviderName(p) << " flat index " << i;
+  }
+}
+
+TEST(GemmProviderTest, NamesRoundTrip) {
+  for (GemmProvider p : {GemmProvider::kAuto, GemmProvider::kReference,
+                         GemmProvider::kPortable, GemmProvider::kAvx2}) {
+    GemmProvider parsed = GemmProvider::kAuto;
+    EXPECT_TRUE(ParseGemmProvider(GemmProviderName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  GemmProvider parsed = GemmProvider::kAuto;
+  EXPECT_TRUE(ParseGemmProvider("AVX2", &parsed));  // case-insensitive
+  EXPECT_EQ(parsed, GemmProvider::kAvx2);
+  EXPECT_FALSE(ParseGemmProvider("bogus", &parsed));
+}
+
+TEST(GemmProviderTest, ReferenceAndPortableAlwaysAvailable) {
+  EXPECT_TRUE(GemmProviderAvailable(GemmProvider::kReference));
+  EXPECT_TRUE(GemmProviderAvailable(GemmProvider::kPortable));
+  const auto providers = AvailableGemmProviders();
+  EXPECT_GE(providers.size(), 2u);
+  // The active provider must itself be available (never kAuto).
+  EXPECT_NE(ActiveGemmProvider(), GemmProvider::kAuto);
+  EXPECT_TRUE(GemmProviderAvailable(ActiveGemmProvider()));
+}
+
+TEST(GemmProviderTest, UnavailableProviderThrows) {
+  if (GemmProviderAvailable(GemmProvider::kAvx2)) {
+    GTEST_SKIP() << "AVX2 available here; nothing is unavailable to test";
+  }
+  const Problem p = MakeProblem(2, 4, 64, 1);
+  const auto wq = QuantizeWeightsW8A8(p.w);
+  EXPECT_THROW(GemmW8A8(p.xq, wq, GemmProvider::kAvx2), std::invalid_argument);
+  EXPECT_THROW(SetGemmProvider(GemmProvider::kAvx2), std::invalid_argument);
+}
+
+TEST(GemmProviderTest, ForcedFallbackMatchesReference) {
+  // Simulates LIQUID_GEMM_PROVIDER=portable: the default-argument call path
+  // must route through the portable provider and stay bit-identical on the
+  // integer kernels.
+  const Problem p = MakeProblem(5, 33, 192, 2);
+  const LqqWeights wq = QuantizeWeightsLqq(p.w);
+  const MatrixF ref = GemmW4A8Liquid(p.xq, wq, GemmProvider::kReference);
+  ProviderGuard guard;
+  SetGemmProvider(GemmProvider::kPortable);
+  EXPECT_EQ(ActiveGemmProvider(), GemmProvider::kPortable);
+  const MatrixF got = GemmW4A8Liquid(p.xq, wq);  // default = active provider
+  ExpectBitIdentical(ref, got, GemmProvider::kPortable, "W4A8Liquid");
+}
+
+// ---------------------------------------------------------------------------
+// Parity sweeps: one fixture instantiated per available provider.
+// ---------------------------------------------------------------------------
+
+class ProviderParity : public ::testing::TestWithParam<GemmProvider> {};
+
+TEST_P(ProviderParity, W8A8ExactOnRaggedShapes) {
+  const GemmProvider provider = GetParam();
+  const struct { std::size_t m, n, k; } shapes[] = {
+      {1, 7, 37},    // K < one SIMD chunk, scalar tail only
+      {3, 5, 64},    //
+      {16, 33, 70},  // K and N both ragged vs the 32/4-wide blocks
+      {2, 4, 33},    // K one past a chunk boundary
+  };
+  for (const auto& s : shapes) {
+    const Problem p = MakeProblem(s.m, s.n, s.k, 10 + s.k);
+    const auto wq = QuantizeWeightsW8A8(p.w);
+    const MatrixF ref = GemmW8A8(p.xq, wq, GemmProvider::kReference);
+    const MatrixF got = GemmW8A8(p.xq, wq, provider);
+    ExpectBitIdentical(ref, got, provider, "W8A8");
+  }
+}
+
+TEST_P(ProviderParity, W4A8LiquidExactOnRaggedShapes) {
+  const GemmProvider provider = GetParam();
+  const struct { std::size_t m, n, k, group; } shapes[] = {
+      {1, 5, 40, 8},     // 5 registers: below the 8-register vector chunk
+      {3, 33, 72, 8},    // 9 registers per group boundary: vector + tail
+      {16, 7, 96, 16},   //
+      {4, 12, 128, 64},  // paper-default group, one vector chunk per group
+      {2, 3, 320, 64},   // several chunks per row
+  };
+  for (const auto& s : shapes) {
+    const Problem p = MakeProblem(s.m, s.n, s.k, 20 + s.k + s.group);
+    const LqqWeights wq = QuantizeWeightsLqq(p.w, {s.group});
+    const MatrixF ref = GemmW4A8Liquid(p.xq, wq, GemmProvider::kReference);
+    const MatrixF got = GemmW4A8Liquid(p.xq, wq, provider);
+    ExpectBitIdentical(ref, got, provider, "W4A8Liquid");
+  }
+}
+
+TEST_P(ProviderParity, W4A8QserveExactOnRaggedShapes) {
+  const GemmProvider provider = GetParam();
+  const struct { std::size_t m, n, k, group; } shapes[] = {
+      {1, 5, 40, 8},
+      {3, 33, 72, 24},   // 3 registers per group: pure scalar-tail groups
+      {16, 7, 96, 16},
+      {4, 12, 256, 128},  // QServe-default group
+  };
+  for (const auto& s : shapes) {
+    const Problem p = MakeProblem(s.m, s.n, s.k, 30 + s.k + s.group);
+    const QserveWeights wq = QuantizeWeightsQserve(p.w, {s.group});
+    const MatrixF ref = GemmW4A8Qserve(p.xq, wq, GemmProvider::kReference);
+    const MatrixF got = GemmW4A8Qserve(p.xq, wq, provider);
+    ExpectBitIdentical(ref, got, provider, "W4A8Qserve");
+  }
+}
+
+TEST_P(ProviderParity, W4A8DualMmaExactAndMatchesLinearPath) {
+  const GemmProvider provider = GetParam();
+  const struct { std::size_t m, n, k; } shapes[] = {
+      {3, 64, 128},
+      {1, 128, 64},
+      {8, 128, 256},
+  };
+  for (const auto& s : shapes) {
+    const Problem p = MakeProblem(s.m, s.n, s.k, 40 + s.n + s.k);
+    const LqqWeights wq = QuantizeWeightsLqq(p.w);
+    const DualMmaPackedWeights packed = PackDualMma(wq);
+    const MatrixF ref =
+        GemmW4A8LiquidDualMma(p.xq, packed, GemmProvider::kReference);
+    const MatrixF got = GemmW4A8LiquidDualMma(p.xq, packed, provider);
+    ExpectBitIdentical(ref, got, provider, "W4A8DualMma");
+    // The layout proof must hold per provider too: supertile order computes
+    // the same GEMM as linear register order.
+    const MatrixF linear = GemmW4A8Liquid(p.xq, wq, provider);
+    ExpectBitIdentical(linear, got, provider, "W4A8DualMma-vs-linear");
+  }
+}
+
+TEST_P(ProviderParity, Fp32WithinReorderTolerance) {
+  const GemmProvider provider = GetParam();
+  const struct { std::size_t m, n, k; } shapes[] = {
+      {1, 3, 17}, {5, 9, 130}, {16, 33, 512},
+  };
+  for (const auto& s : shapes) {
+    const Problem p = MakeProblem(s.m, s.n, s.k, 50 + s.k);
+    const MatrixF ref = GemmReference(p.x, p.w, GemmProvider::kReference);
+    const MatrixF got = GemmReference(p.x, p.w, provider);
+    EXPECT_LT(RelativeFrobeniusError(ref.Flat(), got.Flat()), kTolReorderFp32)
+        << "provider=" << GemmProviderName(provider) << " k=" << s.k;
+  }
+}
+
+TEST_P(ProviderParity, Fp16WithinReorderTolerance) {
+  const GemmProvider provider = GetParam();
+  const Problem p = MakeProblem(6, 19, 190, 60);
+  const MatrixF ref = GemmFp16(p.x, p.w, GemmProvider::kReference);
+  const MatrixF got = GemmFp16(p.x, p.w, provider);
+  EXPECT_LT(RelativeFrobeniusError(ref.Flat(), got.Flat()), kTolReorderFp16)
+      << "provider=" << GemmProviderName(provider);
+}
+
+TEST_P(ProviderParity, W4A16WithinReorderTolerance) {
+  const GemmProvider provider = GetParam();
+  const struct { std::size_t m, n, k, group; } shapes[] = {
+      {3, 5, 36, 6},     // ragged K, tiny group
+      {8, 17, 256, 128},
+  };
+  for (const auto& s : shapes) {
+    const Problem p = MakeProblem(s.m, s.n, s.k, 70 + s.k);
+    const W4A16Weights wq = QuantizeWeightsW4A16(p.w, s.group);
+    const MatrixF ref = GemmW4A16(p.x, wq, GemmProvider::kReference);
+    const MatrixF got = GemmW4A16(p.x, wq, provider);
+    EXPECT_LT(RelativeFrobeniusError(ref.Flat(), got.Flat()), kTolReorderFp16)
+        << "provider=" << GemmProviderName(provider) << " k=" << s.k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProviders, ProviderParity,
+    ::testing::ValuesIn(AvailableGemmProviders()),
+    [](const ::testing::TestParamInfo<GemmProvider>& info) {
+      return std::string(GemmProviderName(info.param));
+    });
+
+}  // namespace
+}  // namespace liquid

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -139,6 +141,63 @@ TEST(GemmTest, LiquidBeatsNothingButMatchesQserveAccuracyClass) {
   const double e_lqq = RelativeFrobeniusError(ref.Flat(), y_lqq.Flat());
   const double e_qs = RelativeFrobeniusError(ref.Flat(), y_qs.Flat());
   EXPECT_LT(e_lqq, 1.5 * e_qs + 1e-6);
+}
+
+TEST(GemmTest, ShapeMismatchesThrowInEveryBuildType) {
+  // These used to be plain asserts, which vanish under -DNDEBUG and turn a
+  // shape bug into a silent out-of-bounds read.  They must throw in Release.
+  const Problem p = MakeProblem(4, 8, 64, 20);
+  const auto xq = QuantizeActivationsPerToken(p.x);
+
+  // K mismatch between activations and weights.
+  const Problem wrong = MakeProblem(4, 8, 128, 21);
+  EXPECT_THROW(GemmReference(p.x, wrong.w), std::invalid_argument);
+  EXPECT_THROW(GemmW8A8(xq, QuantizeWeightsW8A8(wrong.w)),
+               std::invalid_argument);
+  EXPECT_THROW(GemmW4A8Liquid(xq, QuantizeWeightsLqq(wrong.w)),
+               std::invalid_argument);
+  EXPECT_THROW(GemmW4A8Qserve(xq, QuantizeWeightsQserve(wrong.w)),
+               std::invalid_argument);
+  EXPECT_THROW(GemmW4A16(p.x, QuantizeWeightsW4A16(wrong.w, 64)),
+               std::invalid_argument);
+
+  // Quantizer preconditions: K not a multiple of group_size, bad group sizes.
+  EXPECT_THROW(QuantizeWeightsW4A16(p.w, 48), std::invalid_argument);
+  EXPECT_THROW(QuantizeWeightsLqq(p.w, {48}), std::invalid_argument);
+  EXPECT_THROW(QuantizeWeightsLqq(p.w, {12}), std::invalid_argument);  // %8
+  EXPECT_THROW(QuantizeWeightsQserve(p.w, {0}), std::invalid_argument);
+}
+
+TEST(GemmTest, W4A16ZeroPointIsOnTheQuantizationGrid) {
+  // The stored zero must be zero_q * scale for an integer zero_q in [0, 15] —
+  // i.e. snapped to the quantization grid — so dequantization is exactly
+  // (q - zero_q) * scale with no off-grid residual.
+  const Problem p = MakeProblem(1, 32, 256, 22);
+  const auto wq = QuantizeWeightsW4A16(p.w, 64);
+  for (std::size_t i = 0; i < wq.group_zero.size(); ++i) {
+    const float s = static_cast<float>(wq.group_scale[i]);
+    const float z = static_cast<float>(wq.group_zero[i]);
+    ASSERT_GT(s, 0.0f);
+    const float ratio = z / s;
+    // Half rounding of zero_q * scale perturbs the ratio by at most
+    // ~2^-11 * 15 ≈ 0.008.
+    EXPECT_NEAR(ratio, std::nearbyint(ratio), 0.01f) << "group " << i;
+    EXPECT_GE(std::nearbyint(ratio), 0.0f);
+    EXPECT_LE(std::nearbyint(ratio), 15.0f);
+  }
+  // Grid-snapped zero must not hurt reconstruction: every weight within half a
+  // quantization step (plus Half rounding slack) of its dequantized value.
+  float max_err = 0.0f;
+  for (std::size_t row = 0; row < wq.n; ++row) {
+    for (std::size_t col = 0; col < wq.k; ++col) {
+      const std::size_t gi = col / wq.group_size;
+      const float s = static_cast<float>(
+          wq.group_scale[row * (wq.k / wq.group_size) + gi]);
+      const float err = std::abs(wq.Dequant(row, col) - p.w.At(row, col));
+      max_err = std::max(max_err, err / std::max(s, 1e-20f));
+    }
+  }
+  EXPECT_LT(max_err, 0.56f);  // 0.5 quantization + Half rounding slack
 }
 
 struct GemmShapeParam {
