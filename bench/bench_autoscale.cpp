@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -157,6 +158,7 @@ void AddRow(Table& table, const std::string& label, const FleetStats& s) {
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const bool quick = flags.quick;
   const std::uint64_t seed = flags.seed_set ? flags.seed : 2026;
   const std::size_t burst = quick ? 100 : 240;
@@ -219,6 +221,7 @@ int main(int argc, char** argv) {
   std::printf("\nrole-typed + cost-aware autoscaling %s the fixed 2P:4D "
               "split (best $/1Mtok cut: %.0f%%)\n",
               all_win ? "beats" : "FAILED to beat", 100.0 * best_cut);
+  if (!obs::WriteProfile(flags)) return 1;
   if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return all_win ? 0 : 1;
 }

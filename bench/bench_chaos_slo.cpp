@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -80,6 +81,7 @@ void AddChaosRow(Table& table, const char* label, const FleetStats& s) {
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const auto trace = OverloadTrace(flags.quick ? 200 : 300,
                                    flags.seed_set ? flags.seed : 99);
   obs::TraceRecorder recorder;
@@ -145,6 +147,7 @@ int main(int argc, char** argv) {
   std::printf("\nSLO (2s budget) p99 TTFT %s vs unbounded %s: %s\n",
               HumanTime(best_slo.ttft.p99).c_str(),
               HumanTime(open.ttft.p99).c_str(), bounded ? "WIN" : "LOSS");
+  if (!obs::WriteProfile(flags)) return 1;
   if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return bounded ? 0 : 1;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -116,6 +117,7 @@ void AddRow(Table& table, const std::string& label, const FleetStats& s) {
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const std::size_t count = flags.quick ? 80 : 300;
   const auto trace = LongPromptMix(count, flags.seed_set ? flags.seed : 2025);
   const double nvlink = 400.0;  // GB/s per directed link
@@ -189,6 +191,7 @@ int main(int argc, char** argv) {
   std::printf("\n%s p99 TPOT %s vs unified %s: %s\n", best_label.c_str(),
               HumanTime(best.tpot.p99).c_str(),
               HumanTime(unified.tpot.p99).c_str(), win ? "WIN" : "LOSS");
+  if (!obs::WriteProfile(flags)) return 1;
   if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return win ? 0 : 1;
 }

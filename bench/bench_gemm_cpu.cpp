@@ -16,13 +16,13 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/gemm/gemm.hpp"
 #include "util/rng.hpp"
+#include "util/wall_timer.hpp"
 
 namespace {
 
@@ -163,21 +163,12 @@ void RegisterPerProviderBenchmarks() {
 
 double BestOfMs(const Problem& p, const LqqWeights& w, GemmProvider provider,
                 int reps) {
-  using Clock = std::chrono::steady_clock;
-  // Warm-up (page faults, provider resolution) excluded from timing.
-  MatrixF y = GemmW4A8Liquid(p.xq, w, provider);
-  benchmark::DoNotOptimize(y.data());
-  double best = 1e30;
-  for (int i = 0; i < reps; ++i) {
-    const auto t0 = Clock::now();
-    MatrixF out = GemmW4A8Liquid(p.xq, w, provider);
-    const auto t1 = Clock::now();
-    benchmark::DoNotOptimize(out.data());
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (ms < best) best = ms;
-  }
-  return best;
+  // MinSecondsOver runs one untimed warm-up call (page faults, provider
+  // resolution) before taking the min over `reps` timed calls.
+  return 1e3 * MinSecondsOver(reps, [&] {
+           MatrixF out = GemmW4A8Liquid(p.xq, w, provider);
+           benchmark::DoNotOptimize(out.data());
+         });
 }
 
 /// Gate: AVX2 must beat the scalar reference by >= 3x on the W4A8 hot kernel.

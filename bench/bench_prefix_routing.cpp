@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -83,6 +84,7 @@ FleetStats RunPreset(RoutePolicy policy,
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const std::size_t count = flags.quick ? 100 : 300;
   const std::uint64_t seed = flags.seed_set ? flags.seed : 7;
   const std::size_t replicas = 4;
@@ -141,6 +143,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nprefix_aware on >=50%% shared mixes: %s; disjoint parity: %s\n",
       shared_win ? "WIN" : "LOSS", disjoint_ok ? "OK" : "REGRESSED");
+  if (!obs::WriteProfile(flags)) return 1;
   if (!obs::WriteTelemetry(flags, recorder, metrics)) return 1;
   return shared_win && disjoint_ok ? 0 : 1;
 }

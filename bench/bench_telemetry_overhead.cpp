@@ -11,7 +11,6 @@
 //
 // Usage: bench_telemetry_overhead [--quick] [--seed N]
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/cli_flags.hpp"
+#include "util/wall_timer.hpp"
 
 using namespace liquid;
 using namespace liquid::cluster;
@@ -59,14 +59,14 @@ double RunOnce(const std::vector<serving::TimedRequest>& trace, bool traced,
   obs::MetricsRegistry metrics;
   if (traced) sim.AttachTelemetry(&recorder, &metrics);
 
-  const auto start = std::chrono::steady_clock::now();
+  const WallTimer timer;
   sim.Run(trace);
-  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = timer.Seconds();
   if (traced) {
     events = recorder.events().size();
     samples = metrics.rows();
   }
-  return std::chrono::duration<double>(stop - start).count();
+  return seconds;
 }
 
 }  // namespace

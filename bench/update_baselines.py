@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Refresh the committed bench baselines from a directory of fresh --quick
+artifacts (the files a local Release run or the CI "bench-summaries"
+artifact produces).
+
+Usage:
+    update_baselines.py ARTIFACT_DIR
+
+Copies every known quick-bench JSON found in ARTIFACT_DIR into
+bench/baselines/ (pretty-printed with sorted keys so diffs stay readable)
+and reports what changed.  Commit the result together with the change that
+legitimately moved the numbers — see bench/README.md for the workflow.
+"""
+
+import json
+import os
+import sys
+
+KNOWN_ARTIFACTS = (
+    "bench_disagg_quick.json",
+    "bench_prefix_routing_quick.json",
+    "bench_autoscale_quick.json",
+    "bench_chaos_slo_quick.json",
+    "bench_sim_throughput_quick.json",
+)
+
+
+def main(argv):
+    if len(argv) != 1 or not os.path.isdir(argv[0]):
+        print(__doc__, file=sys.stderr)
+        return 2
+    src_dir = argv[0]
+    dst_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "baselines")
+    os.makedirs(dst_dir, exist_ok=True)
+
+    updated, missing = [], []
+    for name in KNOWN_ARTIFACTS:
+        src = os.path.join(src_dir, name)
+        if not os.path.isfile(src):
+            missing.append(name)
+            continue
+        with open(src) as f:
+            data = json.load(f)
+        dst = os.path.join(dst_dir, name)
+        body = json.dumps(data, indent=1, sort_keys=True) + "\n"
+        changed = not os.path.isfile(dst) or open(dst).read() != body
+        with open(dst, "w") as f:
+            f.write(body)
+        updated.append((name, changed))
+
+    for name, changed in updated:
+        print(f"{'updated ' if changed else 'unchanged'} baselines/{name}")
+    for name in missing:
+        print(f"missing  {name} (not in {src_dir}; baseline left as-is)")
+    if not updated:
+        print("no known artifacts found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

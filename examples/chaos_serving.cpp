@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -56,6 +57,7 @@ FleetStats RunEpisode(std::size_t replicas,
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const auto& pos = flags.positional;
   const std::size_t replicas =
       pos.size() > 0 ? std::max(2L, std::atol(pos[0].c_str())) : 3;
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
       HumanTime(open.ttft.p99).c_str(), HumanTime(slo.ttft.p99).c_str(),
       open.completed, slo.completed, slo.rejected_requests,
       open.wasted_tokens, slo.wasted_tokens);
+  if (!obs::WriteProfile(flags)) return 1;
   return obs::WriteTelemetry(flags, recorder, metrics) ? 0 : 1;
 }

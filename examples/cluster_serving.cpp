@@ -18,6 +18,7 @@
 #include <string>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -27,6 +28,7 @@ using namespace liquid::cluster;
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const auto& pos = flags.positional;
   RoutePolicy policy = RoutePolicy::kLeastKvLoad;
   if (pos.size() > 0) {
@@ -89,5 +91,6 @@ int main(int argc, char** argv) {
                       telemetry ? &metrics : nullptr);
   const FleetStats stats = sim.Run(trace);
   PrintFleetStats(stats);
+  if (!obs::WriteProfile(flags)) return 1;
   return obs::WriteTelemetry(flags, recorder, metrics) ? 0 : 1;
 }

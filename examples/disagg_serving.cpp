@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "obs/prof/prof_sink.hpp"
 #include "obs/telemetry_sink.hpp"
 #include "util/cli_flags.hpp"
 #include "util/strings.hpp"
@@ -57,6 +58,7 @@ ReplicaSpec DisaggSpec(ReplicaRole role) {
 
 int main(int argc, char** argv) {
   const CliFlags flags = ParseCliFlags(argc, argv);
+  obs::MaybeEnableProfiler(flags);
   const auto& pos = flags.positional;
   const std::size_t prefills =
       pos.size() > 0 ? static_cast<std::size_t>(std::atoi(pos[0].c_str())) : 3;
@@ -127,5 +129,6 @@ int main(int argc, char** argv) {
       HumanTime(base.tpot.p99).c_str(), HumanTime(split.tpot.p99).c_str(),
       HumanTime(base.ttft.p99).c_str(), HumanTime(split.ttft.p99).c_str(),
       base.dollars_per_m_tokens, split.dollars_per_m_tokens);
+  if (!obs::WriteProfile(flags)) return 1;
   return obs::WriteTelemetry(flags, recorder, metrics) ? 0 : 1;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/prof/wall_profiler.hpp"
+#include "util/wall_timer.hpp"
+
 namespace liquid::cluster {
 namespace {
 
@@ -278,6 +281,8 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
 
 bool ClusterSimulator::KillReplica(std::size_t id, double now) {
   if (id >= replicas_.size() || !replicas_[id].active) return false;
+  LIQUID_PROF_SCOPE("sim/events/kill");
+  ++fleet_events_;
   Replica& victim = replicas_[id];
   // Catch the victim up to the fleet clock first so work it would have
   // finished before the failure counts as completed, not lost — and so
@@ -324,6 +329,8 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
 
 bool ClusterSimulator::DegradeReplica(std::size_t id, double slowdown_factor) {
   if (id >= replicas_.size() || !replicas_[id].active) return false;
+  LIQUID_PROF_SCOPE("sim/events/degrade");
+  ++fleet_events_;
   Replica& victim = replicas_[id];
   const bool was_degraded = victim.scheduler->slowdown() > 1.0;
   victim.scheduler->SetSlowdown(slowdown_factor);
@@ -372,6 +379,7 @@ void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
 }
 
 void ClusterSimulator::AdvanceTo(double deadline) {
+  LIQUID_PROF_SCOPE("sim/advance");
   for (Replica& r : replicas_) {
     if (r.active) r.scheduler->StepUntil(deadline);
   }
@@ -380,6 +388,7 @@ void ClusterSimulator::AdvanceTo(double deadline) {
 }
 
 void ClusterSimulator::HarvestCompletions() {
+  LIQUID_PROF_SCOPE("sim/harvest");
   for (Replica& r : replicas_) {
     const std::vector<serving::RequestTiming>& done =
         r.scheduler->completions();
@@ -422,6 +431,7 @@ void ClusterSimulator::HarvestHandoffs() {
 
 void ClusterSimulator::PlanHandoff(Replica& src,
                                    const serving::PrefillHandoff& handoff) {
+  LIQUID_PROF_SCOPE("disagg/plan_handoff");
   // A prefill-pool request never completes on its pool; its TTFT is decided
   // right here, when the first token leaves the prefill replica.  Feed the
   // pool's signal window from the handoff so kTailTtft sees prefill pain.
@@ -466,8 +476,10 @@ void ClusterSimulator::PlanHandoff(Replica& src,
 }
 
 void ClusterSimulator::LandMigrationsThrough(double deadline) {
+  LIQUID_PROF_SCOPE("sim/events/migration_land");
   for (const DisaggCoordinator::Migration& m :
        coordinator_.TakeArrivalsThrough(deadline)) {
+    ++fleet_events_;
     Replica& dst = replicas_[m.dst];
     if (!dst.active) {
       // The target died mid-transfer: the continuation is lost exactly like
@@ -547,6 +559,7 @@ void ClusterSimulator::DeliverContinuation(Replica& dst,
 }
 
 void ClusterSimulator::ReleaseRetriesThrough(double deadline) {
+  LIQUID_PROF_SCOPE("sim/events/retry_release");
   for (;;) {
     std::size_t next = pending_retries_.size();
     for (std::size_t i = 0; i < pending_retries_.size(); ++i) {
@@ -569,6 +582,7 @@ void ClusterSimulator::ReleaseRetriesThrough(double deadline) {
 std::vector<ReplicaView> ClusterSimulator::Views(
     std::size_t prompt_tokens,
     const serving::PrefixSignature* signature) const {
+  LIQUID_PROF_SCOPE("router/views");
   // PredictTtft walks each replica's waiting queue; only pay for it when
   // admission control actually reads the estimate.
   const bool want_estimate = router_.slo().ttft_budget > 0;
@@ -598,6 +612,8 @@ std::vector<ReplicaView> ClusterSimulator::Views(
 
 std::optional<std::size_t> ClusterSimulator::RouteOne(
     const serving::TimedRequest& request) {
+  LIQUID_PROF_SCOPE("router/route_one");
+  ++fleet_events_;
   // Routing happens "now" on the fleet clock; a backoff retry's original
   // arrival may be far in the past, so the trace timestamps the decision,
   // not the arrival field it replays.
@@ -699,6 +715,7 @@ std::size_t ClusterSimulator::TotalOutstanding() const {
 
 void ClusterSimulator::MaybeAutoscale(double now) {
   if (!autoscale_.enabled) return;
+  LIQUID_PROF_SCOPE("sim/autoscale");
   // The cooldown gate returns ABOVE the shrink_pending_ reset on purpose: a
   // shrink waiting out its stabilization window stays pending (keeping the
   // tick armed) through the cooldown.  Every evaluation that actually runs
@@ -1009,6 +1026,7 @@ void ClusterSimulator::ArmAutoscaleTick() {
 }
 
 void ClusterSimulator::ProcessEventsThrough(double deadline) {
+  LIQUID_PROF_SCOPE("sim/events");
   // Fire kills, degradations, migration landings and backoff retries in
   // time order up to the deadline.  The schedules are small; a scan per
   // event keeps insertion order-insensitive.
@@ -1055,6 +1073,8 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
     LandMigrationsThrough(t);
     ReleaseRetriesThrough(t);
     if (t == t_tick) {
+      LIQUID_PROF_SCOPE("sim/events/tick");
+      ++fleet_events_;
       next_autoscale_tick_ += autoscale_.tick_seconds;
       if (trace_ != nullptr) {
         trace_->Instant(obs::TraceEventType::kAutoscaleTick, t, obs::kFleetPid,
@@ -1094,6 +1114,7 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
 }
 
 void ClusterSimulator::DrainToQuiescence() {
+  LIQUID_PROF_SCOPE("sim/drain");
   // Arrivals are done, but completion is no longer local to one replica: a
   // prefill finishing here spawns a migration landing there.  Iterate until
   // no replica has work and nothing is on the wire or waiting out a backoff.
@@ -1133,6 +1154,8 @@ void ClusterSimulator::DrainToQuiescence() {
 
 FleetStats ClusterSimulator::Run(
     const std::vector<serving::TimedRequest>& trace) {
+  LIQUID_PROF_SCOPE("sim/run");
+  const WallTimer run_timer;
   std::vector<serving::TimedRequest> sorted = trace;
   std::sort(sorted.begin(), sorted.end(),
             [](const serving::TimedRequest& a, const serving::TimedRequest& b) {
@@ -1194,6 +1217,27 @@ FleetStats ClusterSimulator::Run(
   const std::size_t routing_drops = stats.dropped;  // kept by Finalize rescan
   FinalizeFleetStats(timings, stats);
   stats.dropped += routing_drops;
+
+  // Simulator-throughput meter: how much simulated work this Run() did per
+  // wall second.  The event/iteration counts and sim span are deterministic;
+  // only the wall_* fields vary run to run.
+  SimThroughput& st = stats.sim_throughput;
+  st.fleet_events = fleet_events_;
+  st.engine_iterations = 0;
+  for (const ReplicaReport& r : stats.replicas) {
+    st.engine_iterations += r.stats.iterations;
+  }
+  st.events_processed = st.engine_iterations + st.fleet_events;
+  st.sim_seconds = FleetNow();
+  st.wall_seconds = run_timer.Seconds();
+  if (st.wall_seconds > 0) {
+    st.events_per_sec =
+        static_cast<double>(st.events_processed) / st.wall_seconds;
+    st.sim_seconds_per_wall_second = st.sim_seconds / st.wall_seconds;
+  }
+  if (st.sim_seconds > 0) {
+    st.wall_seconds_per_sim_hour = st.wall_seconds / (st.sim_seconds / 3600.0);
+  }
   return stats;
 }
 

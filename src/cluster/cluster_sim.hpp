@@ -453,6 +453,10 @@ class ClusterSimulator {
   /// A stabilizing shrink is waiting out its window; keeps the periodic
   /// tick armed through an otherwise idle fleet so the shrink can land.
   bool shrink_pending_ = false;
+  /// Fleet-level event count for the SimThroughput meter: routing decisions,
+  /// migration landings, kills, degrades, autoscale ticks.  Deterministic
+  /// under a fixed seed (counts simulated work, not wall time).
+  std::uint64_t fleet_events_ = 0;
   // Telemetry (null = detached; every hook is one branch when detached).
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cluster/disagg/kv_migration.hpp"
+#include "obs/prof/wall_profiler.hpp"
 #include "obs/trace_recorder.hpp"
 #include "serving/kv_cache.hpp"
 #include "serving/scheduler.hpp"
@@ -60,6 +61,7 @@ class DisaggCoordinator {
   /// caller should decode locally (unusable link or stall over budget).
   std::optional<double> Begin(const serving::PrefillHandoff& handoff,
                               std::size_t src, std::size_t dst, double bytes) {
+    LIQUID_PROF_SCOPE("disagg/begin");
     if (!model_.Usable()) return std::nullopt;
     const double eta =
         model_.EstimateCompletion(src, dst, bytes, handoff.ready);

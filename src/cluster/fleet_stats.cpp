@@ -139,6 +139,28 @@ void PrintFleetStats(const FleetStats& stats) {
   }
   totals.Print();
 
+  const SimThroughput& st = stats.sim_throughput;
+  if (st.events_processed > 0) {
+    Table sim("Simulator throughput");
+    sim.SetHeader({"metric", "value"});
+    sim.AddRow({"events processed (engine + fleet)",
+                Format("%s (%s + %s)",
+                       WithCommas(static_cast<long long>(st.events_processed))
+                           .c_str(),
+                       WithCommas(static_cast<long long>(st.engine_iterations))
+                           .c_str(),
+                       WithCommas(static_cast<long long>(st.fleet_events))
+                           .c_str())});
+    sim.AddRow({"wall time", Format("%.3f s", st.wall_seconds)});
+    sim.AddRow({"events / sec",
+                WithCommas(static_cast<long long>(st.events_per_sec))});
+    sim.AddRow({"sim seconds / wall second",
+                Format("%.1f", st.sim_seconds_per_wall_second)});
+    sim.AddRow({"wall seconds / sim hour",
+                Format("%.3f", st.wall_seconds_per_sim_hour)});
+    sim.Print();
+  }
+
   const DisaggStats& d = stats.disagg;
   if (d.prefill_handoffs > 0 || d.migrated_requests > 0) {
     Table disagg("Disaggregated serving");
@@ -252,6 +274,18 @@ std::string FleetStatsToJson(const FleetStats& stats) {
   WriteTriple(w, "ttft", stats.ttft);
   WriteTriple(w, "tpot", stats.tpot);
   WriteTriple(w, "e2e", stats.e2e);
+
+  const SimThroughput& st = stats.sim_throughput;
+  w.Key("sim_throughput").BeginObject();
+  w.Key("events_processed").Number(st.events_processed);
+  w.Key("engine_iterations").Number(st.engine_iterations);
+  w.Key("fleet_events").Number(st.fleet_events);
+  w.Key("sim_seconds").Number(st.sim_seconds);
+  w.Key("wall_seconds").Number(st.wall_seconds);
+  w.Key("events_per_sec").Number(st.events_per_sec);
+  w.Key("sim_seconds_per_wall_second").Number(st.sim_seconds_per_wall_second);
+  w.Key("wall_seconds_per_sim_hour").Number(st.wall_seconds_per_sim_hour);
+  w.EndObject();
 
   const DisaggStats& d = stats.disagg;
   w.Key("disagg").BeginObject();

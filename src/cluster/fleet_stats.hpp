@@ -90,6 +90,25 @@ struct DisaggStats {
   PercentileTriple migrated_tpot;
 };
 
+/// Wall-clock cost of running the simulation itself — the meter the future
+/// concurrent runtime must beat.  The first four fields are deterministic
+/// under a fixed seed (they count simulated work); the wall_* / *_per_*
+/// fields are host wall-clock measurements and vary run to run.
+struct SimThroughput {
+  /// engine_iterations + fleet_events: the simulator's unit of work.
+  std::uint64_t events_processed = 0;
+  /// Scheduler iterations summed over every replica (batch steps).
+  std::uint64_t engine_iterations = 0;
+  /// Fleet-level events: routing decisions (arrivals + retries), migration
+  /// landings, kills, degrades, autoscale ticks.
+  std::uint64_t fleet_events = 0;
+  double sim_seconds = 0;   ///< simulated span covered by the run
+  double wall_seconds = 0;  ///< host wall-clock spent inside Run()
+  double events_per_sec = 0;
+  double sim_seconds_per_wall_second = 0;
+  double wall_seconds_per_sim_hour = 0;
+};
+
 struct FleetStats {
   std::size_t submitted = 0;  ///< unique trace requests entering the cluster
   std::size_t completed = 0;
@@ -145,6 +164,10 @@ struct FleetStats {
   PercentileTriple ttft;
   PercentileTriple tpot;
   PercentileTriple e2e;
+
+  /// Host-side cost of the run (filled by ClusterSimulator::Run; all zero
+  /// for hand-built stats).
+  SimThroughput sim_throughput;
 
   DisaggStats disagg;
   /// Every autoscaler decision, in fleet-clock order.

@@ -1,5 +1,7 @@
 #include "cluster/router.hpp"
 
+#include "obs/prof/wall_profiler.hpp"
+
 namespace liquid::cluster {
 namespace {
 
@@ -182,6 +184,7 @@ double Router::TermValue(ScoreTerm term, const ScoreInput& input,
 std::optional<std::size_t> Router::ScoreRoute(
     const ScoreInput& input, const std::vector<ReplicaView>& replicas,
     const ScorerPipeline& pipeline, RouteExplain* explain) {
+  LIQUID_PROF_SCOPE("router/score");
   if (replicas.empty()) return std::nullopt;
   bool rotates = false, pins = false;
   for (const ScorerSpec& spec : pipeline) {
@@ -206,6 +209,9 @@ std::optional<std::size_t> Router::ScoreRoute(
     double score = 0;
     for (std::size_t j = 0; j < pipeline.size(); ++j) {
       const ScorerSpec& spec = pipeline[j];
+      // Per-term wall cost: ToString returns static literals, which is what
+      // the profiler's name-pointer tree requires.
+      LIQUID_PROF_SCOPE(ToString(spec.term));
       const double value = TermValue(spec.term, input, replicas, i, cursor);
       if (explain != nullptr && j < nterms) term_values[j] = value;
       score += spec.weight * value;
@@ -260,6 +266,7 @@ std::optional<std::size_t> Router::Route(
 RouteDecision Router::Decide(const serving::TimedRequest& request,
                              const std::vector<ReplicaView>& replicas,
                              RouteExplain* explain) {
+  LIQUID_PROF_SCOPE("router/decide");
   RouteDecision decision;
   const std::optional<std::size_t> placed = Route(request, replicas, explain);
   if (!placed) return decision;  // kNoReplica

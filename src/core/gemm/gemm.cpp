@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/gemm/gemm_counters.hpp"
 #include "core/gemm/kernels.hpp"
 
 namespace liquid {
@@ -77,16 +78,30 @@ void CheckPackedW4A8(const char* kernel, std::size_t n, std::size_t k,
   }
 }
 
+// Host-resident bytes the kernel actually touches (arithmetic-intensity
+// accounting): quantized activations are INT8 + one fp32 scale per token;
+// float activations/weights are fp32 storage (the fp16 kernel simulates
+// half precision over fp32-resident matrices).
+std::size_t ActivationBytes(const QuantizedActivations& x) {
+  return x.q.rows() * x.q.cols() + x.token_scale.size() * 4;
+}
+
+std::size_t ActivationBytes(const MatrixF& x) { return x.rows() * x.cols() * 4; }
+
 }  // namespace
 
 MatrixF GemmReference(const MatrixF& x, const MatrixF& w,
                       GemmProvider provider) {
   CheckFloatGemm("GemmReference", x, w);
+  gemmstats::Count(gemmstats::Kernel::kFp32, x.rows(), w.rows(), x.cols(),
+                   w.rows() * w.cols() * 4, ActivationBytes(x));
   return detail::Kernels(provider).fp32(x, w);
 }
 
 MatrixF GemmFp16(const MatrixF& x, const MatrixF& w, GemmProvider provider) {
   CheckFloatGemm("GemmFp16", x, w);
+  gemmstats::Count(gemmstats::Kernel::kFp16, x.rows(), w.rows(), x.cols(),
+                   w.rows() * w.cols() * 4, ActivationBytes(x));
   return detail::Kernels(provider).fp16(x, w);
 }
 
@@ -104,6 +119,8 @@ MatrixF GemmW8A8(const QuantizedActivations& x, const W8A8Weights& w,
                  GemmProvider provider) {
   CheckActivations("GemmW8A8", x, w.q.cols());
   CheckChannelScale("GemmW8A8", w.channel_scale.size(), w.q.rows());
+  gemmstats::Count(gemmstats::Kernel::kW8A8, x.q.rows(), w.q.rows(),
+                   w.q.cols(), w.StorageBytes(), ActivationBytes(x));
   return detail::Kernels(provider).w8a8(x, w);
 }
 
@@ -185,6 +202,8 @@ MatrixF GemmW4A16(const MatrixF& x, const W4A16Weights& w,
                                 ", k=" + std::to_string(w.k) + ", group_size=" +
                                 std::to_string(w.group_size) + ")");
   }
+  gemmstats::Count(gemmstats::Kernel::kW4A16, x.rows(), w.n, w.k,
+                   w.StorageBytes(), ActivationBytes(x));
   return detail::Kernels(provider).w4a16(x, w);
 }
 
@@ -194,6 +213,8 @@ MatrixF GemmW4A8Liquid(const QuantizedActivations& x, const LqqWeights& w,
   CheckChannelScale("GemmW4A8Liquid", w.channel_scale.size(), w.n);
   CheckPackedW4A8("GemmW4A8Liquid", w.n, w.k, w.group_size, w.packed.size(),
                   w.group_params.size());
+  gemmstats::Count(gemmstats::Kernel::kW4A8Lqq, x.q.rows(), w.n, w.k,
+                   w.StorageBytes(), ActivationBytes(x));
   return detail::Kernels(provider).w4a8_lqq(x, w);
 }
 
@@ -207,6 +228,11 @@ MatrixF GemmW4A8LiquidDualMma(const QuantizedActivations& x,
                "supertile layout needs N, K multiples of 64; got N=" +
                    std::to_string(w.n) + ", K=" + std::to_string(w.k));
   }
+  gemmstats::Count(gemmstats::Kernel::kW4A8DualMma, x.q.rows(), w.n, w.k,
+                   w.regs.size() * sizeof(std::uint32_t) +
+                       w.group_params.size() * sizeof(LqqGroupParams) +
+                       w.channel_scale.size() * 4,
+                   ActivationBytes(x));
   return detail::Kernels(provider).w4a8_dual(x, w);
 }
 
@@ -216,6 +242,8 @@ MatrixF GemmW4A8Qserve(const QuantizedActivations& x, const QserveWeights& w,
   CheckChannelScale("GemmW4A8Qserve", w.channel_scale.size(), w.n);
   CheckPackedW4A8("GemmW4A8Qserve", w.n, w.k, w.group_size, w.packed.size(),
                   w.group_params.size());
+  gemmstats::Count(gemmstats::Kernel::kW4A8Qserve, x.q.rows(), w.n, w.k,
+                   w.StorageBytes(), ActivationBytes(x));
   return detail::Kernels(provider).w4a8_qserve(x, w);
 }
 

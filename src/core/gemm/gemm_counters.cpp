@@ -1,0 +1,93 @@
+#include "core/gemm/gemm_counters.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+
+namespace liquid::gemmstats {
+namespace {
+
+struct Slot {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> macs{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+std::array<Slot, kKernelCount>& Slots() {
+  static std::array<Slot, kKernelCount> slots;
+  return slots;
+}
+
+}  // namespace
+
+const char* KernelName(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kFp32:
+      return "fp32";
+    case Kernel::kFp16:
+      return "fp16";
+    case Kernel::kW8A8:
+      return "w8a8";
+    case Kernel::kW4A16:
+      return "w4a16";
+    case Kernel::kW4A8Lqq:
+      return "w4a8_lqq";
+    case Kernel::kW4A8DualMma:
+      return "w4a8_dual_mma";
+    case Kernel::kW4A8Qserve:
+      return "w4a8_qserve";
+  }
+  return "unknown";
+}
+
+void Count(Kernel kernel, std::size_t m, std::size_t n, std::size_t k,
+           std::size_t weight_bytes, std::size_t activation_bytes) {
+  Slot& slot = Slots()[static_cast<std::size_t>(kernel)];
+  slot.calls.fetch_add(1, std::memory_order_relaxed);
+  slot.macs.fetch_add(
+      static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+          static_cast<std::uint64_t>(k),
+      std::memory_order_relaxed);
+  slot.bytes.fetch_add(static_cast<std::uint64_t>(weight_bytes) +
+                           static_cast<std::uint64_t>(activation_bytes) +
+                           static_cast<std::uint64_t>(m) * n * 4,
+                       std::memory_order_relaxed);
+}
+
+KernelTotals Totals(Kernel kernel) {
+  const Slot& slot = Slots()[static_cast<std::size_t>(kernel)];
+  return {slot.calls.load(std::memory_order_relaxed),
+          slot.macs.load(std::memory_order_relaxed),
+          slot.bytes.load(std::memory_order_relaxed)};
+}
+
+void ResetGemmCounters() {
+  for (Slot& slot : Slots()) {
+    slot.calls.store(0, std::memory_order_relaxed);
+    slot.macs.store(0, std::memory_order_relaxed);
+    slot.bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string AiCsv() {
+  std::string out = "kernel,calls,macs,bytes,flops,arithmetic_intensity\n";
+  for (std::size_t i = 0; i < kKernelCount; ++i) {
+    const Kernel kernel = static_cast<Kernel>(i);
+    const KernelTotals t = Totals(kernel);
+    const std::uint64_t flops = 2 * t.macs;  // one multiply + one add per MAC
+    const double ai =
+        t.bytes == 0 ? 0.0
+                     : static_cast<double>(flops) / static_cast<double>(t.bytes);
+    char row[160];
+    std::snprintf(row, sizeof(row), "%s,%llu,%llu,%llu,%llu,%.6g\n",
+                  KernelName(kernel),
+                  static_cast<unsigned long long>(t.calls),
+                  static_cast<unsigned long long>(t.macs),
+                  static_cast<unsigned long long>(t.bytes),
+                  static_cast<unsigned long long>(flops), ai);
+    out += row;
+  }
+  return out;
+}
+
+}  // namespace liquid::gemmstats

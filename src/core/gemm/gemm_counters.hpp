@@ -1,0 +1,56 @@
+// Always-on arithmetic counters for the GEMM provider table.
+//
+// Every public GEMM entry point records (calls, MACs, bytes moved) per
+// kernel into relaxed atomics — a handful of adds against kernels that do
+// m*n*k work, so there is no compile-time gate.  `AiCsv()` renders the
+// arithmetic-intensity table (FLOPs / byte, the roofline x-axis) that the
+// profiler sink writes next to the wall-clock profile.
+//
+// Lives in core (not obs): the hot path must not pull the obs layer into
+// core, and the counters are plain process-wide state either side can read.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace liquid::gemmstats {
+
+enum class Kernel : std::size_t {
+  kFp32 = 0,
+  kFp16,
+  kW8A8,
+  kW4A16,
+  kW4A8Lqq,
+  kW4A8DualMma,
+  kW4A8Qserve,
+};
+inline constexpr std::size_t kKernelCount = 7;
+
+/// Stable lower-case name, used as the CSV row key.
+[[nodiscard]] const char* KernelName(Kernel kernel);
+
+/// Records one call of `kernel` on an [m x k] · [n x k]^T problem.
+/// `weight_bytes` is the resident quantized-weight footprint
+/// (`StorageBytes()` where the format defines it), `activation_bytes` the
+/// input-activation footprint; the [m x n] fp32 output is added internally.
+void Count(Kernel kernel, std::size_t m, std::size_t n, std::size_t k,
+           std::size_t weight_bytes, std::size_t activation_bytes);
+
+struct KernelTotals {
+  std::uint64_t calls = 0;
+  std::uint64_t macs = 0;
+  std::uint64_t bytes = 0;
+};
+
+[[nodiscard]] KernelTotals Totals(Kernel kernel);
+
+/// Zeroes every counter (tests; bench warm-up exclusion).
+void ResetGemmCounters();
+
+/// `kernel,calls,macs,bytes,flops,arithmetic_intensity` — one row per
+/// kernel in enum order (fixed schema; untouched kernels show zeros).
+[[nodiscard]] std::string AiCsv();
+
+}  // namespace liquid::gemmstats

@@ -1,0 +1,64 @@
+#pragma once
+// Glue between the uniform CLI flags and the wall-clock profiler, matching
+// telemetry_sink.hpp: `MaybeEnableProfiler(flags)` before the run turns the
+// scopes on when `--profile-out BASE` was given, and `WriteProfile(flags)`
+// after the run writes the whole artifact family next to BASE:
+//
+//   BASE.txt             indented scope-tree summary (counts + ms)
+//   BASE.csv             path,count,total_ns,self_ns
+//   BASE.folded          collapsed stacks for flamegraph.pl / speedscope
+//   BASE.speedscope.json native speedscope profile
+//   BASE.gemm_ai.csv     per-kernel GEMM arithmetic-intensity table
+
+#include <cstdio>
+#include <string>
+
+#include "core/gemm/gemm_counters.hpp"
+#include "obs/prof/wall_profiler.hpp"
+#include "util/cli_flags.hpp"
+
+namespace liquid::obs {
+
+/// Turns the profiler on (and clears any earlier tree) iff `--profile-out`
+/// was given.  Returns whether profiling is active.
+inline bool MaybeEnableProfiler(const CliFlags& flags) {
+  if (flags.profile_out.empty()) return false;
+  WallProfiler::Instance().Reset();
+  gemmstats::ResetGemmCounters();
+  WallProfiler::Enable();
+  return true;
+}
+
+/// Writes the profile artifact family; no-op (true) without `--profile-out`.
+/// Returns false when any write fails (failing path reported on stderr).
+inline bool WriteProfile(const CliFlags& flags) {
+  if (flags.profile_out.empty()) return true;
+  WallProfiler::Disable();
+  bool ok = true;
+  const auto write = [&ok](const std::string& path, const std::string& body,
+                           const char* what) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const bool wrote =
+        f != nullptr &&
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (f != nullptr) std::fclose(f);
+    if (wrote) {
+      std::printf("wrote %s: %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write %s: %s\n", what, path.c_str());
+      ok = false;
+    }
+  };
+  const WallProfiler& prof = WallProfiler::Instance();
+  write(flags.profile_out + ".txt", prof.TextSummary(), "profile summary");
+  write(flags.profile_out + ".csv", prof.Csv(), "profile csv");
+  write(flags.profile_out + ".folded", prof.CollapsedStacks(),
+        "profile folded stacks");
+  write(flags.profile_out + ".speedscope.json", prof.SpeedscopeJson(),
+        "profile speedscope");
+  write(flags.profile_out + ".gemm_ai.csv", gemmstats::AiCsv(),
+        "gemm arithmetic-intensity csv");
+  return ok;
+}
+
+}  // namespace liquid::obs

@@ -9,6 +9,15 @@ namespace {
 /// Baseline non-GEMM per-layer cost: layer norms, RoPE, residual adds,
 /// activation quantization, KV write, routing.  Mostly bandwidth-bound over
 /// activation tensors plus a fixed kernel-launch floor.
+/// Packs two step-cost arguments into one memo key.  Lengths and batches are
+/// at most tens of thousands in practice; anything that would not round-trip
+/// through 32 bits bypasses the cache rather than risk a key collision.
+constexpr std::uint64_t kMemoMax = (std::uint64_t{1} << 32) - 1;
+
+std::uint64_t MemoKey(std::size_t a, std::size_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
 double BaseOthersPerLayer(const simgpu::HardwareSpec& hw,
                           const LlmConfig& model, std::size_t batch) {
   const double act_bytes = static_cast<double>(batch) *
@@ -51,6 +60,11 @@ LayerBreakdown ServingEngine::DecodeLayerBreakdown(std::size_t batch,
 
 double ServingEngine::DecodeStepSeconds(std::size_t batch,
                                         std::size_t kv_len) const {
+  const bool cacheable = batch <= kMemoMax && kv_len <= kMemoMax;
+  if (cacheable) {
+    const auto it = decode_step_cache_.find(MemoKey(batch, kv_len));
+    if (it != decode_step_cache_.end()) return it->second;
+  }
   const LayerBreakdown layer = DecodeLayerBreakdown(batch, kv_len);
   // The LM head GEMM runs once per step (not per layer).
   simgpu::GemmCall lm_head{
@@ -59,7 +73,9 @@ double ServingEngine::DecodeStepSeconds(std::size_t batch,
       1};
   const double t_lm =
       simgpu::SimulateGemmSequence(hw_, kernel_, {lm_head});
-  return layer.total() * model_.num_layers + t_lm;
+  const double seconds = layer.total() * model_.num_layers + t_lm;
+  if (cacheable) decode_step_cache_.emplace(MemoKey(batch, kv_len), seconds);
+  return seconds;
 }
 
 double ServingEngine::PrefillSeconds(std::size_t batch,
@@ -118,7 +134,17 @@ double ServingEngine::ChunkCost(std::size_t batch, std::size_t chunk_tokens,
 
 double ServingEngine::PrefillChunkSeconds(std::size_t chunk_tokens,
                                           std::size_t prior_tokens) const {
-  return ChunkCost(1, chunk_tokens, prior_tokens);
+  const bool cacheable = chunk_tokens <= kMemoMax && prior_tokens <= kMemoMax;
+  if (cacheable) {
+    const auto it =
+        prefill_chunk_cache_.find(MemoKey(chunk_tokens, prior_tokens));
+    if (it != prefill_chunk_cache_.end()) return it->second;
+  }
+  const double seconds = ChunkCost(1, chunk_tokens, prior_tokens);
+  if (cacheable) {
+    prefill_chunk_cache_.emplace(MemoKey(chunk_tokens, prior_tokens), seconds);
+  }
+  return seconds;
 }
 
 double ServingEngine::WeightMemoryBytes() const {

@@ -11,8 +11,10 @@
 // weights + FP16 embeddings + paged KV cache + framework overhead; the KV
 // pool is validated against a real KvBlockManager allocation.
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "serving/attention_model.hpp"
@@ -123,6 +125,16 @@ class ServingEngine {
   LlmConfig model_;
   EngineOptions options_;
   simgpu::KernelConfig kernel_;
+
+  /// DecodeStepSeconds and PrefillChunkSeconds are pure in their integer
+  /// arguments for a fixed engine config, and the continuous-batching
+  /// scheduler re-asks the same (batch, kv_len) pairs millions of times per
+  /// simulated hour — rebuilding the per-layer roofline walk each time was
+  /// the simulator's dominant host cost.  A hit returns the identical double,
+  /// so memoization cannot perturb simulated results.  Engines are used
+  /// single-threaded; the caches are not locked.
+  mutable std::unordered_map<std::uint64_t, double> decode_step_cache_;
+  mutable std::unordered_map<std::uint64_t, double> prefill_chunk_cache_;
 };
 
 }  // namespace liquid::serving

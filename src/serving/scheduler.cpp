@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/prof/wall_profiler.hpp"
+
 namespace liquid::serving {
 
 ContinuousBatchScheduler::ContinuousBatchScheduler(const ServingEngine& engine,
@@ -235,12 +237,16 @@ void ContinuousBatchScheduler::Handoff(const Running& done) {
 }
 
 bool ContinuousBatchScheduler::Step() {
+  LIQUID_PROF_SCOPE("engine/step");
   // If idle and the head request is in the future, fast-forward the clock.
   if (running_.empty() && !waiting_.empty() &&
       waiting_.front().EffectiveArrival() > stats_.simulated_seconds) {
     stats_.simulated_seconds = waiting_.front().EffectiveArrival();
   }
-  Admit();
+  {
+    LIQUID_PROF_SCOPE("engine/step/admit");
+    Admit();
+  }
   if (running_.empty()) {
     if (waiting_.empty()) return false;
     // Nothing is running, so no blocks will ever be freed: the head request
@@ -265,6 +271,7 @@ bool ContinuousBatchScheduler::Step() {
   // serialized, like unchunked admission, while still bounding how long any
   // one prompt monopolizes an iteration.
   if (chunk_ > 0) {
+    LIQUID_PROF_SCOPE("engine/step/prefill_chunk");
     Running* oldest = nullptr;
     for (Running& r : running_) {
       if (r.prefill_remaining == 0) continue;
@@ -297,6 +304,7 @@ bool ContinuousBatchScheduler::Step() {
 
   // KV length for costing: mean sequence length across the decode-ready
   // batch (sequences still prefilling sit out the decode step).
+  LIQUID_PROF_SCOPE("engine/step/decode");
   double mean_len = 0;
   std::size_t ready = 0;
   for (const Running& r : running_) {
@@ -349,6 +357,7 @@ bool ContinuousBatchScheduler::Step() {
 
   // Record first-token times and retire finished sequences.  A prefill-only
   // request leaves at its first token: its KV is exported for migration.
+  LIQUID_PROF_SCOPE("engine/step/retire");
   for (std::size_t i = 0; i < running_.size();) {
     Running& r = running_[i];
     if (r.prefill_remaining > 0) {

@@ -10,6 +10,8 @@
 //   --metrics-out PATH     write the metrics time series as JSONL
 //   --metrics-csv PATH     write the metrics time series as CSV
 //   --json-out PATH        write the FleetStats summary as JSON
+//   --profile-out BASE     enable the wall-clock profiler and write
+//                          BASE.txt/.csv/.folded/.speedscope.json/.gemm_ai.csv
 //
 // Both `--flag value` and `--flag=value` are accepted.  Unknown arguments
 // are collected into `positional` for the binary's own parsing.
@@ -31,6 +33,7 @@ struct CliFlags {
   std::string metrics_out;
   std::string metrics_csv;
   std::string json_out;
+  std::string profile_out;  ///< base path; empty = profiler stays disabled
   std::vector<std::string> positional;
 
   /// Any telemetry sink requested (the binary should attach a recorder).
@@ -68,6 +71,8 @@ inline CliFlags ParseCliFlags(int argc, char** argv) {
       flags.metrics_csv = v;
     } else if (const char* v = value("--json-out")) {
       flags.json_out = v;
+    } else if (const char* v = value("--profile-out")) {
+      flags.profile_out = v;
     } else {
       flags.positional.push_back(arg);
     }

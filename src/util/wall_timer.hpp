@@ -1,0 +1,59 @@
+// Shared wall-clock timing helpers (std::chrono::steady_clock).
+//
+// One place for the hand-rolled timing loops that used to live in each bench:
+// `WallTimer` is a restartable stopwatch, `WallTimer::NowNs()` the raw
+// monotonic counter the profiler stamps scopes with, and `MinSecondsOver` the
+// min-of-N-reps pattern every perf gate uses (min, not mean: the minimum over
+// repetitions is the least-noisy estimator of the true cost on a shared box).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace liquid {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double Millis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Monotonic nanoseconds since an unspecified epoch; the profiler's clock.
+  [[nodiscard]] static std::uint64_t NowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Best-of-`reps` wall seconds of `fn()`.  `fn` runs once before timing as a
+/// warm-up (page faults, lazy provider resolution) — that run is not counted.
+template <typename Fn>
+double MinSecondsOver(int reps, Fn&& fn) {
+  fn();  // warm-up, untimed
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    fn();
+    const double s = t.Seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace liquid

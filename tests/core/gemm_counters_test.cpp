@@ -1,0 +1,86 @@
+// The always-on GEMM arithmetic counters feed the profiler's
+// arithmetic-intensity CSV (`--profile-out PREFIX` -> PREFIX.gemm_ai.csv).
+// These tests pin the accounting formulas, the entry-point wiring, and the
+// CSV schema the sink writes.
+
+#include "core/gemm/gemm_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gemm/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace liquid {
+namespace {
+
+MatrixF RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  for (auto& v : m.Flat()) v = static_cast<float>(rng.Normal(0, 0.1));
+  return m;
+}
+
+TEST(GemmCountersTest, CountAccumulatesMacsAndBytes) {
+  gemmstats::ResetGemmCounters();
+  gemmstats::Count(gemmstats::Kernel::kW8A8, /*m=*/4, /*n=*/8, /*k=*/16,
+                   /*weight_bytes=*/100, /*activation_bytes=*/50);
+  gemmstats::Count(gemmstats::Kernel::kW8A8, 4, 8, 16, 100, 50);
+
+  const gemmstats::KernelTotals t = gemmstats::Totals(gemmstats::Kernel::kW8A8);
+  EXPECT_EQ(t.calls, 2u);
+  EXPECT_EQ(t.macs, 2u * 4 * 8 * 16);
+  // bytes = weights + activations + the m*n fp32 output, per call.
+  EXPECT_EQ(t.bytes, 2u * (100 + 50 + 4 * 8 * 4));
+
+  // Other kernels stay untouched.
+  EXPECT_EQ(gemmstats::Totals(gemmstats::Kernel::kFp32).calls, 0u);
+  gemmstats::ResetGemmCounters();
+}
+
+TEST(GemmCountersTest, RealGemmCallFiresTheCounter) {
+  const MatrixF x = RandomMatrix(3, 32, 7);
+  const MatrixF w = RandomMatrix(16, 32, 8);
+
+  gemmstats::ResetGemmCounters();
+  const MatrixF out = GemmReference(x, w);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 16u);
+
+  const gemmstats::KernelTotals t = gemmstats::Totals(gemmstats::Kernel::kFp32);
+  EXPECT_EQ(t.calls, 1u);
+  EXPECT_EQ(t.macs, 3u * 16 * 32);
+  // fp32 weights + fp32 activations + fp32 output, 4 bytes each.
+  EXPECT_EQ(t.bytes, (16u * 32 + 3u * 32 + 3u * 16) * 4);
+  gemmstats::ResetGemmCounters();
+}
+
+TEST(GemmCountersTest, ResetZeroesEverything) {
+  gemmstats::Count(gemmstats::Kernel::kW4A8Lqq, 2, 2, 2, 10, 10);
+  gemmstats::ResetGemmCounters();
+  for (std::size_t i = 0; i < gemmstats::kKernelCount; ++i) {
+    const auto t = gemmstats::Totals(static_cast<gemmstats::Kernel>(i));
+    EXPECT_EQ(t.calls, 0u);
+    EXPECT_EQ(t.macs, 0u);
+    EXPECT_EQ(t.bytes, 0u);
+  }
+}
+
+TEST(GemmCountersTest, AiCsvSchemaGolden) {
+  gemmstats::ResetGemmCounters();
+  // 1 MAC = 2 FLOPs against 4 bytes -> arithmetic intensity 0.5 exactly.
+  gemmstats::Count(gemmstats::Kernel::kW4A16, 1, 1, 1, 0, 0);
+  const std::string csv = gemmstats::AiCsv();
+  EXPECT_EQ(csv,
+            "kernel,calls,macs,bytes,flops,arithmetic_intensity\n"
+            "fp32,0,0,0,0,0\n"
+            "fp16,0,0,0,0,0\n"
+            "w8a8,0,0,0,0,0\n"
+            "w4a16,1,1,4,2,0.5\n"
+            "w4a8_lqq,0,0,0,0,0\n"
+            "w4a8_dual_mma,0,0,0,0,0\n"
+            "w4a8_qserve,0,0,0,0,0\n");
+  gemmstats::ResetGemmCounters();
+}
+
+}  // namespace
+}  // namespace liquid
