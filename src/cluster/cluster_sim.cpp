@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
 
 #include "obs/prof/wall_profiler.hpp"
+#include "util/thread_pool.hpp"
 #include "util/wall_timer.hpp"
 
 namespace liquid::cluster {
@@ -30,6 +32,41 @@ ClusterSimulator::ClusterSimulator(RoutePolicy policy,
   }
   tick_armed_ = autoscale_.enabled && autoscale_.tick_seconds > 0;
   next_autoscale_tick_ = autoscale_.tick_seconds;
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+void ClusterSimulator::SetThreads(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads_ = threads;
+  pool_.reset();
+  if (threads_ > 1) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  // Re-aim every scheduler's trace hooks: at a private per-replica shard in
+  // parallel mode, back at the shared recorder in single-threaded mode.
+  for (Replica& r : replicas_) {
+    r.scheduler->SetTrace(ReplicaTraceSink(r.id), r.id);
+  }
+}
+
+obs::TraceRecorder* ClusterSimulator::ReplicaTraceSink(std::size_t id) {
+  if (trace_ == nullptr) return nullptr;
+  if (pool_ == nullptr) return trace_;
+  if (trace_shards_.size() <= id) trace_shards_.resize(id + 1);
+  if (!trace_shards_[id]) {
+    trace_shards_[id] = std::make_unique<obs::TraceRecorder>();
+  }
+  return trace_shards_[id].get();
+}
+
+void ClusterSimulator::MergeTraceShards() {
+  if (trace_ == nullptr || trace_shards_.empty()) return;
+  std::vector<obs::TraceRecorder*> shards;
+  shards.reserve(trace_shards_.size());
+  for (const auto& shard : trace_shards_) {
+    if (shard && !shard->empty()) shards.push_back(shard.get());
+  }
+  if (!shards.empty()) trace_->MergeShards(shards);
 }
 
 std::size_t ClusterSimulator::PoolFor(ReplicaRole role) const {
@@ -76,7 +113,7 @@ std::size_t RoleIndex(ReplicaRole role) {
 
 void ClusterSimulator::WireReplicaTelemetry(Replica& replica) {
   if (trace_ == nullptr) return;
-  replica.scheduler->SetTrace(trace_, replica.id);
+  replica.scheduler->SetTrace(ReplicaTraceSink(replica.id), replica.id);
   const std::int32_t pid = obs::ReplicaPid(replica.id);
   std::string name = "replica " + std::to_string(replica.id) + " " +
                      replica.spec.Label();
@@ -380,11 +417,44 @@ void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
 
 void ClusterSimulator::AdvanceTo(double deadline) {
   LIQUID_PROF_SCOPE("sim/advance");
-  for (Replica& r : replicas_) {
-    if (r.active) r.scheduler->StepUntil(deadline);
-  }
+  StepReplicasTo(deadline);
   HarvestCompletions();
   HarvestHandoffs();
+}
+
+void ClusterSimulator::StepReplicasTo(double deadline) {
+  if (pool_ == nullptr) {
+    for (Replica& r : replicas_) {
+      if (r.active) r.scheduler->StepUntil(deadline);
+    }
+    return;
+  }
+  // Parallel fan-out.  Each task runs one replica's private scheduler+engine
+  // to the barrier — no shared mutable state (trace hooks write the
+  // replica's own shard; GEMM counters are relaxed atomics) — so the
+  // post-barrier fleet state is bit-identical to the serial loop's.  Idle
+  // replicas only need their clock snapped to the deadline; do that inline
+  // instead of paying a task round-trip, and run one busy replica on this
+  // thread so the coordinator helps instead of just waiting.
+  busy_scratch_.clear();
+  for (Replica& r : replicas_) {
+    if (!r.active) continue;
+    if (r.scheduler->HasWork()) {
+      busy_scratch_.push_back(&r);
+    } else {
+      r.scheduler->StepUntil(deadline);
+    }
+  }
+  if (busy_scratch_.size() <= 1) {
+    for (Replica* r : busy_scratch_) r->scheduler->StepUntil(deadline);
+    return;
+  }
+  for (std::size_t i = 1; i < busy_scratch_.size(); ++i) {
+    serving::ContinuousBatchScheduler* scheduler = busy_scratch_[i]->scheduler.get();
+    pool_->Submit([scheduler, deadline] { scheduler->StepUntil(deadline); });
+  }
+  busy_scratch_.front()->scheduler->StepUntil(deadline);
+  pool_->WaitIdle();
 }
 
 void ClusterSimulator::HarvestCompletions() {
@@ -579,14 +649,15 @@ void ClusterSimulator::ReleaseRetriesThrough(double deadline) {
   }
 }
 
-std::vector<ReplicaView> ClusterSimulator::Views(
+const std::vector<ReplicaView>& ClusterSimulator::Views(
     std::size_t prompt_tokens,
     const serving::PrefixSignature* signature) const {
   LIQUID_PROF_SCOPE("router/views");
   // PredictTtft walks each replica's waiting queue; only pay for it when
   // admission control actually reads the estimate.
   const bool want_estimate = router_.slo().ttft_budget > 0;
-  std::vector<ReplicaView> views(replicas_.size());
+  std::vector<ReplicaView>& views = views_scratch_;
+  views.assign(replicas_.size(), ReplicaView{});
   for (const Replica& r : replicas_) {
     ReplicaView& v = views[r.id];
     v.alive = r.active;
@@ -1120,11 +1191,26 @@ void ClusterSimulator::DrainToQuiescence() {
   // no replica has work and nothing is on the wire or waiting out a backoff.
   for (;;) {
     bool progressed = false;
+    // Replicas run to completion independently (interactions — migration
+    // landings, retries — are consumed serially below), so the parallel
+    // fan-out reaches the same post-loop state as the serial sweep.
+    busy_scratch_.clear();
     for (Replica& r : replicas_) {
       if (r.active && r.scheduler->HasWork()) {
-        r.scheduler->RunToCompletion();
+        busy_scratch_.push_back(&r);
         progressed = true;
       }
+    }
+    if (pool_ == nullptr || busy_scratch_.size() <= 1) {
+      for (Replica* r : busy_scratch_) r->scheduler->RunToCompletion();
+    } else {
+      for (std::size_t i = 1; i < busy_scratch_.size(); ++i) {
+        serving::ContinuousBatchScheduler* scheduler =
+            busy_scratch_[i]->scheduler.get();
+        pool_->Submit([scheduler] { scheduler->RunToCompletion(); });
+      }
+      busy_scratch_.front()->scheduler->RunToCompletion();
+      pool_->WaitIdle();
     }
     HarvestCompletions();
     HarvestHandoffs();
@@ -1156,15 +1242,26 @@ FleetStats ClusterSimulator::Run(
     const std::vector<serving::TimedRequest>& trace) {
   LIQUID_PROF_SCOPE("sim/run");
   const WallTimer run_timer;
-  std::vector<serving::TimedRequest> sorted = trace;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const serving::TimedRequest& a, const serving::TimedRequest& b) {
-              return a.arrival_seconds != b.arrival_seconds
-                         ? a.arrival_seconds < b.arrival_seconds
-                         : a.id < b.id;
-            });
+  const auto arrival_order = [](const serving::TimedRequest& a,
+                                const serving::TimedRequest& b) {
+    return a.arrival_seconds != b.arrival_seconds
+               ? a.arrival_seconds < b.arrival_seconds
+               : a.id < b.id;
+  };
+  // Workload generators already emit arrival order, and copying a
+  // million-request trace (each with a prefix-hash vector) just to sort a
+  // sorted sequence was a measurable slice of Run() — the comparator is a
+  // strict weak order over unique (arrival, id) pairs, so an is_sorted trace
+  // would come out of the sort element-for-element unchanged.
+  std::vector<serving::TimedRequest> sorted;
+  const std::vector<serving::TimedRequest>* requests = &trace;
+  if (!std::is_sorted(trace.begin(), trace.end(), arrival_order)) {
+    sorted = trace;
+    std::sort(sorted.begin(), sorted.end(), arrival_order);
+    requests = &sorted;
+  }
 
-  for (const serving::TimedRequest& request : sorted) {
+  for (const serving::TimedRequest& request : *requests) {
     ProcessEventsThrough(request.arrival_seconds);
     AdvanceTo(request.arrival_seconds);
     MaybeAutoscale(request.arrival_seconds);
@@ -1177,6 +1274,7 @@ FleetStats ClusterSimulator::Run(
   ProcessEventsThrough(kInf);
   DrainToQuiescence();
   SampleMetrics(FleetNow());
+  MergeTraceShards();
 
   FleetStats stats = tally_;
   stats.replicas_final = ActiveReplicas();
@@ -1228,6 +1326,7 @@ FleetStats ClusterSimulator::Run(
     st.engine_iterations += r.stats.iterations;
   }
   st.events_processed = st.engine_iterations + st.fleet_events;
+  st.threads = threads_;
   st.sim_seconds = FleetNow();
   st.wall_seconds = run_timer.Seconds();
   if (st.wall_seconds > 0) {

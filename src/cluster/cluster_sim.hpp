@@ -45,6 +45,10 @@
 #include "serving/workload.hpp"
 #include "util/sliding_window.hpp"
 
+namespace liquid::util {
+class ThreadPool;
+}  // namespace liquid::util
+
 namespace liquid::cluster {
 
 /// Everything needed to stand up one replica.
@@ -195,6 +199,26 @@ class ClusterSimulator {
   explicit ClusterSimulator(RoutePolicy policy = RoutePolicy::kLeastOutstanding,
                             AutoscaleConfig autoscale = {}, SloConfig slo = {},
                             RetryPolicy retry = {}, DisaggConfig disagg = {});
+  ~ClusterSimulator();  // out of line: ThreadPool is forward-declared
+
+  /// Opts into the parallel execution mode: replica Step/prefill-chunk work
+  /// between event-pump barriers fans out over a work-stealing pool of
+  /// `threads` workers (0 = hardware concurrency).  Everything that couples
+  /// replicas — routing, KV-migration landings, autoscale ticks, chaos
+  /// events, harvest — stays serialized on the calling thread, so the
+  /// simulated results are IDENTICAL to the single-threaded oracle: the
+  /// schedulers share no mutable state and the serial phases consume their
+  /// outputs in replica-index order either way.  `threads <= 1` (the
+  /// default) dispatches the legacy single-threaded loop byte-for-byte.
+  ///
+  /// With a trace recorder attached, parallel mode records each replica's
+  /// engine events into a private per-replica shard (worker threads never
+  /// touch the shared recorder) and folds the shards back in deterministic
+  /// time order at the end of Run() — the merged stream is identical across
+  /// thread counts >= 2 and across repeat runs, but interleaves equal-time
+  /// events differently from the threads=1 byte-golden stream.
+  void SetThreads(std::size_t threads);
+  [[nodiscard]] std::size_t threads() const { return threads_; }
 
   /// Adds a replica (usable mid-run: its clock joins the fleet clock).
   /// Returns the replica id, which is stable for the simulator's lifetime.
@@ -324,8 +348,10 @@ class ClusterSimulator {
   /// Snapshots every replica for a routing decision.  `signature` (when
   /// given) lets the TTFT estimate price the prefix-cache discount at each
   /// replica; the views also expose each pool's PrefixIndex for the
-  /// router's overlap term.
-  [[nodiscard]] std::vector<ReplicaView> Views(
+  /// router's overlap term.  Returns a reference to a member scratch buffer
+  /// (routing runs once per fleet event — a heap allocation per decision was
+  /// the hot path's last per-event allocation); valid until the next call.
+  [[nodiscard]] const std::vector<ReplicaView>& Views(
       std::size_t prompt_tokens,
       const serving::PrefixSignature* signature = nullptr) const;
   /// Shared routing path for arrivals and kill-retries: counts rejects/drops,
@@ -378,6 +404,18 @@ class ClusterSimulator {
   [[nodiscard]] double FleetNow() const;
   /// Re-arms the periodic autoscale tick when new work enters an idle fleet.
   void ArmAutoscaleTick();
+  /// Advances every active replica's scheduler to `deadline`: the serial
+  /// loop when no pool is attached, else the parallel fan-out (idle replicas
+  /// snap their clock inline; busy ones become pool tasks bounded by a
+  /// WaitIdle barrier, with one run inline on the coordinating thread).
+  void StepReplicasTo(double deadline);
+  /// Scheduler trace sink for a replica: the shared recorder in
+  /// single-threaded mode, the replica's private shard in parallel mode
+  /// (created on demand), nullptr when telemetry is detached.
+  [[nodiscard]] obs::TraceRecorder* ReplicaTraceSink(std::size_t id);
+  /// Folds the per-replica trace shards back into the main recorder in
+  /// deterministic time order (no-op when none exist).
+  void MergeTraceShards();
   /// Fires kills, migration landings and backoff retries in time order up
   /// to `deadline`, advancing the fleet clock to each event.
   void ProcessEventsThrough(double deadline);
@@ -457,6 +495,18 @@ class ClusterSimulator {
   /// migration landings, kills, degrades, autoscale ticks.  Deterministic
   /// under a fixed seed (counts simulated work, not wall time).
   std::uint64_t fleet_events_ = 0;
+  /// Parallel execution mode (SetThreads).  threads_ <= 1 keeps pool_ null
+  /// and every code path byte-identical to the legacy single-threaded loop.
+  std::size_t threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Busy-replica scratch for the parallel fan-out (avoids an allocation
+  /// per event-pump barrier).
+  std::vector<Replica*> busy_scratch_;
+  /// Per-replica trace shards (parallel mode only), indexed by replica id.
+  /// The unique_ptrs stay alive across runs — schedulers hold raw pointers.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards_;
+  /// Views() scratch: one routing snapshot, rebuilt per decision in place.
+  mutable std::vector<ReplicaView> views_scratch_;
   // Telemetry (null = detached; every hook is one branch when detached).
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

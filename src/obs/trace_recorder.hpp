@@ -147,6 +147,20 @@ class TraceRecorder {
   void Flow(TracePhase phase, double t, std::int32_t pid, std::int32_t tid,
             std::uint64_t id);
 
+  /// Absorbs the events of `shards` into this recorder and re-establishes
+  /// global time order.  The parallel cluster runtime records each replica's
+  /// engine events into a private per-replica shard (so worker threads never
+  /// touch a shared vector); at end of run the shards are folded back here.
+  ///
+  /// Determinism contract: the result depends only on event content and the
+  /// ORDER OF THE SHARD LIST, never on thread scheduling — the merge is a
+  /// concatenation (this recorder's events, then each shard in list order)
+  /// followed by a stable sort on the simulated timestamp, so equal-time
+  /// events tie-break by (source index, original record order).  Ext-pool
+  /// offsets are rebased; shard name declarations are appended; the shards
+  /// are left cleared.
+  void MergeShards(std::span<TraceRecorder* const> shards);
+
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] const std::vector<TraceEvent>& events() const {

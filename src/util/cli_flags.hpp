@@ -12,6 +12,10 @@
 //   --json-out PATH        write the FleetStats summary as JSON
 //   --profile-out BASE     enable the wall-clock profiler and write
 //                          BASE.txt/.csv/.folded/.speedscope.json/.gemm_ai.csv
+//   --threads N            worker threads for the cluster simulator's
+//                          parallel runtime (0 = hardware concurrency; the
+//                          default 1 keeps the byte-deterministic legacy
+//                          single-threaded loop)
 //
 // Both `--flag value` and `--flag=value` are accepted.  Unknown arguments
 // are collected into `positional` for the binary's own parsing.
@@ -34,6 +38,10 @@ struct CliFlags {
   std::string metrics_csv;
   std::string json_out;
   std::string profile_out;  ///< base path; empty = profiler stays disabled
+  /// ClusterSimulator::SetThreads value (0 = hardware concurrency).  The
+  /// default 1 preserves legacy single-threaded output byte-for-byte.
+  std::size_t threads = 1;
+  bool threads_set = false;  ///< --threads was given explicitly
   std::vector<std::string> positional;
 
   /// Any telemetry sink requested (the binary should attach a recorder).
@@ -73,6 +81,9 @@ inline CliFlags ParseCliFlags(int argc, char** argv) {
       flags.json_out = v;
     } else if (const char* v = value("--profile-out")) {
       flags.profile_out = v;
+    } else if (const char* v = value("--threads")) {
+      flags.threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      flags.threads_set = true;
     } else {
       flags.positional.push_back(arg);
     }

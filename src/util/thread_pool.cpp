@@ -1,0 +1,117 @@
+#include "util/thread_pool.hpp"
+
+namespace liquid::util {
+
+namespace {
+// Spin iterations before falling back to a condition variable.  The host may
+// be a single-core container (CI runners included), so the spin is short and
+// yields on every iteration: on one core, spinning without yielding would
+// actively delay the worker that holds the task we are waiting for.
+constexpr int kSpinIterations = 64;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // The lock orders stop_ against the worker's sleep check: without it a
+    // worker could observe stop_==false, then sleep after our notify and
+    // hang the destructor.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const std::size_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  // Empty critical section before the notify: a worker that already saw
+  // pending_==0 in its wait predicate holds wake_mu_ until it actually
+  // sleeps, so acquiring the lock here orders our increment before its
+  // wakeup — without it the notify could land in the gap between the
+  // predicate check and the sleep and be lost.
+  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(std::size_t self) {
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    auto& own = queues_[self]->tasks;
+    if (!own.empty()) {
+      auto task = std::move(own.back());
+      own.pop_back();
+      return task;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    const std::size_t victim = (self + k) % queues_.size();
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    auto& q = queues_[victim]->tasks;
+    if (!q.empty()) {
+      auto task = std::move(q.front());
+      q.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  int spins = 0;
+  while (true) {
+    if (auto task = TakeTask(self)) {
+      spins = 0;
+      task();
+      // release pairs with WaitIdle's acquire load: everything the task
+      // wrote happens-before the barrier caller's reads.
+      if (pending_.fetch_sub(1, std::memory_order_release) == 1) {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (++spins < kSpinIterations) {
+      std::this_thread::yield();
+      continue;
+    }
+    spins = 0;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  for (int spins = 0; spins < kSpinIterations; ++spins) {
+    if (pending_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace liquid::util

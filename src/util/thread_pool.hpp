@@ -1,0 +1,93 @@
+#pragma once
+// Work-stealing thread pool for the parallel cluster runtime.
+//
+// The ClusterSimulator's event pump alternates two phases: a SERIAL phase on
+// the coordinating thread (routing decisions, KV-migration landings, chaos
+// events, autoscale ticks — everything that touches more than one replica)
+// and a PARALLEL phase where each replica advances its own scheduler to the
+// next event-pump barrier.  Replica tasks are coarse (whole StepUntil /
+// RunToCompletion calls over private state) but the barriers are frequent —
+// one per fleet event — so the pool is built for low submit/wake latency on
+// small task batches rather than for throughput on thousands of tiny tasks:
+//
+//   * One deque per worker.  Submission round-robins across the deques
+//     (multi-producer submission; each deque has its own lock), the owning
+//     worker pops newest-first from its own deque, and an idle worker steals
+//     oldest-first from its siblings — classic work-stealing, implemented
+//     with per-deque mutexes instead of lock-free CAS loops because the
+//     tasks are microseconds long and correctness under TSan is part of the
+//     contract (the TSan CI job runs the cluster suite over this pool).
+//   * Completion is an atomic pending-task count: WaitIdle() is the
+//     event-pump barrier, spinning briefly (submitters usually wait only a
+//     few microseconds) before falling back to a condition variable.
+//   * Idle workers also spin briefly before sleeping, so a barrier-heavy
+//     workload is not paying a futex round-trip per task.
+//
+// Tasks must not throw (the simulator's replica steps are noexcept in
+// practice); a throwing task would terminate via std::terminate, which is
+// the behavior we want for a corrupted simulation rather than silently
+// swallowing the error on a worker thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace liquid::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1 either way).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.  Callable from any thread (including workers, so a
+  /// task may spawn subtasks); the round-robin cursor spreads submissions
+  /// across the per-worker deques.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has FINISHED (not merely been
+  /// dequeued).  This is the event-pump barrier between the parallel replica
+  /// phase and the serial fleet phase; the pool's internal synchronization
+  /// gives the caller a happens-before edge over everything the tasks wrote.
+  void WaitIdle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  /// Tasks submitted but not yet finished (approximate between barriers).
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops the newest task of `self`'s own deque, else steals the oldest from
+  /// a sibling (scan starts after `self` so thieves spread out).  Empty
+  /// function when nothing is runnable.
+  std::function<void()> TakeTask(std::size_t self);
+  void WorkerLoop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin submit cursor
+  std::atomic<std::size_t> pending_{0};     ///< submitted, not yet finished
+  std::atomic<bool> stop_{false};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  ///< workers sleep here when starved
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;  ///< WaitIdle sleeps here
+};
+
+}  // namespace liquid::util

@@ -1,0 +1,296 @@
+// Parallel runtime equivalence: the work-stealing execution mode
+// (ClusterSimulator::SetThreads > 1) must reproduce the single-threaded
+// oracle EXACTLY — not statistically.  Replica step work shares no mutable
+// state and every cross-replica phase (routing, migration landings,
+// autoscale ticks, chaos events, harvest) runs serialized in replica-index
+// order, so for any scenario — kills, degradations, KV migrations,
+// autoscaling, SLO shedding — every counter and every percentile must match
+// bit for bit at any thread count.
+//
+// The suite drives randomized chaos scenarios (same generator family as
+// chaos_property_test) plus a disaggregated fleet at 2/4/8 threads against
+// the serial run, and pins the telemetry contract: the merged per-replica
+// trace shards are deterministic across thread counts >= 2 and across
+// repeat runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "obs/trace_recorder.hpp"
+#include "serving/workload.hpp"
+#include "util/rng.hpp"
+
+namespace liquid::cluster {
+namespace {
+
+ReplicaSpec Replica(std::size_t pool_blocks,
+                    ReplicaRole role = ReplicaRole::kUnified) {
+  ReplicaSpec spec;
+  spec.hw = simgpu::HardwareSpec::H800();
+  spec.preset = serving::SystemPreset::LiquidServe();
+  spec.model = serving::LlmConfig::Llama2_7B();
+  spec.kv_pool_blocks = pool_blocks;
+  spec.block_tokens = 16;
+  spec.max_batch = 16;
+  spec.role = role;
+  if (role == ReplicaRole::kPrefill) spec.options.prefill_chunk_tokens = 1024;
+  spec.dollars_per_hour = 2.5;
+  return spec;
+}
+
+struct Scenario {
+  RoutePolicy policy = RoutePolicy::kLeastOutstanding;
+  AutoscaleConfig autoscale;
+  SloConfig slo;
+  std::size_t replicas = 2;
+  std::size_t pool_blocks = 128;
+  std::vector<serving::TimedRequest> trace;
+  std::vector<KillEvent> kills;
+  std::vector<DegradeEvent> degrades;
+};
+
+/// Random chaos scenario: kills AND partial degradations active, half with
+/// autoscaling, half with SLO admission control — the full serial event
+/// pump, so the parallel runtime is compared where every barrier matters.
+Scenario RandomScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  const RoutePolicy policies[] = {
+      RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstanding,
+      RoutePolicy::kLeastKvLoad, RoutePolicy::kSessionAffinity};
+  s.policy = policies[rng.Below(4)];
+  s.replicas = 2 + static_cast<std::size_t>(rng.Below(3));  // 2..4
+  s.pool_blocks = 64 + static_cast<std::size_t>(rng.Below(3)) * 64;
+  if (rng.NextDouble() < 0.5) {
+    s.autoscale.enabled = true;
+    s.autoscale.signal = rng.NextDouble() < 0.5 ? AutoscaleSignal::kQueueDepth
+                                                : AutoscaleSignal::kTailTtft;
+    s.autoscale.queue_high = rng.Uniform(3.0, 10.0);
+    s.autoscale.queue_low = rng.Uniform(0.1, 1.0);
+    s.autoscale.ttft_p99_high = rng.Uniform(0.5, 3.0);
+    s.autoscale.ttft_p99_low = rng.Uniform(0.01, 0.2);
+    s.autoscale.window_seconds = rng.Uniform(2.0, 15.0);
+    s.autoscale.max_replicas = 6;
+    s.autoscale.cooldown_seconds = rng.Uniform(0.0, 1.0);
+  }
+  if (rng.NextDouble() < 0.5) {
+    s.slo.ttft_budget = rng.Uniform(0.1, 2.0);
+    s.slo.reject_above = rng.Uniform(1.0, 2.0);
+  }
+  serving::TraceConfig trace;
+  trace.arrival_rate_per_s = rng.Uniform(20.0, 150.0);
+  trace.count = 60 + static_cast<std::size_t>(rng.Below(80));
+  trace.prompt_min = 128;
+  trace.prompt_max = 1024 + static_cast<std::size_t>(rng.Below(1536));
+  trace.output_min = 32;
+  trace.output_max = 192;
+  trace.sessions = 8;
+  s.trace = serving::GenerateTrace(trace, seed ^ 0xC0FFEEull);
+  const double span =
+      s.trace.empty() ? 1.0 : s.trace.back().arrival_seconds + 1.0;
+  const std::size_t kills = 1 + rng.Below(2);
+  for (std::size_t k = 0; k < kills; ++k) {
+    s.kills.push_back({rng.Uniform(0.05, span * 1.2), rng.Below(s.replicas)});
+  }
+  const std::size_t degrades = 1 + rng.Below(2);
+  for (std::size_t d = 0; d < degrades; ++d) {
+    s.degrades.push_back({rng.Uniform(0.05, span), rng.Below(s.replicas),
+                          rng.Uniform(1.5, 4.0)});
+  }
+  return s;
+}
+
+FleetStats RunScenario(const Scenario& s, std::size_t threads,
+                       obs::TraceRecorder* trace = nullptr) {
+  ClusterSimulator sim(s.policy, s.autoscale, s.slo);
+  sim.SetThreads(threads);
+  for (std::size_t i = 0; i < s.replicas; ++i) {
+    sim.AddReplica(Replica(s.pool_blocks));
+  }
+  for (const KillEvent& kill : s.kills) sim.ScheduleKill(kill);
+  for (const DegradeEvent& d : s.degrades) sim.ScheduleDegrade(d);
+  if (trace != nullptr) sim.AttachTelemetry(trace, nullptr);
+  return sim.Run(s.trace);
+}
+
+void ExpectExactMatch(const FleetStats& par, const FleetStats& ser,
+                      const std::string& label) {
+  // Deterministic counters: exact.
+  EXPECT_EQ(par.submitted, ser.submitted) << label;
+  EXPECT_EQ(par.completed, ser.completed) << label;
+  EXPECT_EQ(par.dropped, ser.dropped) << label;
+  EXPECT_EQ(par.preemptions, ser.preemptions) << label;
+  EXPECT_EQ(par.rerouted, ser.rerouted) << label;
+  EXPECT_EQ(par.scale_ups, ser.scale_ups) << label;
+  EXPECT_EQ(par.scale_downs, ser.scale_downs) << label;
+  EXPECT_EQ(par.replicas_final, ser.replicas_final) << label;
+  EXPECT_EQ(par.killed_replicas, ser.killed_replicas) << label;
+  EXPECT_EQ(par.lost_requests, ser.lost_requests) << label;
+  EXPECT_EQ(par.retried_requests, ser.retried_requests) << label;
+  EXPECT_EQ(par.rejected_requests, ser.rejected_requests) << label;
+  EXPECT_EQ(par.degraded_replicas, ser.degraded_replicas) << label;
+  EXPECT_EQ(par.prefix_hits, ser.prefix_hits) << label;
+  EXPECT_EQ(par.disagg.prefill_handoffs, ser.disagg.prefill_handoffs) << label;
+  EXPECT_EQ(par.disagg.migrated_requests, ser.disagg.migrated_requests)
+      << label;
+  EXPECT_EQ(par.disagg.local_decode_fallbacks,
+            ser.disagg.local_decode_fallbacks)
+      << label;
+  EXPECT_EQ(par.disagg.import_ooms, ser.disagg.import_ooms) << label;
+  EXPECT_EQ(par.sim_throughput.events_processed,
+            ser.sim_throughput.events_processed)
+      << label;
+  EXPECT_EQ(par.sim_throughput.engine_iterations,
+            ser.sim_throughput.engine_iterations)
+      << label;
+  EXPECT_EQ(par.sim_throughput.fleet_events, ser.sim_throughput.fleet_events)
+      << label;
+  // Simulated-time quantities: bit-exact too — the parallel mode runs the
+  // SAME floating-point operations per replica in the same order, only on a
+  // different thread.  (The issue asked for statistical tolerance; the
+  // implementation delivers the stronger guarantee, so pin it.)
+  EXPECT_EQ(par.span_seconds, ser.span_seconds) << label;
+  EXPECT_EQ(par.generated_tokens, ser.generated_tokens) << label;
+  EXPECT_EQ(par.wasted_tokens, ser.wasted_tokens) << label;
+  EXPECT_EQ(par.cost_dollars, ser.cost_dollars) << label;
+  EXPECT_EQ(par.ttft.p50, ser.ttft.p50) << label;
+  EXPECT_EQ(par.ttft.p95, ser.ttft.p95) << label;
+  EXPECT_EQ(par.ttft.p99, ser.ttft.p99) << label;
+  EXPECT_EQ(par.tpot.p50, ser.tpot.p50) << label;
+  EXPECT_EQ(par.tpot.p99, ser.tpot.p99) << label;
+  EXPECT_EQ(par.e2e.p50, ser.e2e.p50) << label;
+  EXPECT_EQ(par.e2e.p99, ser.e2e.p99) << label;
+  EXPECT_EQ(par.sim_throughput.sim_seconds, ser.sim_throughput.sim_seconds)
+      << label;
+  // Scale-event sequences (order matters) and per-replica outcomes.
+  ASSERT_EQ(par.scale_events.size(), ser.scale_events.size()) << label;
+  for (std::size_t i = 0; i < par.scale_events.size(); ++i) {
+    EXPECT_EQ(par.scale_events[i].time, ser.scale_events[i].time) << label;
+    EXPECT_EQ(par.scale_events[i].up, ser.scale_events[i].up) << label;
+    EXPECT_EQ(par.scale_events[i].replica, ser.scale_events[i].replica)
+        << label;
+  }
+  ASSERT_EQ(par.replicas.size(), ser.replicas.size()) << label;
+  for (std::size_t i = 0; i < par.replicas.size(); ++i) {
+    EXPECT_EQ(par.replicas[i].submitted, ser.replicas[i].submitted) << label;
+    EXPECT_EQ(par.replicas[i].killed, ser.replicas[i].killed) << label;
+    EXPECT_EQ(par.replicas[i].active, ser.replicas[i].active) << label;
+    EXPECT_EQ(par.replicas[i].stats.completed, ser.replicas[i].stats.completed)
+        << label;
+  }
+}
+
+void ExpectConservation(const FleetStats& stats, const std::string& label) {
+  EXPECT_EQ(stats.completed + stats.dropped + stats.rejected_requests +
+                stats.lost_requests,
+            stats.submitted + stats.retried_requests)
+      << label;
+}
+
+TEST(ParallelEquivalenceTest, ChaosScenariosMatchSerialOracle) {
+  // 12 random chaos scenarios (kills + degradations + autoscale + SLO), each
+  // at 2, 4 and 8 worker threads against the single-threaded oracle.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Scenario s = RandomScenario(seed);
+    const FleetStats oracle = RunScenario(s, 1);
+    ExpectConservation(oracle, "seed " + std::to_string(seed) + " serial");
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      const std::string label =
+          "seed " + std::to_string(seed) + " threads " +
+          std::to_string(threads);
+      const FleetStats par = RunScenario(s, threads);
+      ExpectConservation(par, label);
+      ExpectExactMatch(par, oracle, label);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, DisaggFleetMatchesSerialOracle) {
+  // Prefill/decode split with KV migrations in flight — the cross-replica
+  // interaction the serial phases must keep ordered.
+  serving::TraceConfig config;
+  config.arrival_rate_per_s = 90.0;
+  config.count = 150;
+  config.prompt_min = 256;
+  config.prompt_max = 2048;
+  config.output_min = 32;
+  config.output_max = 128;
+  config.sessions = 16;
+  const auto trace = serving::GenerateTrace(config, 7);
+
+  const auto run = [&trace](std::size_t threads) {
+    DisaggConfig disagg;
+    disagg.interconnect.bandwidth_gb_per_s = 200.0;
+    disagg.max_migration_seconds = 0.5;
+    ClusterSimulator sim(RoutePolicy::kLeastOutstanding, {}, {}, {}, disagg);
+    sim.SetThreads(threads);
+    for (int i = 0; i < 2; ++i) {
+      sim.AddReplica(Replica(2048, ReplicaRole::kPrefill));
+    }
+    for (int i = 0; i < 3; ++i) {
+      sim.AddReplica(Replica(2048, ReplicaRole::kDecode));
+    }
+    sim.ScheduleKill({trace[trace.size() / 2].arrival_seconds, 3});
+    return sim.Run(trace);
+  };
+
+  const FleetStats oracle = run(1);
+  EXPECT_GT(oracle.disagg.migrated_requests, 0u);
+  for (const std::size_t threads : {2u, 4u}) {
+    ExpectExactMatch(run(threads), oracle,
+                     "disagg threads " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelEquivalenceTest, MergedTraceIsDeterministicAcrossThreadCounts) {
+  // Telemetry contract: per-replica shards merged at end of run yield an
+  // identical byte stream for any thread count >= 2 and on repeat runs; the
+  // event COUNT also matches the threads=1 stream (same simulated events,
+  // possibly different interleave of equal-time records).
+  const Scenario s = RandomScenario(5);
+
+  obs::TraceRecorder serial;
+  RunScenario(s, 1, &serial);
+  ASSERT_GT(serial.size(), 0u);
+
+  obs::TraceRecorder t2a;
+  RunScenario(s, 2, &t2a);
+  obs::TraceRecorder t2b;
+  RunScenario(s, 2, &t2b);
+  obs::TraceRecorder t4;
+  RunScenario(s, 4, &t4);
+
+  EXPECT_EQ(t2a.size(), serial.size());
+  const std::string json2a = t2a.ToChromeTraceJson();
+  EXPECT_EQ(json2a, t2b.ToChromeTraceJson()) << "repeat run at 2 threads";
+  EXPECT_EQ(json2a, t4.ToChromeTraceJson()) << "2 threads vs 4 threads";
+}
+
+TEST(ParallelEquivalenceTest, ThreadsOneIsTheLegacyLoop) {
+  // threads=1 (and SetThreads(1) called explicitly) must be byte-identical
+  // to a simulator never touched by SetThreads — the golden-pinning path.
+  const Scenario s = RandomScenario(3);
+
+  obs::TraceRecorder untouched;
+  {
+    ClusterSimulator sim(s.policy, s.autoscale, s.slo);
+    for (std::size_t i = 0; i < s.replicas; ++i) {
+      sim.AddReplica(Replica(s.pool_blocks));
+    }
+    for (const KillEvent& kill : s.kills) sim.ScheduleKill(kill);
+    for (const DegradeEvent& d : s.degrades) sim.ScheduleDegrade(d);
+    sim.AttachTelemetry(&untouched, nullptr);
+    sim.Run(s.trace);
+  }
+  obs::TraceRecorder explicit_one;
+  const FleetStats one = RunScenario(s, 1, &explicit_one);
+  EXPECT_EQ(one.sim_throughput.threads, 1u);
+  EXPECT_EQ(explicit_one.ToChromeTraceJson(), untouched.ToChromeTraceJson());
+}
+
+}  // namespace
+}  // namespace liquid::cluster
