@@ -37,6 +37,7 @@ ClusterSimulator::ClusterSimulator(RoutePolicy policy,
 ClusterSimulator::~ClusterSimulator() = default;
 
 void ClusterSimulator::SetThreads(std::size_t threads) {
+  util::RoleGuard role(coordinator_role_);
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   threads_ = threads;
@@ -76,7 +77,7 @@ std::size_t ClusterSimulator::PoolFor(ReplicaRole role) const {
   return kNoPool;
 }
 
-std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
+std::size_t ClusterSimulator::AddReplicaImpl(const ReplicaSpec& spec) {
   Replica r;
   r.id = replicas_.size();
   r.spec = spec;
@@ -127,6 +128,7 @@ void ClusterSimulator::WireReplicaTelemetry(Replica& replica) {
 
 void ClusterSimulator::AttachTelemetry(obs::TraceRecorder* trace,
                                        obs::MetricsRegistry* metrics) {
+  util::RoleGuard role(coordinator_role_);
   trace_ = trace;
   coordinator_.SetTrace(trace);
   if (trace_ != nullptr) {
@@ -227,9 +229,9 @@ void ClusterSimulator::SampleMetrics(double now) {
   metrics_->Sample(now);
 }
 
-bool ClusterSimulator::RemoveReplica(std::size_t id) {
+bool ClusterSimulator::RemoveReplicaImpl(std::size_t id) {
   if (id >= replicas_.size() || !replicas_[id].active) return false;
-  if (ActiveReplicas() <= 1) return false;  // never strand in-flight work
+  if (ActiveReplicasImpl() <= 1) return false;  // never strand in-flight work
   Replica& victim = replicas_[id];
   victim.active = false;
   router_.ForgetReplica(id);
@@ -316,7 +318,7 @@ bool ClusterSimulator::RemoveReplica(std::size_t id) {
   return true;
 }
 
-bool ClusterSimulator::KillReplica(std::size_t id, double now) {
+bool ClusterSimulator::KillReplicaImpl(std::size_t id, double now) {
   if (id >= replicas_.size() || !replicas_[id].active) return false;
   LIQUID_PROF_SCOPE("sim/events/kill");
   ++fleet_events_;
@@ -364,7 +366,8 @@ bool ClusterSimulator::KillReplica(std::size_t id, double now) {
   return true;
 }
 
-bool ClusterSimulator::DegradeReplica(std::size_t id, double slowdown_factor) {
+bool ClusterSimulator::DegradeReplicaImpl(std::size_t id,
+                                       double slowdown_factor) {
   if (id >= replicas_.size() || !replicas_[id].active) return false;
   LIQUID_PROF_SCOPE("sim/events/degrade");
   ++fleet_events_;
@@ -415,7 +418,7 @@ void ClusterSimulator::RetryLost(serving::TimedRequest retry, double now) {
   }
 }
 
-void ClusterSimulator::AdvanceTo(double deadline) {
+void ClusterSimulator::AdvanceToImpl(double deadline) {
   LIQUID_PROF_SCOPE("sim/advance");
   StepReplicasTo(deadline);
   HarvestCompletions();
@@ -764,24 +767,67 @@ std::optional<std::size_t> ClusterSimulator::RouteOne(
   return dest;
 }
 
-std::optional<std::size_t> ClusterSimulator::SubmitAndRoute(
+std::optional<std::size_t> ClusterSimulator::SubmitAndRouteImpl(
     const serving::TimedRequest& request) {
   ++tally_.submitted;
   return RouteOne(request);
 }
 
-std::size_t ClusterSimulator::ActiveReplicas() const {
+std::size_t ClusterSimulator::ActiveReplicasImpl() const {
   std::size_t n = 0;
   for (const Replica& r : replicas_) n += r.active ? 1 : 0;
   return n;
 }
 
-std::size_t ClusterSimulator::TotalOutstanding() const {
+std::size_t ClusterSimulator::TotalOutstandingImpl() const {
   std::size_t n = 0;
   for (const Replica& r : replicas_) {
     if (r.active) n += r.scheduler->outstanding();
   }
   return n;
+}
+
+// --- public API: thin RoleGuard wrappers over the coordinator-role bodies ---
+
+std::size_t ClusterSimulator::AddReplica(const ReplicaSpec& spec) {
+  util::RoleGuard role(coordinator_role_);
+  return AddReplicaImpl(spec);
+}
+
+bool ClusterSimulator::RemoveReplica(std::size_t id) {
+  util::RoleGuard role(coordinator_role_);
+  return RemoveReplicaImpl(id);
+}
+
+bool ClusterSimulator::KillReplica(std::size_t id, double now) {
+  util::RoleGuard role(coordinator_role_);
+  return KillReplicaImpl(id, now);
+}
+
+bool ClusterSimulator::DegradeReplica(std::size_t id, double slowdown_factor) {
+  util::RoleGuard role(coordinator_role_);
+  return DegradeReplicaImpl(id, slowdown_factor);
+}
+
+void ClusterSimulator::AdvanceTo(double deadline) {
+  util::RoleGuard role(coordinator_role_);
+  AdvanceToImpl(deadline);
+}
+
+std::optional<std::size_t> ClusterSimulator::SubmitAndRoute(
+    const serving::TimedRequest& request) {
+  util::RoleGuard role(coordinator_role_);
+  return SubmitAndRouteImpl(request);
+}
+
+std::size_t ClusterSimulator::ActiveReplicas() const {
+  util::RoleGuard role(coordinator_role_);
+  return ActiveReplicasImpl();
+}
+
+std::size_t ClusterSimulator::TotalOutstanding() const {
+  util::RoleGuard role(coordinator_role_);
+  return TotalOutstandingImpl();
 }
 
 void ClusterSimulator::MaybeAutoscale(double now) {
@@ -799,7 +845,7 @@ void ClusterSimulator::MaybeAutoscale(double now) {
     return;
   }
   if (!autoscale_spec_) return;
-  const std::size_t active = ActiveReplicas();
+  const std::size_t active = ActiveReplicasImpl();
   if (active == 0) return;
 
   bool scale_up = false, scale_down = false;
@@ -812,7 +858,7 @@ void ClusterSimulator::MaybeAutoscale(double now) {
     for (const Replica& r : replicas_) {
       if (r.active) capacity += 1.0 / r.scheduler->slowdown();
     }
-    value = static_cast<double>(TotalOutstanding()) / capacity;
+    value = static_cast<double>(TotalOutstandingImpl()) / capacity;
     scale_up = value > autoscale_.queue_high;
     scale_down = value < autoscale_.queue_low;
   } else {  // kTailTtft: windowed p99 of observed TTFTs
@@ -983,7 +1029,7 @@ void ClusterSimulator::AutoscalePools(double now) {
 
 void ClusterSimulator::CommitScaleUp(std::size_t pool, const ReplicaSpec& spec,
                                      double now, double signal_value) {
-  const std::size_t id = AddReplica(spec);
+  const std::size_t id = AddReplicaImpl(spec);
   replicas_[id].pool = pool;
   replicas_[id].added_at = now;
   replicas_[id].scheduler->StepUntil(now);  // join the shared clock
@@ -1010,7 +1056,7 @@ bool ClusterSimulator::CommitScaleDown(std::size_t pool, double now,
     return false;
   }
   const ReplicaRole role = replicas_[victim].spec.role;
-  if (!RemoveReplica(victim)) return false;
+  if (!RemoveReplicaImpl(victim)) return false;
   ++tally_.scale_downs;
   tally_.scale_events.push_back({now, false, role, victim, signal_value});
   last_scale_event_ = now;
@@ -1136,7 +1182,7 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
     }
     const double t = std::min({t_kill, t_degrade, t_mig, t_retry, t_tick});
     if (t == kInf) return;
-    AdvanceTo(t);
+    AdvanceToImpl(t);
     // Harvesting during AdvanceTo can commit fresh transfers whose arrival
     // is at or before t; land everything due — and release due retries —
     // BEFORE a same-instant kill, so a delivery that physically preceded
@@ -1172,14 +1218,14 @@ void ClusterSimulator::ProcessEventsThrough(double deadline) {
       const DegradeEvent degrade = degrade_schedule_[degrade_idx];
       degrade_schedule_.erase(degrade_schedule_.begin() +
                               static_cast<std::ptrdiff_t>(degrade_idx));
-      DegradeReplica(degrade.replica, degrade.slowdown_factor);
+      DegradeReplicaImpl(degrade.replica, degrade.slowdown_factor);
       continue;
     }
     if (t == t_kill) {
       const KillEvent kill = kill_schedule_[kill_idx];
       kill_schedule_.erase(kill_schedule_.begin() +
                            static_cast<std::ptrdiff_t>(kill_idx));
-      KillReplica(kill.replica, kill.time);
+      KillReplicaImpl(kill.replica, kill.time);
     }
   }
 }
@@ -1240,6 +1286,7 @@ void ClusterSimulator::DrainToQuiescence() {
 
 FleetStats ClusterSimulator::Run(
     const std::vector<serving::TimedRequest>& trace) {
+  util::RoleGuard role(coordinator_role_);
   LIQUID_PROF_SCOPE("sim/run");
   const WallTimer run_timer;
   const auto arrival_order = [](const serving::TimedRequest& a,
@@ -1263,9 +1310,9 @@ FleetStats ClusterSimulator::Run(
 
   for (const serving::TimedRequest& request : *requests) {
     ProcessEventsThrough(request.arrival_seconds);
-    AdvanceTo(request.arrival_seconds);
+    AdvanceToImpl(request.arrival_seconds);
     MaybeAutoscale(request.arrival_seconds);
-    SubmitAndRoute(request);
+    SubmitAndRouteImpl(request);
     SampleMetrics(request.arrival_seconds);
   }
   // Kills scheduled past the last arrival still fire (the fleet keeps
@@ -1277,7 +1324,7 @@ FleetStats ClusterSimulator::Run(
   MergeTraceShards();
 
   FleetStats stats = tally_;
-  stats.replicas_final = ActiveReplicas();
+  stats.replicas_final = ActiveReplicasImpl();
   stats.disagg.in_migration = coordinator_.InFlight();
   stats.disagg.migration_seconds = SummarizePercentiles(migration_seconds_);
   std::vector<serving::RequestTiming> timings;

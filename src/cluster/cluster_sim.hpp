@@ -44,6 +44,7 @@
 #include "serving/scheduler.hpp"
 #include "serving/workload.hpp"
 #include "util/sliding_window.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace liquid::util {
 class ThreadPool;
@@ -242,7 +243,10 @@ class ClusterSimulator {
   bool KillReplica(std::size_t id, double now);
 
   /// Queues a kill for Run() to fire when the shared clock reaches it.
-  void ScheduleKill(const KillEvent& kill) { kill_schedule_.push_back(kill); }
+  void ScheduleKill(const KillEvent& kill) {
+    util::RoleGuard role(coordinator_role_);
+    kill_schedule_.push_back(kill);
+  }
 
   /// Partial degradation (chaos): the replica slows down by `slowdown_factor`
   /// rather than dying — in-flight work survives, it just finishes late.
@@ -253,6 +257,7 @@ class ClusterSimulator {
 
   /// Queues a degradation for Run() to fire on the shared clock.
   void ScheduleDegrade(const DegradeEvent& degrade) {
+    util::RoleGuard role(coordinator_role_);
     degrade_schedule_.push_back(degrade);
   }
 
@@ -289,10 +294,15 @@ class ClusterSimulator {
   [[nodiscard]] std::size_t TotalOutstanding() const;
   /// Requests whose KV is currently on the wire between pools.
   [[nodiscard]] std::size_t InMigration() const {
+    util::RoleGuard role(coordinator_role_);
     return coordinator_.InFlight();
   }
-  [[nodiscard]] const Router& router() const { return router_; }
+  [[nodiscard]] const Router& router() const {
+    util::RoleGuard role(coordinator_role_);
+    return router_;
+  }
   [[nodiscard]] const DisaggCoordinator& coordinator() const {
+    util::RoleGuard role(coordinator_role_);
     return coordinator_;
   }
 
@@ -353,83 +363,117 @@ class ClusterSimulator {
   /// the hot path's last per-event allocation); valid until the next call.
   [[nodiscard]] const std::vector<ReplicaView>& Views(
       std::size_t prompt_tokens,
-      const serving::PrefixSignature* signature = nullptr) const;
+      const serving::PrefixSignature* signature = nullptr) const
+      LIQUID_REQUIRES(coordinator_role_);
+  /// Coordinator-role bodies of the public API (the public methods are thin
+  /// RoleGuard wrappers).  Internal callers already inside a serialized
+  /// section call these directly, so the analysis never sees a re-entrant
+  /// role acquisition.
+  std::size_t AddReplicaImpl(const ReplicaSpec& spec)
+      LIQUID_REQUIRES(coordinator_role_);
+  bool RemoveReplicaImpl(std::size_t id) LIQUID_REQUIRES(coordinator_role_);
+  bool KillReplicaImpl(std::size_t id, double now)
+      LIQUID_REQUIRES(coordinator_role_);
+  bool DegradeReplicaImpl(std::size_t id, double slowdown_factor)
+      LIQUID_REQUIRES(coordinator_role_);
+  void AdvanceToImpl(double deadline) LIQUID_REQUIRES(coordinator_role_);
+  std::optional<std::size_t> SubmitAndRouteImpl(
+      const serving::TimedRequest& request) LIQUID_REQUIRES(coordinator_role_);
+  [[nodiscard]] std::size_t ActiveReplicasImpl() const
+      LIQUID_REQUIRES(coordinator_role_);
+  [[nodiscard]] std::size_t TotalOutstandingImpl() const
+      LIQUID_REQUIRES(coordinator_role_);
   /// Shared routing path for arrivals and kill-retries: counts rejects/drops,
   /// tracks in-flight metadata, and submits to the chosen scheduler (flagged
   /// prefill-only when it lands on a prefill-role replica).
-  std::optional<std::size_t> RouteOne(const serving::TimedRequest& request);
+  std::optional<std::size_t> RouteOne(const serving::TimedRequest& request)
+      LIQUID_REQUIRES(coordinator_role_);
   /// One request lost with its host (kill) or transfer (target death):
   /// spends a retry attempt — scheduling the re-route after backoff — or
   /// abandons the request when the budget is gone.
-  void RetryLost(serving::TimedRequest retry, double now);
-  void HarvestCompletions();
+  void RetryLost(serving::TimedRequest retry, double now)
+      LIQUID_REQUIRES(coordinator_role_);
+  void HarvestCompletions() LIQUID_REQUIRES(coordinator_role_);
   /// Plans migrations for freshly harvested prefill handoffs.
-  void HarvestHandoffs();
-  void PlanHandoff(Replica& src, const serving::PrefillHandoff& handoff);
+  void HarvestHandoffs() LIQUID_REQUIRES(coordinator_role_);
+  void PlanHandoff(Replica& src, const serving::PrefillHandoff& handoff)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Delivers a continuation + KV to `dst`'s scheduler; on import OOM the
   /// request is reset to original form and recomputes there (wasting its
   /// first token).
   void DeliverContinuation(Replica& dst, serving::Request continuation,
-                           const serving::KvExport& kv, double ready);
+                           const serving::KvExport& kv, double ready)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Lands every due migration: AcceptMigrated on a live target, the retry
   /// path when the target died mid-transfer.
-  void LandMigrationsThrough(double deadline);
-  void ReleaseRetriesThrough(double deadline);
-  void MaybeAutoscale(double now);
+  void LandMigrationsThrough(double deadline)
+      LIQUID_REQUIRES(coordinator_role_);
+  void ReleaseRetriesThrough(double deadline)
+      LIQUID_REQUIRES(coordinator_role_);
+  void MaybeAutoscale(double now) LIQUID_REQUIRES(coordinator_role_);
   /// Role-typed pools evaluation: per-pool signals, at most one scale event
   /// per call (the shared cooldown paces the loop), SLO-driven growth
   /// outranking cost-driven shrink.
-  void AutoscalePools(double now);
-  [[nodiscard]] PoolSignal EvalPool(std::size_t pool, double now);
+  void AutoscalePools(double now) LIQUID_REQUIRES(coordinator_role_);
+  [[nodiscard]] PoolSignal EvalPool(std::size_t pool, double now)
+      LIQUID_REQUIRES(coordinator_role_);
   /// First configured pool whose role matches, else kNoPool.
-  [[nodiscard]] std::size_t PoolFor(ReplicaRole role) const;
+  [[nodiscard]] std::size_t PoolFor(ReplicaRole role) const
+      LIQUID_REQUIRES(coordinator_role_);
   /// Least-outstanding active replica of `pool` (kNoPool = whole fleet) that
   /// is safe to retire: never the last active replica of a specialized role,
   /// and replicas with KV imports in flight are passed over while a quieter
   /// victim exists (retiring them would force the coordinator to re-plan
   /// transfers RemoveReplica can otherwise leave alone).
-  [[nodiscard]] std::size_t PickScaleDownVictim(std::size_t pool) const;
-  [[nodiscard]] bool LastActiveOfRole(const Replica& replica) const;
+  [[nodiscard]] std::size_t PickScaleDownVictim(std::size_t pool) const
+      LIQUID_REQUIRES(coordinator_role_);
+  [[nodiscard]] bool LastActiveOfRole(const Replica& replica) const
+      LIQUID_REQUIRES(coordinator_role_);
   void CommitScaleUp(std::size_t pool, const ReplicaSpec& spec, double now,
-                     double signal_value);
-  bool CommitScaleDown(std::size_t pool, double now, double signal_value);
+                     double signal_value) LIQUID_REQUIRES(coordinator_role_);
+  bool CommitScaleDown(std::size_t pool, double now, double signal_value)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Fleet $/1M tokens were `delta_dollars_per_hour` added to the burn rate,
   /// over the recent windowed token rate; 0 when there is no recent
   /// completion evidence (no basis to veto).
   [[nodiscard]] double PredictedDollarsPerMTok(double now,
-                                               double delta_dollars_per_hour);
+                                               double delta_dollars_per_hour)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Any queued/running work, in-flight migration, or pending retry.
-  [[nodiscard]] bool FleetBusy() const;
+  [[nodiscard]] bool FleetBusy() const LIQUID_REQUIRES(coordinator_role_);
   /// The shared clock: furthest-advanced active replica (0 when none).
-  [[nodiscard]] double FleetNow() const;
+  [[nodiscard]] double FleetNow() const LIQUID_REQUIRES(coordinator_role_);
   /// Re-arms the periodic autoscale tick when new work enters an idle fleet.
-  void ArmAutoscaleTick();
+  void ArmAutoscaleTick() LIQUID_REQUIRES(coordinator_role_);
   /// Advances every active replica's scheduler to `deadline`: the serial
   /// loop when no pool is attached, else the parallel fan-out (idle replicas
   /// snap their clock inline; busy ones become pool tasks bounded by a
   /// WaitIdle barrier, with one run inline on the coordinating thread).
-  void StepReplicasTo(double deadline);
+  void StepReplicasTo(double deadline) LIQUID_REQUIRES(coordinator_role_);
   /// Scheduler trace sink for a replica: the shared recorder in
   /// single-threaded mode, the replica's private shard in parallel mode
   /// (created on demand), nullptr when telemetry is detached.
-  [[nodiscard]] obs::TraceRecorder* ReplicaTraceSink(std::size_t id);
+  [[nodiscard]] obs::TraceRecorder* ReplicaTraceSink(std::size_t id)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Folds the per-replica trace shards back into the main recorder in
   /// deterministic time order (no-op when none exist).
-  void MergeTraceShards();
+  void MergeTraceShards() LIQUID_REQUIRES(coordinator_role_);
   /// Fires kills, migration landings and backoff retries in time order up
   /// to `deadline`, advancing the fleet clock to each event.
-  void ProcessEventsThrough(double deadline);
+  void ProcessEventsThrough(double deadline)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Post-arrival phase of Run(): repeat (run replicas to completion, land
   /// events) until no work, migrations or retries remain anywhere.
-  void DrainToQuiescence();
+  void DrainToQuiescence() LIQUID_REQUIRES(coordinator_role_);
 
   /// Names the replica's Perfetto process lane and wires its scheduler's
   /// lifecycle hooks (no-op when no recorder is attached).
-  void WireReplicaTelemetry(Replica& replica);
+  void WireReplicaTelemetry(Replica& replica)
+      LIQUID_REQUIRES(coordinator_role_);
   /// Registers the fleet metric series (schema fixed before first sample).
-  void RegisterMetrics();
+  void RegisterMetrics() LIQUID_REQUIRES(coordinator_role_);
   /// Snapshots every registered series into one time-series row at `now`.
-  void SampleMetrics(double now);
+  void SampleMetrics(double now) LIQUID_REQUIRES(coordinator_role_);
 
   /// Handles into the attached MetricsRegistry.  Role-indexed arrays run
   /// kUnified, kPrefill, kDecode.
@@ -451,68 +495,110 @@ class ClusterSimulator {
     std::size_t local_fallbacks = 0;
   };
 
-  Router router_;
-  AutoscaleConfig autoscale_;
-  RetryPolicy retry_;
-  DisaggCoordinator coordinator_;
-  std::vector<Replica> replicas_;
-  std::optional<ReplicaSpec> autoscale_spec_;  ///< first added spec
-  FleetStats tally_;  ///< counters accumulated during the run
-  double last_scale_event_ = -1e300;
-  std::vector<KillEvent> kill_schedule_;  ///< pending, consumed by Run
-  std::vector<DegradeEvent> degrade_schedule_;  ///< pending, consumed by Run
-  std::vector<PendingRetry> pending_retries_;
+  /// The parallel runtime's headline contract, stated to the compiler:
+  /// everything that couples replicas — routing, migrations, autoscaling,
+  /// chaos, harvest, telemetry — runs serialized on the coordinating thread,
+  /// between the event-pump barriers that bound the per-replica fan-out.
+  /// Every member below is LIQUID_GUARDED_BY this role, every serialized
+  /// section LIQUID_REQUIRES it, and the public API asserts it via
+  /// RoleGuard — so a future change that reaches into fleet state from a
+  /// worker task fails the clang -Wthread-safety build instead of flaking a
+  /// determinism golden.  There is no runtime lock behind the role; the
+  /// worker tasks only touch their own replica's scheduler/engine (captured
+  /// by raw pointer, state disjoint by construction).  Mutable because
+  /// const accessors assert the role too.
+  mutable util::ThreadRole coordinator_role_;
+
+  Router router_ LIQUID_GUARDED_BY(coordinator_role_);
+  AutoscaleConfig autoscale_ LIQUID_GUARDED_BY(coordinator_role_);
+  RetryPolicy retry_ LIQUID_GUARDED_BY(coordinator_role_);
+  DisaggCoordinator coordinator_ LIQUID_GUARDED_BY(coordinator_role_);
+  std::vector<Replica> replicas_ LIQUID_GUARDED_BY(coordinator_role_);
+  /// First added spec.
+  std::optional<ReplicaSpec> autoscale_spec_
+      LIQUID_GUARDED_BY(coordinator_role_);
+  /// Counters accumulated during the run.
+  FleetStats tally_ LIQUID_GUARDED_BY(coordinator_role_);
+  double last_scale_event_ LIQUID_GUARDED_BY(coordinator_role_) = -1e300;
+  /// Pending, consumed by Run.
+  std::vector<KillEvent> kill_schedule_ LIQUID_GUARDED_BY(coordinator_role_);
+  /// Pending, consumed by Run.
+  std::vector<DegradeEvent> degrade_schedule_
+      LIQUID_GUARDED_BY(coordinator_role_);
+  std::vector<PendingRetry> pending_retries_
+      LIQUID_GUARDED_BY(coordinator_role_);
   /// Original routed request by id, so a kill can re-submit the original
   /// (session/tenant intact) rather than the scheduler's mutated view.
-  std::unordered_map<std::uint64_t, serving::TimedRequest> inflight_;
+  /// Lookup/erase only — never iterated, so its unordered order never
+  /// reaches stats or traces.
+  std::unordered_map<std::uint64_t, serving::TimedRequest> inflight_
+      LIQUID_GUARDED_BY(coordinator_role_);
   /// Requests that completed a KV migration (for the interference-free
-  /// decode-TPOT percentile split).
-  std::unordered_set<std::uint64_t> migrated_ids_;
-  std::vector<double> migration_seconds_;  ///< visible stalls, sample pool
-  SlidingWindowStats ttft_window_;
+  /// decode-TPOT percentile split).  Membership tests only — never iterated.
+  std::unordered_set<std::uint64_t> migrated_ids_
+      LIQUID_GUARDED_BY(coordinator_role_);
+  /// Visible stalls, sample pool.
+  std::vector<double> migration_seconds_ LIQUID_GUARDED_BY(coordinator_role_);
+  SlidingWindowStats ttft_window_ LIQUID_GUARDED_BY(coordinator_role_);
   /// Passive fleet-wide TPOT window behind the metrics gauge; fed alongside
   /// ttft_window_ but read by nothing that steers the simulation.
-  SlidingWindowStats tpot_window_;
+  SlidingWindowStats tpot_window_ LIQUID_GUARDED_BY(coordinator_role_);
   /// Per-pool signal windows, parallel to autoscale_.pools.
-  std::vector<PoolRuntime> pool_runtime_;
+  std::vector<PoolRuntime> pool_runtime_ LIQUID_GUARDED_BY(coordinator_role_);
   /// Recent generated-token samples (finish, tokens) behind the cost-aware
   /// $/1M-token predictions.
-  SlidingWindowStats tokens_window_;
+  SlidingWindowStats tokens_window_ LIQUID_GUARDED_BY(coordinator_role_);
   /// Periodic autoscale tick state (armed only when tick_seconds > 0).
-  bool tick_armed_ = false;
-  double next_autoscale_tick_ = 0;
+  bool tick_armed_ LIQUID_GUARDED_BY(coordinator_role_) = false;
+  double next_autoscale_tick_ LIQUID_GUARDED_BY(coordinator_role_) = 0;
   /// The fleet has produced at least one completion or prefill handoff.
   /// Scale-down requires this evidence: a cold fleet with an empty queue is
   /// unprovisioned, not overprovisioned.
-  bool work_observed_ = false;
+  bool work_observed_ LIQUID_GUARDED_BY(coordinator_role_) = false;
   /// Legacy-path downscale-stabilization state (pools keep theirs in
   /// PoolRuntime); < 0 = not currently reading low.
-  double legacy_low_since_ = -1;
+  double legacy_low_since_ LIQUID_GUARDED_BY(coordinator_role_) = -1;
   /// A stabilizing shrink is waiting out its window; keeps the periodic
   /// tick armed through an otherwise idle fleet so the shrink can land.
-  bool shrink_pending_ = false;
+  bool shrink_pending_ LIQUID_GUARDED_BY(coordinator_role_) = false;
   /// Fleet-level event count for the SimThroughput meter: routing decisions,
   /// migration landings, kills, degrades, autoscale ticks.  Deterministic
   /// under a fixed seed (counts simulated work, not wall time).
-  std::uint64_t fleet_events_ = 0;
+  std::uint64_t fleet_events_ LIQUID_GUARDED_BY(coordinator_role_) = 0;
   /// Parallel execution mode (SetThreads).  threads_ <= 1 keeps pool_ null
   /// and every code path byte-identical to the legacy single-threaded loop.
+  /// threads_ itself is unguarded set-once config: threads() reads it
+  /// without asserting the role.
   std::size_t threads_ = 1;
-  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<util::ThreadPool> pool_ LIQUID_GUARDED_BY(coordinator_role_);
   /// Busy-replica scratch for the parallel fan-out (avoids an allocation
   /// per event-pump barrier).
-  std::vector<Replica*> busy_scratch_;
+  std::vector<Replica*> busy_scratch_ LIQUID_GUARDED_BY(coordinator_role_);
   /// Per-replica trace shards (parallel mode only), indexed by replica id.
   /// The unique_ptrs stay alive across runs — schedulers hold raw pointers.
-  std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards_;
+  /// Workers write a shard only through their own replica's scheduler during
+  /// the fan-out; the coordinator touches the vector (and merges) strictly
+  /// outside it.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards_
+      LIQUID_GUARDED_BY(coordinator_role_);
   /// Views() scratch: one routing snapshot, rebuilt per decision in place.
-  mutable std::vector<ReplicaView> views_scratch_;
+  mutable std::vector<ReplicaView> views_scratch_
+      LIQUID_GUARDED_BY(coordinator_role_);
   // Telemetry (null = detached; every hook is one branch when detached).
-  obs::TraceRecorder* trace_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  MetricIds metric_ids_;
-  obs::Histogram* ttft_hist_ = nullptr;  ///< owned by *metrics_
-  obs::Histogram* tpot_hist_ = nullptr;  ///< owned by *metrics_
+  // TraceRecorder/MetricsRegistry are externally synchronized (see their
+  // headers): PT_GUARDED_BY states that dereferencing them is itself a
+  // coordinator-only operation.
+  obs::TraceRecorder* trace_ LIQUID_GUARDED_BY(coordinator_role_)
+      LIQUID_PT_GUARDED_BY(coordinator_role_) = nullptr;
+  obs::MetricsRegistry* metrics_ LIQUID_GUARDED_BY(coordinator_role_)
+      LIQUID_PT_GUARDED_BY(coordinator_role_) = nullptr;
+  MetricIds metric_ids_ LIQUID_GUARDED_BY(coordinator_role_);
+  /// Owned by *metrics_.
+  obs::Histogram* ttft_hist_ LIQUID_GUARDED_BY(coordinator_role_)
+      LIQUID_PT_GUARDED_BY(coordinator_role_) = nullptr;
+  /// Owned by *metrics_.
+  obs::Histogram* tpot_hist_ LIQUID_GUARDED_BY(coordinator_role_)
+      LIQUID_PT_GUARDED_BY(coordinator_role_) = nullptr;
 };
 
 }  // namespace liquid::cluster

@@ -330,9 +330,14 @@ bool Router::ScaleDownSafe(const std::vector<ReplicaView>& replicas,
 }
 
 void Router::ForgetReplica(std::size_t replica) {
+  // Erase-only sweeps: visit order decides nothing — the surviving map
+  // contents are the same set regardless of iteration order, and nothing is
+  // emitted per visit.
+  // NOLINT-DETERMINISM(erase-only sweep; surviving content is order-independent)
   for (auto it = affinity_.begin(); it != affinity_.end();) {
     it = it->second == replica ? affinity_.erase(it) : std::next(it);
   }
+  // NOLINT-DETERMINISM(erase-only sweep; surviving content is order-independent)
   for (auto it = decode_affinity_.begin(); it != decode_affinity_.end();) {
     it = it->second == replica ? decode_affinity_.erase(it) : std::next(it);
   }

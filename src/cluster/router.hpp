@@ -285,6 +285,9 @@ class Router {
   ScorerPipeline decode_pipeline_;
   bool role_aware_ = false;
   std::size_t rr_cursor_ = 0;
+  /// Determinism audit for both affinity maps: keyed lookup/pin writes on
+  /// the routing path; the only iteration is ForgetReplica's erase-only
+  /// sweep (suppressed there with a reason — visit order decides nothing).
   std::unordered_map<std::uint64_t, std::size_t> affinity_;
   /// Session → decode replica that last hosted it (RouteDecode locality).
   std::unordered_map<std::uint64_t, std::size_t> decode_affinity_;

@@ -27,7 +27,7 @@ WallProfiler& WallProfiler::Instance() {
 }
 
 void WallProfiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   roots_.clear();
   g_generation.fetch_add(1, std::memory_order_relaxed);
 }
@@ -39,7 +39,7 @@ void WallProfiler::Enter(const char* name) {
     root->name = "<thread>";
     tls_cursor = root.get();
     tls_generation = g_generation.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     roots_.push_back(std::move(root));
   }
   ProfNode* parent = tls_cursor;
@@ -59,7 +59,7 @@ void WallProfiler::Enter(const char* name) {
     child = owned.get();
     // Child insertion mutates a tree that an exporter on another thread may
     // be walking; exports take the same lock.
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     parent->children.push_back(std::move(owned));
   }
   ++child->count;
@@ -100,7 +100,7 @@ void FoldInto(const ProfNode& src, WallProfiler::Merged& dst) {
 
 WallProfiler::Merged WallProfiler::MergeThreads() const {
   Merged root;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& thread_root : roots_) {
     for (const auto& c : thread_root->children) {
       FoldInto(*c, root.children[c->name]);

@@ -30,10 +30,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "util/wall_timer.hpp"
 
 #if !defined(LIQUID_PROF_ENABLED)
@@ -104,12 +104,18 @@ class WallProfiler {
   struct Merged;
 
  private:
-  [[nodiscard]] Merged MergeThreads() const;
+  [[nodiscard]] Merged MergeThreads() const LIQUID_EXCLUDES(mu_);
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;  // guards roots_ registration and export walks
-  std::vector<std::unique_ptr<ProfNode>> roots_;  // one per observed thread
+  // mu_ guards the roots_ vector itself (thread registration and export
+  // walks).  Node *contents* (count/total_ns) are only written by the owning
+  // thread through its thread-local cursor; exporters read them under mu_,
+  // which excludes the only structural mutation (child insertion, also
+  // taken under mu_ in Enter).
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<ProfNode>> roots_
+      LIQUID_GUARDED_BY(mu_);  // one per observed thread
 };
 
 /// RAII timer the LIQUID_PROF_SCOPE macro expands to.  Checks the runtime

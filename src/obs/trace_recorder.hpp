@@ -25,6 +25,18 @@
 //
 // Everything runs on the simulated clock, so with a fixed seed the recorded
 // byte stream is deterministic — the telemetry golden test pins it.
+//
+// Thread-safety contract: a TraceRecorder is EXTERNALLY SYNCHRONIZED — it
+// holds no lock, and every method assumes single-threaded access.  The
+// parallel cluster runtime honors this by sharding: each replica records
+// into a private per-replica TraceRecorder during the fan-out (one writer
+// per shard, no sharing), and the coordinator folds the shards back with
+// MergeShards() strictly between barriers.  The ClusterSimulator declares
+// both the shard vector and the shared-recorder pointer
+// LIQUID_GUARDED_BY/LIQUID_PT_GUARDED_BY its coordinator role, so the clang
+// -Wthread-safety CI build rejects any new cross-thread touch; keep it that
+// way rather than adding locks here (a mutex per recorded POD would dwarf
+// the <5% telemetry budget).
 
 #include <cstddef>
 #include <cstdint>

@@ -133,6 +133,8 @@ class ServingEngine {
   /// the simulator's dominant host cost.  A hit returns the identical double,
   /// so memoization cannot perturb simulated results.  Engines are used
   /// single-threaded; the caches are not locked.
+  /// Determinism audit: pure memoization, keyed lookup/insert only — never
+  /// iterated, and a hit returns the identical double a miss would compute.
   mutable std::unordered_map<std::uint64_t, double> decode_step_cache_;
   mutable std::unordered_map<std::uint64_t, double> prefill_chunk_cache_;
 };

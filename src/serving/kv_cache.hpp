@@ -50,6 +50,9 @@ class PrefixIndex {
   [[nodiscard]] bool empty() const { return counts_.empty(); }
 
  private:
+  /// Determinism audit: lookup/refcount only (Add/Remove/Contains/
+  /// SharedPrefixBlocks) — never iterated, so the unordered layout cannot
+  /// leak into stats or routing.
   std::unordered_map<std::uint64_t, std::uint32_t> counts_;
 };
 
@@ -150,6 +153,8 @@ class KvBlockManager {
   std::size_t block_tokens_;
   std::vector<std::uint32_t> ref_counts_;
   std::vector<std::size_t> free_list_;
+  /// Determinism audit: keyed lookup/erase only — never iterated; block
+  /// accounting walks the vectors above instead.
   std::unordered_map<SeqId, Sequence> sequences_;
   std::size_t cow_count_ = 0;
   PrefixIndex prefix_index_;

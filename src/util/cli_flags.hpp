@@ -64,25 +64,28 @@ inline CliFlags ParseCliFlags(int argc, char** argv) {
       if (arg[n] == '\0' && i + 1 < argc) return argv[++i];
       return nullptr;
     };
+    // Distinct names per branch: an `else if` nests inside the previous
+    // branch's scope, so reusing one name would shadow (-Wshadow).
     if (std::strcmp(arg, "--quick") == 0) {
       flags.quick = true;
-    } else if (const char* v = value("--seed")) {
-      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* seed_v = value("--seed")) {
+      flags.seed = std::strtoull(seed_v, nullptr, 10);
       flags.seed_set = true;
-    } else if (const char* v = value("--trace-out")) {
-      flags.trace_out = v;
-    } else if (const char* v = value("--trace-jsonl")) {
-      flags.trace_jsonl = v;
-    } else if (const char* v = value("--metrics-out")) {
-      flags.metrics_out = v;
-    } else if (const char* v = value("--metrics-csv")) {
-      flags.metrics_csv = v;
-    } else if (const char* v = value("--json-out")) {
-      flags.json_out = v;
-    } else if (const char* v = value("--profile-out")) {
-      flags.profile_out = v;
-    } else if (const char* v = value("--threads")) {
-      flags.threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* trace_v = value("--trace-out")) {
+      flags.trace_out = trace_v;
+    } else if (const char* jsonl_v = value("--trace-jsonl")) {
+      flags.trace_jsonl = jsonl_v;
+    } else if (const char* metrics_v = value("--metrics-out")) {
+      flags.metrics_out = metrics_v;
+    } else if (const char* csv_v = value("--metrics-csv")) {
+      flags.metrics_csv = csv_v;
+    } else if (const char* json_v = value("--json-out")) {
+      flags.json_out = json_v;
+    } else if (const char* prof_v = value("--profile-out")) {
+      flags.profile_out = prof_v;
+    } else if (const char* threads_v = value("--threads")) {
+      flags.threads =
+          static_cast<std::size_t>(std::strtoull(threads_v, nullptr, 10));
       flags.threads_set = true;
     } else {
       flags.positional.push_back(arg);

@@ -28,10 +28,10 @@ ThreadPool::~ThreadPool() {
     // The lock orders stop_ against the worker's sleep check: without it a
     // worker could observe stop_==false, then sleep after our notify and
     // hang the destructor.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_.store(true, std::memory_order_release);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -40,35 +40,36 @@ void ThreadPool::Submit(std::function<void()> task) {
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(queues_[slot]->mu);
-    queues_[slot]->tasks.push_back(std::move(task));
+    WorkerQueue& q = *queues_[slot];
+    MutexLock lock(q.mu);
+    q.tasks.push_back(std::move(task));
   }
   // Empty critical section before the notify: a worker that already saw
   // pending_==0 in its wait predicate holds wake_mu_ until it actually
   // sleeps, so acquiring the lock here orders our increment before its
   // wakeup — without it the notify could land in the gap between the
   // predicate check and the sleep and be lost.
-  { std::lock_guard<std::mutex> lock(wake_mu_); }
-  wake_cv_.notify_one();
+  { MutexLock lock(wake_mu_); }
+  wake_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::TakeTask(std::size_t self) {
   {
-    std::lock_guard<std::mutex> lock(queues_[self]->mu);
-    auto& own = queues_[self]->tasks;
-    if (!own.empty()) {
-      auto task = std::move(own.back());
-      own.pop_back();
+    WorkerQueue& q = *queues_[self];
+    MutexLock lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto task = std::move(q.tasks.back());
+      q.tasks.pop_back();
       return task;
     }
   }
   for (std::size_t k = 1; k < queues_.size(); ++k) {
     const std::size_t victim = (self + k) % queues_.size();
-    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
-    auto& q = queues_[victim]->tasks;
-    if (!q.empty()) {
-      auto task = std::move(q.front());
-      q.pop_front();
+    WorkerQueue& q = *queues_[victim];
+    MutexLock lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto task = std::move(q.tasks.front());
+      q.tasks.pop_front();
       return task;
     }
   }
@@ -84,8 +85,8 @@ void ThreadPool::WorkerLoop(std::size_t self) {
       // release pairs with WaitIdle's acquire load: everything the task
       // wrote happens-before the barrier caller's reads.
       if (pending_.fetch_sub(1, std::memory_order_release) == 1) {
-        std::lock_guard<std::mutex> lock(idle_mu_);
-        idle_cv_.notify_all();
+        MutexLock lock(idle_mu_);
+        idle_cv_.NotifyAll();
       }
       continue;
     }
@@ -95,8 +96,8 @@ void ThreadPool::WorkerLoop(std::size_t self) {
       continue;
     }
     spins = 0;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
+    MutexLock lock(wake_mu_);
+    wake_cv_.Wait(wake_mu_, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
     });
@@ -108,8 +109,8 @@ void ThreadPool::WaitIdle() {
     if (pending_.load(std::memory_order_acquire) == 0) return;
     std::this_thread::yield();
   }
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [this] {
+  MutexLock lock(idle_mu_);
+  idle_cv_.Wait(idle_mu_, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
 }

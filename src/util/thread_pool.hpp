@@ -29,13 +29,14 @@
 // swallowing the error on a worker thread.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace liquid::util {
 
@@ -52,13 +53,13 @@ class ThreadPool {
   /// Enqueues one task.  Callable from any thread (including workers, so a
   /// task may spawn subtasks); the round-robin cursor spreads submissions
   /// across the per-worker deques.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) LIQUID_EXCLUDES(wake_mu_);
 
   /// Blocks until every task submitted so far has FINISHED (not merely been
   /// dequeued).  This is the event-pump barrier between the parallel replica
   /// phase and the serial fleet phase; the pool's internal synchronization
   /// gives the caller a happens-before edge over everything the tasks wrote.
-  void WaitIdle();
+  void WaitIdle() LIQUID_EXCLUDES(idle_mu_);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
   /// Tasks submitted but not yet finished (approximate between barriers).
@@ -68,26 +69,33 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks LIQUID_GUARDED_BY(mu);
   };
 
   /// Pops the newest task of `self`'s own deque, else steals the oldest from
   /// a sibling (scan starts after `self` so thieves spread out).  Empty
   /// function when nothing is runnable.
   std::function<void()> TakeTask(std::size_t self);
-  void WorkerLoop(std::size_t self);
+  void WorkerLoop(std::size_t self) LIQUID_EXCLUDES(wake_mu_, idle_mu_);
 
+  // queues_/workers_ are built in the constructor and never resized; the
+  // vectors themselves are immutable after construction (each WorkerQueue's
+  // contents are guarded by its own mu above).
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> next_queue_{0};  ///< round-robin submit cursor
   std::atomic<std::size_t> pending_{0};     ///< submitted, not yet finished
   std::atomic<bool> stop_{false};
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;  ///< workers sleep here when starved
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;  ///< WaitIdle sleeps here
+  // wake_mu_/idle_mu_ guard no plain data — stop_ and pending_ are atomics —
+  // they exist to close the predicate-check/sleep race: notifiers take the
+  // lock (empty critical section) so a wakeup cannot land in the gap between
+  // a sleeper's predicate check and its actual sleep.
+  Mutex wake_mu_;
+  CondVar wake_cv_;  ///< workers sleep here when starved
+  Mutex idle_mu_;
+  CondVar idle_cv_;  ///< WaitIdle sleeps here
 };
 
 }  // namespace liquid::util

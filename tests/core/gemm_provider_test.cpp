@@ -228,8 +228,10 @@ TEST_P(ProviderParity, W4A16WithinReorderTolerance) {
 INSTANTIATE_TEST_SUITE_P(
     AllProviders, ProviderParity,
     ::testing::ValuesIn(AvailableGemmProviders()),
-    [](const ::testing::TestParamInfo<GemmProvider>& info) {
-      return std::string(GemmProviderName(info.param));
+    // Not named `info`: INSTANTIATE_TEST_SUITE_P expands to a function whose
+    // parameter is already called that, and -Wshadow flags the collision.
+    [](const ::testing::TestParamInfo<GemmProvider>& param_info) {
+      return std::string(GemmProviderName(param_info.param));
     });
 
 }  // namespace

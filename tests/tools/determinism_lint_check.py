@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/determinism_lint.py against the known-bad /
+known-good corpus in tests/tools/lint_corpus/.
+
+Asserts EXACT finding counts per (file, rule), specific line numbers, exit
+codes, suppression semantics (same-line and preceding-line markers,
+mandatory reasons), and the JSON schema the CI job consumes.  Runs under
+ctest as `determinism_lint_selftest`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint", "determinism_lint.py")
+CORPUS = os.path.join(REPO_ROOT, "tests", "tools", "lint_corpus")
+
+_failures = []
+
+
+def check(cond, message):
+    if not cond:
+        _failures.append(message)
+        print(f"FAIL: {message}")
+    else:
+        print(f"ok:   {message}")
+
+
+def run_lint(paths, extra=()):
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+        proc = subprocess.run(
+            [sys.executable, LINTER, *paths, "--quiet", "--json", tmp.name,
+             *extra],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        tmp.seek(0)
+        payload = json.load(tmp)
+    return proc.returncode, payload
+
+
+def counts_by_file_rule(payload):
+    table = {}
+    for f in payload["findings"]:
+        key = (os.path.basename(f["file"]), f["rule"])
+        table[key] = table.get(key, 0) + 1
+    return table
+
+
+def lines_for(payload, basename, rule):
+    return sorted(
+        f["line"]
+        for f in payload["findings"]
+        if os.path.basename(f["file"]) == basename and f["rule"] == rule
+    )
+
+
+def main():
+    # --- whole-corpus scan: exact per-file/per-rule counts -----------------
+    rc, payload = run_lint([CORPUS])
+    check(rc == 1, "corpus scan exits 1 (unsuppressed findings present)")
+    check(payload["version"] == 1, "JSON payload carries schema version 1")
+
+    expected = {
+        ("bad_wall_clock.cpp", "wall-clock"): 3,
+        ("bad_rng.cpp", "adhoc-rng"): 3,
+        ("bad_unordered_iter.cpp", "unordered-iteration"): 2,
+        ("bad_pointer_keys.cpp", "pointer-keyed-order"): 2,
+        ("bad_timestamp.cpp", "build-timestamp"): 1,
+        ("suppressed.cpp", "unordered-iteration"): 1,
+        ("suppressed.cpp", "wall-clock"): 1,
+        ("bad_suppression.cpp", "bad-suppression"): 2,
+        ("bad_suppression.cpp", "unordered-iteration"): 2,
+    }
+    actual = counts_by_file_rule(payload)
+    for key, want in sorted(expected.items()):
+        got = actual.get(key, 0)
+        check(got == want, f"{key[0]} [{key[1]}]: {got} finding(s), want {want}")
+    for key, got in sorted(actual.items()):
+        check(key in expected, f"unexpected finding bucket {key} x{got}")
+
+    check(
+        lines_for(payload, "bad_wall_clock.cpp", "wall-clock") == [8, 12, 17],
+        "wall-clock findings pin lines 8/12/17",
+    )
+    check(
+        lines_for(payload, "bad_unordered_iter.cpp", "unordered-iteration")
+        == [12, 19],
+        "unordered-iteration findings pin lines 12/19 (range-for + .begin)",
+    )
+    check(
+        lines_for(payload, "bad_suppression.cpp", "bad-suppression") == [13, 20],
+        "bad-suppression findings pin lines 13/20 (bare marker, empty reason)",
+    )
+
+    # Nothing from the known-good file.
+    clean_rows = [
+        f for f in payload["findings"]
+        if os.path.basename(f["file"]) == "clean.cpp"
+    ]
+    check(not clean_rows, f"clean.cpp has zero findings (got {clean_rows})")
+
+    # Suppression semantics: reported, marked, reason carried through.
+    sup = [
+        f for f in payload["findings"]
+        if os.path.basename(f["file"]) == "suppressed.cpp"
+    ]
+    check(
+        all(f["suppressed"] and f["reason"] for f in sup) and len(sup) == 2,
+        "suppressed.cpp findings are all suppressed with reasons attached",
+    )
+    bad = [
+        f for f in payload["findings"]
+        if os.path.basename(f["file"]) == "bad_suppression.cpp"
+    ]
+    check(
+        all(not f["suppressed"] for f in bad),
+        "malformed markers suppress nothing (including themselves)",
+    )
+
+    summary = payload["summary"]
+    check(
+        summary["total"] == sum(expected.values())
+        and summary["suppressed"] == 2
+        and summary["unsuppressed"] == summary["total"] - 2,
+        f"summary counts are consistent ({summary})",
+    )
+
+    # --- single-file scans: exit-code contract ------------------------------
+    rc_clean, _ = run_lint([os.path.join(CORPUS, "clean.cpp")])
+    check(rc_clean == 0, "clean.cpp alone exits 0")
+    rc_sup, _ = run_lint([os.path.join(CORPUS, "suppressed.cpp")])
+    check(rc_sup == 0, "suppressed.cpp alone exits 0 (everything suppressed)")
+    rc_bad, _ = run_lint([os.path.join(CORPUS, "bad_timestamp.cpp")])
+    check(rc_bad == 1, "bad_timestamp.cpp alone exits 1")
+
+    # --- allowed-path carve-outs: the sanctioned wrappers lint clean --------
+    rc_wall, wall_payload = run_lint(
+        [os.path.join(REPO_ROOT, "src", "util", "wall_timer.hpp")])
+    check(
+        rc_wall == 0 and not wall_payload["findings"],
+        "util/wall_timer.hpp is carved out of the wall-clock rule",
+    )
+    rc_rng, rng_payload = run_lint(
+        [os.path.join(REPO_ROOT, "src", "util", "rng.hpp")])
+    check(
+        rc_rng == 0 and not rng_payload["findings"],
+        "util/rng.hpp is carved out of the adhoc-rng rule",
+    )
+
+    if _failures:
+        print(f"\n{len(_failures)} check(s) failed")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

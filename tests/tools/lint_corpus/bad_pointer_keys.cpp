@@ -1,0 +1,15 @@
+// Lint corpus: known-bad pointer-keyed ordered containers.  Never compiled —
+// scanned by determinism_lint_check.py, which asserts exactly 2
+// pointer-keyed-order findings (lines 11 and 12).
+
+#include <map>
+#include <set>
+
+struct Replica {};
+
+void Build() {
+  std::map<Replica*, int> by_replica;
+  std::set<const Replica*> seen;
+  (void)by_replica;
+  (void)seen;
+}

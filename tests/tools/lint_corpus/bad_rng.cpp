@@ -1,0 +1,15 @@
+// Lint corpus: known-bad ad-hoc RNG.  Never compiled — scanned by
+// determinism_lint_check.py, which asserts exactly 3 adhoc-rng findings
+// (lines 8, 12, 13).
+
+#include <random>
+
+int HostRand() {
+  return std::rand();
+}
+
+double GaussNoise() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<double>(gen());
+}

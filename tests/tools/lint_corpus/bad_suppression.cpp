@@ -1,0 +1,23 @@
+// Lint corpus: malformed suppressions.  determinism_lint_check.py asserts
+// exactly 2 bad-suppression findings (bare marker line 13, empty reason
+// line 20) plus the 2 underlying findings they fail to suppress — and that
+// bad-suppression findings cannot themselves be suppressed.
+
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, double> g_table;
+
+double SumBare() {
+  double total = 0;  // marker below has no reason — itself a finding
+  // NOLINT-DETERMINISM
+  for (const auto& [k, v] : g_table) total += v;
+  return total;
+}
+
+double SumEmpty() {
+  double total = 0;
+  // NOLINT-DETERMINISM()
+  for (const auto& [k, v] : g_table) total += v;
+  return total;
+}

@@ -1,0 +1,7 @@
+// Lint corpus: known-bad build timestamp.  Never compiled — scanned by
+// determinism_lint_check.py, which asserts exactly 1 build-timestamp finding
+// (line 6).
+
+const char* BuildStamp() {
+  return __DATE__ " " __TIME__;
+}

@@ -1,0 +1,20 @@
+// Lint corpus: known-bad unordered iteration.  Never compiled — scanned by
+// determinism_lint_check.py, which asserts exactly 2 unordered-iteration
+// findings (lines 12 and 19).
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+double SumValues(const std::unordered_map<std::uint64_t, double>& table) {
+  double total = 0;
+  // Order-dependent if total ever becomes an output stream: flagged.
+  for (const auto& [key, value] : table) total += value;
+  return total;
+}
+
+std::uint64_t FirstMember() {
+  std::unordered_set<std::uint64_t> members;
+  members.insert(42);
+  return *members.begin();
+}

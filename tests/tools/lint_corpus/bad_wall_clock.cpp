@@ -1,0 +1,19 @@
+// Lint corpus: known-bad wall-clock reads.  Never compiled — scanned by
+// determinism_lint_check.py, which asserts exactly 3 wall-clock findings
+// (lines 8, 12, 17).
+
+#include <chrono>
+
+double NowSteady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double NowSystem() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long NowPosix() {
+  timespec ts{};
+  clock_gettime(0, &ts);
+  return ts.tv_sec;
+}

@@ -1,0 +1,33 @@
+// Lint corpus: known-good file — determinism_lint_check.py asserts ZERO
+// findings here.  Exercises the false-positive traps: determinism-safe
+// constructs that look superficially like violations.
+//
+// A comment mentioning std::chrono::steady_clock or std::random_device must
+// not fire (comments are stripped), and neither must the string literal
+// below containing __DATE__.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+// Ordered iteration is fine: std::map with an integer key.  (Named
+// differently from the unordered parameter below — the linter's
+// declaration scan is deliberately name-based and file-scoped.)
+double SumOrdered(const std::map<std::uint64_t, double>& by_key) {
+  double total = 0;
+  for (const auto& [key, value] : by_key) total += value;
+  return total;
+}
+
+// Keyed lookups into unordered containers are fine — only iteration is
+// order-sensitive.
+double Lookup(const std::unordered_map<std::uint64_t, double>& table,
+              std::uint64_t key) {
+  const auto it = table.find(key);
+  return it == table.end() ? 0.0 : it->second;
+}
+
+std::string DocString() {
+  return "the __DATE__ macro is banned in real code";
+}

@@ -1,0 +1,25 @@
+// Lint corpus: violations carrying valid suppression markers.
+// determinism_lint_check.py asserts both findings are reported AND
+// suppressed (same-line marker and preceding-line marker), so this file
+// alone lints clean (exit 0).
+
+#include <cstdint>
+#include <unordered_set>
+
+std::size_t EraseAll(std::unordered_set<std::uint64_t>& members) {
+  std::size_t erased = 0;
+  // NOLINT-DETERMINISM(erase-only sweep; surviving content is order-independent)
+  for (auto it = members.begin(); it != members.end();) {
+    it = members.erase(it);
+    ++erased;
+  }
+  return erased;
+}
+
+double HostSeconds() {
+  return 0;  // placeholder body; the marker below is what the test pins
+}
+
+double WallProbe() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // NOLINT-DETERMINISM(host-only diagnostic; never feeds simulated state)
+}
